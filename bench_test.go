@@ -1,0 +1,269 @@
+// Benchmarks regenerating the measured quantities of the paper's
+// evaluation (one family per figure; see DESIGN.md §3 for the index and
+// cmd/stairbench for the printable sweeps). Stripes default to 1 MiB so
+// `go test -bench=.` completes quickly; cmd/stairbench -full runs the
+// paper-scale 32 MiB sweeps.
+package stair_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"stair/internal/core"
+	"stair/internal/failures"
+	"stair/internal/reliability"
+	"stair/internal/sd"
+)
+
+const benchStripeBytes = 1 << 20
+
+func benchCode(b *testing.B, cfg core.Config) *core.Code {
+	b.Helper()
+	c, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchStripe(b *testing.B, c *core.Code, stripeBytes int) *core.Stripe {
+	b.Helper()
+	sector := stripeBytes / (c.N() * c.R())
+	sector -= sector % c.Field().SymbolBytes()
+	if sector < c.Field().SymbolBytes() {
+		sector = c.Field().SymbolBytes()
+	}
+	st, err := c.NewStripe(sector)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, cell := range c.DataCells() {
+		rng.Read(st.Sector(cell.Col, cell.Row))
+	}
+	return st
+}
+
+// BenchmarkFig9EncodeMethods: encoding time of the three methods across
+// the e-configurations of Figure 9 (n=8, r=16, m=2, s=4). The time
+// ordering follows the Mult_XOR counts.
+func BenchmarkFig9EncodeMethods(b *testing.B) {
+	for _, e := range [][]int{{4}, {1, 3}, {2, 2}, {1, 1, 2}, {1, 1, 1, 1}} {
+		c := benchCode(b, core.Config{N: 8, R: 16, M: 2, E: e})
+		st := benchStripe(b, c, benchStripeBytes)
+		for _, m := range []core.Method{core.MethodUpstairs, core.MethodDownstairs, core.MethodStandard} {
+			b.Run(fmt.Sprintf("e=%v/%v", e, m), func(b *testing.B) {
+				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				for i := 0; i < b.N; i++ {
+					if err := c.EncodeWith(st, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Encode: STAIR vs SD encoding speed at representative
+// (n, m, s) points of Figure 11 (r=16).
+func BenchmarkFig11Encode(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		for _, s := range []int{1, 3} {
+			const m = 2
+			b.Run(fmt.Sprintf("STAIR/n=%d/s=%d", n, s), func(b *testing.B) {
+				e := []int{s} // worst single-chunk coverage
+				c := benchCode(b, core.Config{N: n, R: 16, M: m, E: e})
+				st := benchStripe(b, c, benchStripeBytes)
+				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Encode(st); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("SD/n=%d/s=%d", n, s), func(b *testing.B) {
+				c, err := sd.New(sd.Config{N: n, R: 16, M: m, S: s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sector := benchStripeBytes / (n * 16)
+				sector -= sector % 2
+				cells := make([][]byte, n*16)
+				rng := rand.New(rand.NewSource(2))
+				for i := range cells {
+					cells[i] = make([]byte, sector)
+					rng.Read(cells[i])
+				}
+				b.SetBytes(int64(sector * n * 16))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Encode(cells); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12StripeSize: encoding speed vs stripe size (n=r=16, m=2,
+// s=2), the cache-sensitivity sweep of Figure 12.
+func BenchmarkFig12StripeSize(b *testing.B) {
+	c := benchCode(b, core.Config{N: 16, R: 16, M: 2, E: []int{2}})
+	for _, size := range []int{128 << 10, 1 << 20, 8 << 20} {
+		st := benchStripe(b, c, size)
+		b.Run(fmt.Sprintf("stripe=%dKB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+			for i := 0; i < b.N; i++ {
+				if err := c.Encode(st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Decode: worst-case repair speed (m chunks + s stair
+// sectors) for Figure 13's representative points.
+func BenchmarkFig13Decode(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		for _, m := range []int{1, 2} {
+			e := []int{1, 2}
+			c := benchCode(b, core.Config{N: n, R: 16, M: m, E: e})
+			st := benchStripe(b, c, benchStripeBytes)
+			if err := c.Encode(st); err != nil {
+				b.Fatal(err)
+			}
+			var lost []core.Cell
+			for col := 0; col < m; col++ {
+				for row := 0; row < 16; row++ {
+					lost = append(lost, core.Cell{Col: col, Row: row})
+				}
+			}
+			for l, el := range e {
+				for h := 0; h < el; h++ {
+					lost = append(lost, core.Cell{Col: m + l, Row: 15 - h})
+				}
+			}
+			b.Run(fmt.Sprintf("n=%d/m=%d", n, m), func(b *testing.B) {
+				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				for i := 0; i < b.N; i++ {
+					if err := c.Repair(st, lost); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig13DeviceOnlyDecode: the §6.2.2 fast path — device failures
+// only decode like Reed-Solomon.
+func BenchmarkFig13DeviceOnlyDecode(b *testing.B) {
+	c := benchCode(b, core.Config{N: 16, R: 16, M: 2, E: []int{1}})
+	st := benchStripe(b, c, benchStripeBytes)
+	if err := c.Encode(st); err != nil {
+		b.Fatal(err)
+	}
+	var lost []core.Cell
+	for col := 0; col < 2; col++ {
+		for row := 0; row < 16; row++ {
+			lost = append(lost, core.Cell{Col: col, Row: row})
+		}
+	}
+	b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Repair(st, lost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Update: incremental single-sector updates across the
+// e-configurations of Figure 14 (n=16, r=16, s=4).
+func BenchmarkFig14Update(b *testing.B) {
+	for _, e := range [][]int{{4}, {1, 1, 2}, {1, 1, 1, 1}} {
+		c := benchCode(b, core.Config{N: 16, R: 16, M: 2, E: e})
+		st := benchStripe(b, c, benchStripeBytes)
+		if err := c.Encode(st); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, st.SectorSize)
+		rand.New(rand.NewSource(3)).Read(buf)
+		cell := c.DataCells()[0]
+		b.Run(fmt.Sprintf("e=%v", e), func(b *testing.B) {
+			b.SetBytes(int64(st.SectorSize))
+			for i := 0; i < b.N; i++ {
+				if err := c.Update(st, cell, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig17MTTDL: the analytic reliability pipeline of Figures
+// 17-19 (Pstr enumeration dominating).
+func BenchmarkFig17MTTDL(b *testing.B) {
+	p := reliability.DefaultParams()
+	model := reliability.Independent{Psec: reliability.PsecFromPbit(1e-12, p.SectorSize), Rval: p.R}
+	spec := reliability.CodeSpec{Kind: "stair", E: []int{1, 2}}
+	for i := 0; i < b.N; i++ {
+		reliability.SystemMTTDL(p, spec, model)
+	}
+}
+
+// BenchmarkFig19Correlated: the correlated-model pipeline with a wide
+// coverage vector (the most expensive Pstr enumeration of Figure 19b).
+func BenchmarkFig19Correlated(b *testing.B) {
+	p := reliability.DefaultParams()
+	dist, err := failures.NewBurstDist(0.9, 1.0, p.R)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := reliability.Correlated{Psec: reliability.PsecFromPbit(1e-12, p.SectorSize), Dist: dist}
+	spec := reliability.CodeSpec{Kind: "stair", E: []int{12}}
+	for i := 0; i < b.N; i++ {
+		reliability.SystemMTTDL(p, spec, model)
+	}
+}
+
+// BenchmarkScheduleBuild: one-time construction cost (New compiles the
+// upstairs/downstairs/standard schedules).
+func BenchmarkScheduleBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(core.Config{N: 16, R: 16, M: 2, E: []int{1, 1, 2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeScheduleBuild: per-pattern repair schedule compilation
+// (amortised by the decode cache in steady state).
+func BenchmarkDecodeScheduleBuild(b *testing.B) {
+	c := benchCode(b, core.Config{N: 16, R: 16, M: 2, E: []int{1, 1, 2}})
+	var lost []core.Cell
+	for col := 0; col < 2; col++ {
+		for row := 0; row < 16; row++ {
+			lost = append(lost, core.Cell{Col: col, Row: row})
+		}
+	}
+	lost = append(lost, core.Cell{Col: 2, Row: 15}, core.Cell{Col: 3, Row: 15}, core.Cell{Col: 4, Row: 14}, core.Cell{Col: 4, Row: 15})
+	st := benchStripe(b, c, 64<<10)
+	if err := c.Encode(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh code each round would re-measure construction; instead
+		// vary the pattern slightly to defeat the cache.
+		l := append([]core.Cell{}, lost...)
+		l[len(l)-1].Row = 8 + i%8
+		if _, err := c.RepairCost(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+func init() {
+	register("fig11a", "encoding speed vs n at r=16 (paper Fig. 11a)", runFig11a)
+	register("fig11b", "encoding speed vs r at n=16 (paper Fig. 11b)", runFig11b)
+	register("fig12", "encoding speed vs stripe size at n=r=16 (paper Fig. 12)", runFig12)
+	register("fig13a", "decoding speed vs n at r=16, worst case (paper Fig. 13a)", runFig13a)
+	register("fig13b", "decoding speed vs r at n=16, worst case (paper Fig. 13b)", runFig13b)
+	register("fig13x", "device-only decode speedup vs s=1 worst case (§6.2.2 text)", runFig13x)
+}
+
+func speedGrid(o options) []int {
+	if o.full {
+		return []int{4, 8, 12, 16, 20, 24, 28, 32}
+	}
+	return []int{8, 16, 24, 32}
+}
+
+// runSpeedSweep prints a STAIR (s=1..4) and SD (s=1..3) speed table over
+// the swept variable.
+func runSpeedSweep(o options, varName string, values []int, geom func(v int) (n, r int),
+	stair func(n, r, m, s int) (float64, error), sdFn func(n, r, m, s int) (float64, error)) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "m\t%s\tSTAIR s=1\ts=2\ts=3\ts=4\tSD s=1\ts=2\ts=3\t(MB/s)\n", varName)
+	for _, m := range []int{1, 2, 3} {
+		for _, v := range values {
+			n, r := geom(v)
+			if n-m < 2 {
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%d", m, v)
+			for s := 1; s <= 4; s++ {
+				if sp, err := stair(n, r, m, s); err == nil {
+					fmt.Fprintf(w, "\t%.0f", sp)
+				} else {
+					fmt.Fprintf(w, "\t-")
+				}
+			}
+			for s := 1; s <= 3; s++ {
+				if sp, err := sdFn(n, r, m, s); err == nil {
+					fmt.Fprintf(w, "\t%.0f", sp)
+				} else {
+					fmt.Fprintf(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w, "\t")
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func runFig11a(o options) error {
+	stripe := o.stripeMiB << 20
+	return runSpeedSweep(o, "n", speedGrid(o),
+		func(v int) (int, int) { return v, 16 },
+		func(n, r, m, s int) (float64, error) { return stairEncodeSpeed(n, r, m, s, stripe) },
+		func(n, r, m, s int) (float64, error) { return sdEncodeSpeed(n, r, m, s, stripe) })
+}
+
+func runFig11b(o options) error {
+	stripe := o.stripeMiB << 20
+	return runSpeedSweep(o, "r", speedGrid(o),
+		func(v int) (int, int) { return 16, v },
+		func(n, r, m, s int) (float64, error) { return stairEncodeSpeed(n, r, m, s, stripe) },
+		func(n, r, m, s int) (float64, error) { return sdEncodeSpeed(n, r, m, s, stripe) })
+}
+
+func runFig13a(o options) error {
+	stripe := o.stripeMiB << 20
+	return runSpeedSweep(o, "n", speedGrid(o),
+		func(v int) (int, int) { return v, 16 },
+		func(n, r, m, s int) (float64, error) { return stairDecodeSpeed(n, r, m, s, stripe, false) },
+		func(n, r, m, s int) (float64, error) { return sdDecodeSpeed(n, r, m, s, stripe) })
+}
+
+func runFig13b(o options) error {
+	stripe := o.stripeMiB << 20
+	return runSpeedSweep(o, "r", speedGrid(o),
+		func(v int) (int, int) { return 16, v },
+		func(n, r, m, s int) (float64, error) { return stairDecodeSpeed(n, r, m, s, stripe, false) },
+		func(n, r, m, s int) (float64, error) { return sdDecodeSpeed(n, r, m, s, stripe) })
+}
+
+func runFig12(o options) error {
+	sizes := []int{128 << 10, 512 << 10, 2 << 20, 8 << 20, 32 << 20}
+	if o.full {
+		sizes = append(sizes, 128<<20, 512<<20)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "m\tstripe\tSTAIR s=1\ts=2\ts=3\ts=4\tSD s=1\ts=2\ts=3\t(MB/s)")
+	for _, m := range []int{1, 2, 3} {
+		for _, size := range sizes {
+			label := fmt.Sprintf("%dKB", size>>10)
+			if size >= 1<<20 {
+				label = fmt.Sprintf("%dMB", size>>20)
+			}
+			fmt.Fprintf(w, "%d\t%s", m, label)
+			for s := 1; s <= 4; s++ {
+				if sp, err := stairEncodeSpeed(16, 16, m, s, size); err == nil {
+					fmt.Fprintf(w, "\t%.0f", sp)
+				} else {
+					fmt.Fprintf(w, "\t-")
+				}
+			}
+			for s := 1; s <= 3; s++ {
+				if sp, err := sdEncodeSpeed(16, 16, m, s, size); err == nil {
+					fmt.Fprintf(w, "\t%.0f", sp)
+				} else {
+					fmt.Fprintf(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w, "\t")
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func runFig13x(o options) error {
+	stripe := o.stripeMiB << 20
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "m\tworst s=1 (MB/s)\tdevice-only (MB/s)\tspeedup")
+	for _, m := range []int{1, 2, 3} {
+		worst, err := stairDecodeSpeed(16, 16, m, 1, stripe, false)
+		if err != nil {
+			return err
+		}
+		devOnly, err := stairDecodeSpeed(16, 16, m, 1, stripe, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t+%.2f%%\n", m, worst, devOnly, (devOnly/worst-1)*100)
+	}
+	fmt.Fprintln(w, "paper (§6.2.2): +79.39%, +29.39%, +11.98% for m=1,2,3")
+	return w.Flush()
+}

@@ -1,0 +1,96 @@
+// Command stairbench regenerates every table and figure of the STAIR
+// paper's evaluation (FAST '14, §5-§7 and Appendix B) as text tables.
+//
+// Usage:
+//
+//	stairbench -experiment fig11a          # one experiment
+//	stairbench -experiment all             # everything
+//	stairbench -experiment fig12 -full     # full paper-scale sweep
+//	stairbench -list                       # enumerate experiments
+//
+// Speed experiments default to a 4 MiB stripe so that a complete run
+// finishes in minutes on a laptop; -full switches to the paper's 32 MiB
+// stripes and denser parameter grids (and -stripe overrides directly).
+// Absolute MB/s are lower than the paper's (portable table-driven
+// GF(2^8) instead of SIMD); the comparisons between codes are the point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type options struct {
+	full      bool
+	stripeMiB int
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(o options) error
+}
+
+var experiments []experiment
+
+func register(name, desc string, run func(o options) error) {
+	experiments = append(experiments, experiment{name, desc, run})
+}
+
+func main() {
+	var (
+		name   = flag.String("experiment", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		full   = flag.Bool("full", false, "paper-scale sweeps (32 MiB stripes, dense grids)")
+		stripe = flag.Int("stripe", 0, "stripe size in MiB for speed experiments (overrides -full default)")
+	)
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
+
+	if *list || *name == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-8s %s\n", e.name, e.desc)
+		}
+		if *name == "" {
+			os.Exit(0)
+		}
+		return
+	}
+
+	o := options{full: *full, stripeMiB: *stripe}
+	if o.stripeMiB == 0 {
+		if o.full {
+			o.stripeMiB = 32
+		} else {
+			o.stripeMiB = 4
+		}
+	}
+
+	run := func(e experiment) {
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		if err := e.run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *name == "all" {
+		for _, e := range experiments {
+			run(e)
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == *name {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *name)
+	os.Exit(2)
+}

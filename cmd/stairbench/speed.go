@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stair/internal/core"
+	"stair/internal/sd"
+)
+
+// partitions enumerates the ascending coverage vectors with sum s whose
+// parts do not exceed maxPart and whose length does not exceed maxLen —
+// the configuration space "all possible e for a given s" of §6.2.1.
+func partitions(s, maxPart, maxLen int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(remaining, min int)
+	rec = func(remaining, min int) {
+		if remaining == 0 {
+			out = append(out, append([]int{}, cur...))
+			return
+		}
+		if len(cur) >= maxLen {
+			return
+		}
+		for v := min; v <= remaining && v <= maxPart; v++ {
+			cur = append(cur, v)
+			rec(remaining-v, v)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(s, 1)
+	// Ascending partitions generated with min-first recursion are
+	// already sorted ascending within each vector.
+	return out
+}
+
+// worstE returns the coverage vector for the given s with the highest
+// chosen-method encoding cost — the paper's conservative "worst case
+// over all e" choice (§6.2.1), selected analytically by the Mult_XOR
+// model rather than by timing every variant.
+func worstE(n, r, m, s int) ([]int, error) {
+	var worst []int
+	worstCost := -1
+	for _, e := range partitions(s, r, n-m) {
+		c, err := core.New(core.Config{N: n, R: r, M: m, E: e})
+		if err != nil {
+			continue
+		}
+		if cost := c.Cost(core.MethodAuto); cost > worstCost {
+			worstCost, worst = cost, e
+		}
+	}
+	if worst == nil {
+		return nil, fmt.Errorf("no valid e for n=%d r=%d m=%d s=%d", n, r, m, s)
+	}
+	return worst, nil
+}
+
+// sectorSizeFor splits a stripe budget of bytes across n·r sectors,
+// aligned down to align and floored at align.
+func sectorSizeFor(stripeBytes, n, r, align int) int {
+	s := stripeBytes / (n * r)
+	s -= s % align
+	if s < align {
+		s = align
+	}
+	return s
+}
+
+const (
+	minMeasure = 300 * time.Millisecond
+	maxIters   = 64
+)
+
+// timeOp measures op repeatedly until minMeasure has elapsed and returns
+// MB/s relative to the stripe size (MiB per second, like the paper).
+func timeOp(stripeBytes int, op func() error) (float64, error) {
+	if err := op(); err != nil { // warm-up and validity check
+		return 0, err
+	}
+	var elapsed time.Duration
+	iters := 0
+	for elapsed < minMeasure && iters < maxIters {
+		start := time.Now()
+		if err := op(); err != nil {
+			return 0, err
+		}
+		elapsed += time.Since(start)
+		iters++
+	}
+	mib := float64(stripeBytes) * float64(iters) / (1 << 20)
+	return mib / elapsed.Seconds(), nil
+}
+
+// stairEncodeSpeed builds the worst-e STAIR code and measures Encode.
+func stairEncodeSpeed(n, r, m, s, stripeBytes int) (float64, error) {
+	e, err := worstE(n, r, m, s)
+	if err != nil {
+		return 0, err
+	}
+	c, err := core.New(core.Config{N: n, R: r, M: m, E: e})
+	if err != nil {
+		return 0, err
+	}
+	st, err := c.NewStripe(sectorSizeFor(stripeBytes, n, r, c.Field().SymbolBytes()))
+	if err != nil {
+		return 0, err
+	}
+	fillStripe(c, st, 1)
+	actual := st.SectorSize * n * r
+	return timeOp(actual, func() error { return c.Encode(st) })
+}
+
+// stairDecodeSpeed measures Repair of the §6.2.2 worst case (or of pure
+// device failures when devicesOnly is set).
+func stairDecodeSpeed(n, r, m, s, stripeBytes int, devicesOnly bool) (float64, error) {
+	e, err := worstE(n, r, m, s)
+	if err != nil {
+		return 0, err
+	}
+	c, err := core.New(core.Config{N: n, R: r, M: m, E: e})
+	if err != nil {
+		return 0, err
+	}
+	st, err := c.NewStripe(sectorSizeFor(stripeBytes, n, r, c.Field().SymbolBytes()))
+	if err != nil {
+		return 0, err
+	}
+	fillStripe(c, st, 2)
+	if err := c.Encode(st); err != nil {
+		return 0, err
+	}
+	var lost []core.Cell
+	for col := 0; col < m; col++ {
+		for row := 0; row < r; row++ {
+			lost = append(lost, core.Cell{Col: col, Row: row})
+		}
+	}
+	if !devicesOnly {
+		for l, el := range e {
+			for h := 0; h < el; h++ {
+				lost = append(lost, core.Cell{Col: m + l, Row: r - 1 - h})
+			}
+		}
+	}
+	actual := st.SectorSize * n * r
+	return timeOp(actual, func() error { return c.Repair(st, lost) })
+}
+
+func fillStripe(c *core.Code, st *core.Stripe, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, cell := range c.DataCells() {
+		rng.Read(st.Sector(cell.Col, cell.Row))
+	}
+}
+
+// sdEncodeSpeed measures SD standard encoding.
+func sdEncodeSpeed(n, r, m, s, stripeBytes int) (float64, error) {
+	c, err := sd.New(sd.Config{N: n, R: r, M: m, S: s})
+	if err != nil {
+		return 0, err
+	}
+	size := sectorSizeFor(stripeBytes, n, r, 2)
+	cells := sdStripe(c, size, 3)
+	actual := size * n * r
+	return timeOp(actual, func() error { return c.Encode(cells) })
+}
+
+// sdDecodeSpeed measures SD repair of the worst case: m chunks + s
+// sectors.
+func sdDecodeSpeed(n, r, m, s, stripeBytes int) (float64, error) {
+	c, err := sd.New(sd.Config{N: n, R: r, M: m, S: s})
+	if err != nil {
+		return 0, err
+	}
+	size := sectorSizeFor(stripeBytes, n, r, 2)
+	cells := sdStripe(c, size, 4)
+	if err := c.Encode(cells); err != nil {
+		return 0, err
+	}
+	var lost []sd.Cell
+	for col := 0; col < m; col++ {
+		for row := 0; row < r; row++ {
+			lost = append(lost, sd.Cell{Col: col, Row: row})
+		}
+	}
+	for k := 0; k < s; k++ {
+		lost = append(lost, sd.Cell{Col: m + k%(n-m), Row: k / (n - m)})
+	}
+	actual := size * n * r
+	return timeOp(actual, func() error { return c.Repair(cells, lost) })
+}
+
+func sdStripe(c *sd.Code, sectorSize int, seed int64) [][]byte {
+	cells := make([][]byte, c.N()*c.R())
+	for i := range cells {
+		cells[i] = make([]byte, sectorSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, cell := range c.DataCells() {
+		rng.Read(cells[cell.Col*c.R()+cell.Row])
+	}
+	return cells
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitions(t *testing.T) {
+	got := partitions(4, 4, 6)
+	want := [][]int{{1, 1, 1, 1}, {1, 1, 2}, {1, 3}, {2, 2}, {4}}
+	if len(got) != len(want) {
+		t.Fatalf("partitions(4) = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		seen[keyOf(p)] = true
+	}
+	for _, p := range want {
+		if !seen[keyOf(p)] {
+			t.Errorf("missing partition %v", p)
+		}
+	}
+	// Part cap respected.
+	for _, p := range partitions(6, 2, 10) {
+		for _, v := range p {
+			if v > 2 {
+				t.Errorf("part %d exceeds cap in %v", v, p)
+			}
+		}
+	}
+	// Length cap respected.
+	for _, p := range partitions(6, 6, 2) {
+		if len(p) > 2 {
+			t.Errorf("partition %v exceeds length cap", p)
+		}
+	}
+}
+
+func keyOf(p []int) string {
+	s := ""
+	for _, v := range p {
+		s += string(rune('0' + v))
+	}
+	return s
+}
+
+func TestWorstE(t *testing.T) {
+	// For s=4 at n=8, r=16, m=2 the costliest configuration by chosen
+	// method should be a valid partition of 4.
+	e, err := worstE(8, 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range e {
+		sum += v
+	}
+	if sum != 4 {
+		t.Errorf("worstE sums to %d: %v", sum, e)
+	}
+	if _, err := worstE(3, 2, 2, 9); err == nil {
+		t.Error("impossible shape accepted")
+	}
+}
+
+func TestSectorSizeFor(t *testing.T) {
+	if got := sectorSizeFor(1<<20, 16, 16, 2); got != 4096 {
+		t.Errorf("sectorSizeFor = %d", got)
+	}
+	if got := sectorSizeFor(100, 16, 16, 2); got != 2 {
+		t.Errorf("tiny budget should floor at align: %d", got)
+	}
+	if got := sectorSizeFor(1000, 8, 4, 16); got%16 != 0 {
+		t.Errorf("alignment violated: %d", got)
+	}
+}
+
+func TestSpeedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke test")
+	}
+	sp, err := stairEncodeSpeed(6, 4, 1, 1, 64<<10)
+	if err != nil || sp <= 0 {
+		t.Fatalf("stairEncodeSpeed: %v %v", sp, err)
+	}
+	sp, err = stairDecodeSpeed(6, 4, 1, 1, 64<<10, false)
+	if err != nil || sp <= 0 {
+		t.Fatalf("stairDecodeSpeed: %v %v", sp, err)
+	}
+	sp, err = sdEncodeSpeed(6, 4, 1, 1, 64<<10)
+	if err != nil || sp <= 0 {
+		t.Fatalf("sdEncodeSpeed: %v %v", sp, err)
+	}
+	sp, err = sdDecodeSpeed(6, 4, 1, 1, 64<<10)
+	if err != nil || sp <= 0 {
+		t.Fatalf("sdDecodeSpeed: %v %v", sp, err)
+	}
+	e, err := worstE(6, 4, 1, 2)
+	if err != nil || len(e) == 0 {
+		t.Fatalf("worstE: %v %v", e, err)
+	}
+}
+
+func TestPartitionsAscending(t *testing.T) {
+	for _, p := range partitions(7, 7, 7) {
+		if !ascending(p) {
+			t.Errorf("partition %v not ascending", p)
+		}
+	}
+}
+
+func ascending(p []int) bool {
+	ok := true
+	for i := 1; i < len(p); i++ {
+		if p[i] < p[i-1] {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func TestPartitionsMatchReflect(t *testing.T) {
+	// Small closed-form check: partitions of 3.
+	got := partitions(3, 3, 3)
+	want := [][]int{{1, 1, 1}, {1, 2}, {3}}
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Errorf("partitions(3) = %v, want %v", got, want)
+	}
+}
+
+func normalize(ps [][]int) map[string]bool {
+	m := map[string]bool{}
+	for _, p := range ps {
+		m[keyOf(p)] = true
+	}
+	return m
+}

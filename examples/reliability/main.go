@@ -1,0 +1,49 @@
+// Reliability: compare the system MTTDL of Reed-Solomon, SD and STAIR
+// configurations for a 10PB system under both sector-failure models of
+// §7, reproducing the headline observations of Figures 17 and 18.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stair/internal/failures"
+	"stair/internal/reliability"
+)
+
+func main() {
+	p := reliability.DefaultParams()
+	fmt.Printf("system: 10PB user data, %d-device arrays, r=%d, m=%d, 1/λ=%.0fh, 1/µ=%.1fh\n\n",
+		p.N, p.R, p.M, p.MTTFHours, p.RebuildHours)
+
+	specs := []reliability.CodeSpec{
+		{Kind: "rs"},
+		{Kind: "stair", E: []int{1}},
+		{Kind: "stair", E: []int{3}},
+		{Kind: "stair", E: []int{1, 2}},
+		{Kind: "stair", E: []int{1, 1, 1}},
+		{Kind: "sd", S: 3},
+		{Kind: "idr", S: 1},
+	}
+
+	const pbit = 1e-11
+	ind := reliability.Independent{Psec: reliability.PsecFromPbit(pbit, p.SectorSize), Rval: p.R}
+	dist, err := failures.NewBurstDist(0.98, 1.79, p.R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cor := reliability.Correlated{Psec: reliability.PsecFromPbit(pbit, p.SectorSize), Dist: dist}
+
+	fmt.Printf("%-18s %18s %18s\n", "code (Pbit=1e-11)", "MTTDL indep (h)", "MTTDL bursty (h)")
+	for _, spec := range specs {
+		fmt.Printf("%-18s %18.3g %18.3g\n", spec.String(),
+			reliability.SystemMTTDL(p, spec, ind),
+			reliability.SystemMTTDL(p, spec, cor))
+	}
+
+	fmt.Println("\ntakeaways (cf. Figs. 17-18):")
+	fmt.Println(" * one parity sector per stripe (s=1) buys orders of magnitude over RS;")
+	fmt.Println(" * under independent failures, spreading coverage (e=(1,2)) wins;")
+	fmt.Println(" * under bursts, concentrating coverage (e=(3), like SD s=3) wins;")
+	fmt.Println(" * IDR needs ϵ(n−m) redundant sectors for similar burst protection.")
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDecodeCacheEviction: the per-pattern schedule cache must stay
+// bounded under pattern churn.
+func TestDecodeCacheEviction(t *testing.T) {
+	c := exemplary(t, Inside)
+	// Generate more distinct single-sector patterns than the cache cap
+	// by also varying two-sector patterns.
+	count := 0
+	for col := 0; col < c.N() && count < maxDecodeCacheEntries+50; col++ {
+		for row := 0; row < c.R() && count < maxDecodeCacheEntries+50; row++ {
+			for col2 := col; col2 < c.N() && count < maxDecodeCacheEntries+50; col2++ {
+				lost := []Cell{{Col: col, Row: row}, {Col: col2, Row: (row + 1) % c.R()}}
+				if _, err := c.CanRecover(lost); err != nil {
+					t.Fatal(err)
+				}
+				count++
+			}
+		}
+	}
+	c.decodeMu.Lock()
+	size := len(c.decodeCache)
+	c.decodeMu.Unlock()
+	if size > maxDecodeCacheEntries {
+		t.Errorf("cache grew to %d entries (cap %d)", size, maxDecodeCacheEntries)
+	}
+}
+
+// TestUnrecoverableCached: unrecoverable verdicts are cached as nil and
+// repeat queries stay consistent.
+func TestUnrecoverableCached(t *testing.T) {
+	c := exemplary(t, Inside)
+	var lost []Cell
+	for col := 0; col < 3; col++ {
+		for row := 0; row < c.R(); row++ {
+			lost = append(lost, Cell{Col: col, Row: row})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ok, err := c.CanRecover(lost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("3 chunks recoverable with m=2")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnrecoverable reports a failure pattern outside the code's coverage
+// that peeling cannot repair.
+var ErrUnrecoverable = errors.New("core: failure pattern is unrecoverable")
+
+// maxDecodeCacheEntries bounds the per-pattern schedule cache. Real
+// deployments see few distinct patterns (scrub finds them one at a time);
+// the bound only guards against adversarial churn.
+const maxDecodeCacheEntries = 256
+
+func (c *Code) checkLost(lost []Cell) ([]int, error) {
+	seen := make(map[int]bool, len(lost))
+	idxs := make([]int, 0, len(lost))
+	for _, cell := range lost {
+		if cell.Col < 0 || cell.Col >= c.n || cell.Row < 0 || cell.Row >= c.r {
+			return nil, fmt.Errorf("core: lost cell %v out of range (n=%d, r=%d)", cell, c.n, c.r)
+		}
+		idx := c.cellIdx(cell.Row, cell.Col)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+func lostKey(idxs []int) string {
+	var b strings.Builder
+	for i, v := range idxs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// decodeSchedule returns (building and caching as needed) the repair
+// schedule for a lost-cell pattern, or nil if the pattern is
+// unrecoverable.
+func (c *Code) decodeSchedule(idxs []int) (*schedule, error) {
+	key := lostKey(idxs)
+	c.decodeMu.Lock()
+	sch, hit := c.decodeCache[key]
+	c.decodeMu.Unlock()
+	if hit {
+		return sch, nil
+	}
+	sch, err := c.buildDecodeSchedule(idxs)
+	if err != nil {
+		return nil, err
+	}
+	c.decodeMu.Lock()
+	if len(c.decodeCache) >= maxDecodeCacheEntries {
+		c.decodeCache = make(map[string]*schedule)
+	}
+	c.decodeCache[key] = sch
+	c.decodeMu.Unlock()
+	return sch, nil
+}
+
+// seedDecodeKnowns marks surviving real cells and the global parities as
+// known: stored values (Outside) or the zero constants fixed by the
+// extended construction (Inside).
+func (c *Code) seedDecodeKnowns(p *peeler, lost map[int]bool) {
+	for col := 0; col < c.n; col++ {
+		for row := 0; row < c.r; row++ {
+			if idx := c.cellIdx(row, col); !lost[idx] {
+				p.known[idx] = true
+			}
+		}
+	}
+	for l := 0; l < c.mPrime; l++ {
+		for h := 0; h < c.e[l]; h++ {
+			p.markKnown(c.r+h, c.n+l, c.placement == Inside)
+		}
+	}
+}
+
+// deferMostLost marks as deferred the m chunks with the most lost cells
+// (§4.3), breaking ties toward lower column indices. Chunks without
+// losses are never deferred.
+func (c *Code) deferMostLost(p *peeler, idxs []int) {
+	perChunk := make([]int, c.n)
+	for _, idx := range idxs {
+		_, col := c.cellRC(idx)
+		perChunk[col]++
+	}
+	for k := 0; k < c.m; k++ {
+		best, bestCol := 0, -1
+		for col := 0; col < c.n; col++ {
+			if !p.deferred[col] && perChunk[col] > best {
+				best, bestCol = perChunk[col], col
+			}
+		}
+		if bestCol < 0 {
+			return
+		}
+		p.deferred[bestCol] = true
+	}
+}
+
+// buildDecodeSchedule runs the practical peeling order of §4.3 over the
+// canonical stripe: surviving real cells (and global parities) are known,
+// lost cells plus all intermediate/virtual/dummy symbols are unknown.
+// If the structured order stalls (possible only outside the constructed
+// coverage), an unrestricted generic peel is attempted as a best-effort
+// fallback. Returns nil when the pattern is unrecoverable.
+func (c *Code) buildDecodeSchedule(idxs []int) (*schedule, error) {
+	lost := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		lost[i] = true
+	}
+	p := newPeeler(c)
+	c.seedDecodeKnowns(p, lost)
+	c.deferMostLost(p, idxs)
+	if err := p.practical(idxs); err != nil {
+		return nil, err
+	}
+	if !p.allKnown(idxs) {
+		g := newPeeler(c)
+		c.seedDecodeKnowns(g, lost)
+		if err := g.generic(idxs); err != nil {
+			return nil, err
+		}
+		if !g.allKnown(idxs) {
+			return nil, nil
+		}
+		p = g
+	}
+	p.sched.prune(idxs, c.rows*c.cols)
+	return p.sched, nil
+}
+
+// Repair reconstructs the lost cells of a stripe in place. The lost cells'
+// current contents are ignored. It returns ErrUnrecoverable when the
+// pattern exceeds the coverage defined by m and e (and is not otherwise
+// peelable by luck).
+func (c *Code) Repair(st *Stripe, lost []Cell) error {
+	if err := c.validateStripe(st); err != nil {
+		return err
+	}
+	idxs, err := c.checkLost(lost)
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	sch, err := c.decodeSchedule(idxs)
+	if err != nil {
+		return err
+	}
+	if sch == nil {
+		return fmt.Errorf("%w: %d lost cells", ErrUnrecoverable, len(idxs))
+	}
+	cells, release := c.env(st)
+	defer release()
+	c.run(sch, cells)
+	return nil
+}
+
+// CanRecover reports whether a failure pattern is repairable, without
+// touching any data. The answer is exact: it builds (and caches) the
+// repair schedule.
+func (c *Code) CanRecover(lost []Cell) (bool, error) {
+	idxs, err := c.checkLost(lost)
+	if err != nil {
+		return false, err
+	}
+	sch, err := c.decodeSchedule(idxs)
+	if err != nil {
+		return false, err
+	}
+	return sch != nil, nil
+}
+
+// RepairCost returns the number of Mult_XORs actually executed to repair
+// the given pattern, or ErrUnrecoverable.
+func (c *Code) RepairCost(lost []Cell) (int, error) {
+	idxs, err := c.checkLost(lost)
+	if err != nil {
+		return 0, err
+	}
+	sch, err := c.decodeSchedule(idxs)
+	if err != nil {
+		return 0, err
+	}
+	if sch == nil {
+		return 0, ErrUnrecoverable
+	}
+	return sch.actualCost, nil
+}
+
+// CoverageContains reports whether a failure pattern lies within the
+// coverage the code is constructed to tolerate: at most m chunks may be
+// fully failed (any number of lost sectors), and after setting those
+// aside, the per-chunk loss counts of the remaining chunks, sorted
+// ascending, must fit under the (largest) elements of e. Patterns within
+// the coverage are always recoverable (paper §4.2); patterns outside it
+// may still happen to peel, which CanRecover detects.
+func (c *Code) CoverageContains(lost []Cell) (bool, error) {
+	idxs, err := c.checkLost(lost)
+	if err != nil {
+		return false, err
+	}
+	perChunk := make([]int, c.n)
+	for _, idx := range idxs {
+		_, col := c.cellRC(idx)
+		perChunk[col]++
+	}
+	counts := append([]int{}, perChunk...)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	// The m most-affected chunks are absorbed by device-failure slots.
+	counts = counts[min(c.m, len(counts)):]
+	// Remaining non-zero counts must fit e's largest slots.
+	var nz []int
+	for _, v := range counts {
+		if v > 0 {
+			nz = append(nz, v)
+		}
+	}
+	if len(nz) > c.mPrime {
+		return false, nil
+	}
+	sort.Ints(nz)
+	offset := c.mPrime - len(nz)
+	for i, v := range nz {
+		if v > c.e[offset+i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"stair/internal/gf"
+)
+
+// env builds the canonical-cell → sector mapping for one stripe, backing
+// temporaries with pooled scratch memory. release returns the scratch to
+// the pool.
+func (c *Code) env(st *Stripe) (cells [][]byte, release func()) {
+	cells = make([][]byte, c.rows*c.cols)
+	for col := 0; col < c.n; col++ {
+		for row := 0; row < c.r; row++ {
+			cells[c.cellIdx(row, col)] = st.Cells[col*c.r+row]
+		}
+	}
+	if c.placement == Outside {
+		for l := 0; l < c.mPrime; l++ {
+			for h := 0; h < c.e[l]; h++ {
+				cells[c.cellIdx(c.r+h, c.n+l)] = st.Globals[c.globalOrd(l, h)]
+			}
+		}
+	}
+	if c.tempCount == 0 {
+		return cells, func() {}
+	}
+	need := c.tempCount * st.SectorSize
+	var buf []byte
+	if v := c.scratch.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= need {
+			buf = b[:need]
+		}
+	}
+	if buf == nil {
+		buf = make([]byte, need)
+	}
+	for idx, slot := range c.tempSlot {
+		if slot >= 0 {
+			off := int(slot) * st.SectorSize
+			cells[idx] = buf[off : off+st.SectorSize : off+st.SectorSize]
+		}
+	}
+	return cells, func() { c.scratch.Put(&buf) }
+}
+
+// run executes a schedule over the environment. Each op overwrites its
+// destination with a linear combination of its sources.
+func (c *Code) run(sch *schedule, cells [][]byte) {
+	for i := range sch.ops {
+		o := &sch.ops[i]
+		dst := cells[o.dst]
+		if len(o.terms) == 0 {
+			gf.Zero(dst)
+			continue
+		}
+		c.f.MultRegion(dst, cells[o.terms[0].src], o.terms[0].coeff)
+		for _, t := range o.terms[1:] {
+			c.f.MultXOR(dst, cells[t.src], t.coeff)
+		}
+	}
+}
+
+// scheduleFor resolves a method to its schedule.
+func (c *Code) scheduleFor(m Method) (*schedule, error) {
+	switch m {
+	case MethodAuto:
+		return c.scheduleFor(c.method)
+	case MethodUpstairs:
+		return c.upSched, nil
+	case MethodDownstairs:
+		return c.downSched, nil
+	case MethodStandard:
+		return c.stdSched, nil
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+}
+
+// Encode fills the stripe's parity cells (row parities plus inside global
+// parities, or outside Globals) from its data cells, using the
+// automatically selected cheapest method.
+func (c *Code) Encode(st *Stripe) error { return c.EncodeWith(st, MethodAuto) }
+
+// EncodeWith encodes with an explicit method. All three methods produce
+// identical parity values (§5.1.3); they differ only in Mult_XOR count.
+func (c *Code) EncodeWith(st *Stripe, m Method) error {
+	if err := c.validateStripe(st); err != nil {
+		return err
+	}
+	sch, err := c.scheduleFor(m)
+	if err != nil {
+		return err
+	}
+	cells, release := c.env(st)
+	defer release()
+	c.run(sch, cells)
+	return nil
+}
+
+// Verify re-encodes the stripe's data into scratch and reports whether
+// every stored parity cell matches. It is the scrub primitive used by the
+// array simulator.
+func (c *Code) Verify(st *Stripe) (bool, error) {
+	if err := c.validateStripe(st); err != nil {
+		return false, err
+	}
+	clone := st.Clone()
+	if err := c.Encode(clone); err != nil {
+		return false, err
+	}
+	for _, idx := range c.parityCells {
+		row, col := c.cellRC(idx)
+		var got, want []byte
+		if l, h, ok := c.globalOf(row, col); ok {
+			got = st.Globals[c.globalOrd(l, h)]
+			want = clone.Globals[c.globalOrd(l, h)]
+		} else {
+			got = st.Sector(col, row)
+			want = clone.Sector(col, row)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Schedules are linear over sector contents byte-for-byte, so a stripe
+// can be encoded or repaired by running the same schedule independently
+// over disjoint sub-ranges of every sector — the multi-core
+// parallelisation the paper points at in §6.2.1. Ranges are aligned to
+// the field's symbol width; each worker sees an environment whose cell
+// regions are sliced to its range, so workers never touch the same
+// bytes.
+
+// sliceCells returns a view of the environment restricted to [lo, hi).
+func sliceCells(cells [][]byte, lo, hi int) [][]byte {
+	out := make([][]byte, len(cells))
+	for i, s := range cells {
+		if s != nil {
+			out[i] = s[lo:hi:hi]
+		}
+	}
+	return out
+}
+
+// splitRanges partitions [0, size) into at most workers symbol-aligned
+// ranges of similar length.
+func splitRanges(size, align, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	symbols := size / align
+	if symbols < workers {
+		workers = symbols
+	}
+	if workers <= 1 {
+		return [][2]int{{0, size}}
+	}
+	var out [][2]int
+	per := symbols / workers
+	extra := symbols % workers
+	off := 0
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		lo := off * align
+		hi := (off + n) * align
+		out = append(out, [2]int{lo, hi})
+		off += n
+	}
+	return out
+}
+
+// runParallel executes a schedule across workers over the environment.
+func (c *Code) runParallel(sch *schedule, cells [][]byte, sectorSize, workers int) {
+	ranges := splitRanges(sectorSize, c.f.SymbolBytes(), workers)
+	if len(ranges) == 1 {
+		c.run(sch, cells)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c.run(sch, sliceCells(cells, lo, hi))
+		}(rg[0], rg[1])
+	}
+	wg.Wait()
+}
+
+// EncodeParallel encodes like Encode but splits the sector payloads
+// across the given number of workers (0 selects GOMAXPROCS). All methods
+// and both placements are supported; output is byte-identical to the
+// serial path.
+func (c *Code) EncodeParallel(st *Stripe, m Method, workers int) error {
+	if err := c.validateStripe(st); err != nil {
+		return err
+	}
+	sch, err := c.scheduleFor(m)
+	if err != nil {
+		return err
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return fmt.Errorf("core: workers=%d must be ≥ 0", workers)
+	}
+	cells, release := c.env(st)
+	defer release()
+	c.runParallel(sch, cells, st.SectorSize, workers)
+	return nil
+}
+
+// RepairParallel repairs like Repair but splits the work across workers
+// (0 selects GOMAXPROCS).
+func (c *Code) RepairParallel(st *Stripe, lost []Cell, workers int) error {
+	if err := c.validateStripe(st); err != nil {
+		return err
+	}
+	idxs, err := c.checkLost(lost)
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	sch, err := c.decodeSchedule(idxs)
+	if err != nil {
+		return err
+	}
+	if sch == nil {
+		return fmt.Errorf("%w: %d lost cells", ErrUnrecoverable, len(idxs))
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return fmt.Errorf("core: workers=%d must be ≥ 0", workers)
+	}
+	cells, release := c.env(st)
+	defer release()
+	c.runParallel(sch, cells, st.SectorSize, workers)
+	return nil
+}

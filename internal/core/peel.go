@@ -1,0 +1,300 @@
+package core
+
+import "fmt"
+
+// The peeling scheduler generalises the paper's upstairs decoding (§4.2):
+// repeatedly find a canonical row with ≥ n−m known symbols (a Crow
+// codeword determines its remaining symbols) or a canonical column with
+// ≥ r known symbols (a Ccol codeword likewise), emit the linear ops that
+// recover the unknown symbols, and mark them known. The paper's proof of
+// fault tolerance shows this process completes for every failure pattern
+// within the coverage defined by m and e.
+//
+// Different scan orders reproduce the paper's different algorithms:
+//
+//   - upstairs order (chunk columns left→right, then augmented rows,
+//     looped; real rows last) reproduces upstairs decoding/encoding and
+//     Table 2;
+//   - downstairs order (real rows top→bottom, then intermediate columns
+//     right→left, looped) reproduces downstairs encoding and Table 3;
+//   - practical order (real rows first — local repair via row parities —
+//     then the upstairs loop, then real rows again) reproduces §4.3.
+//
+// Following §4.2/§4.3, the upstairs machinery never column-solves the
+// "deferred" chunks — the m chunks with the most lost symbols (for
+// encoding, the m row-parity chunks) — which are recovered row by row at
+// the end, and never column-solves intermediate chunks. A separate
+// unrestricted generic order exists as a best-effort fallback for
+// patterns outside the coverage.
+
+type peeler struct {
+	c *Code
+	// known marks canonical cells whose value is available; zero marks
+	// known cells whose value is identically zero (the zeroed outside
+	// global parities of §5.1), which are elided from emitted terms.
+	known []bool
+	zero  []bool
+	// deferred marks chunk columns excluded from upstairs column solves
+	// (§4.3: the m chunks with the most lost symbols are recovered last
+	// via row parities).
+	deferred []bool
+	sched    *schedule
+}
+
+func newPeeler(c *Code) *peeler {
+	return &peeler{
+		c:        c,
+		known:    make([]bool, c.rows*c.cols),
+		zero:     make([]bool, c.rows*c.cols),
+		deferred: make([]bool, c.cols),
+		sched:    &schedule{},
+	}
+}
+
+// markKnown marks a canonical cell as available input.
+func (p *peeler) markKnown(row, col int, isZero bool) {
+	i := p.c.cellIdx(row, col)
+	p.known[i] = true
+	p.zero[i] = isZero
+}
+
+// solveRow checks whether canonical row `row` has at least n−m known
+// symbols and, if so, emits ops recovering every unknown symbol in the
+// row. Returns true if the row was solved.
+func (p *peeler) solveRow(row int) (bool, error) {
+	c := p.c
+	var have, want []int
+	for col := 0; col < c.cols; col++ {
+		if p.known[c.cellIdx(row, col)] {
+			have = append(have, col)
+		} else {
+			want = append(want, col)
+		}
+	}
+	if len(want) == 0 {
+		return false, nil
+	}
+	if len(have) < c.crow.Kappa() {
+		return false, nil
+	}
+	k, err := c.crow.SolveCoeffs(have, want)
+	if err != nil {
+		return false, fmt.Errorf("core: row %d solve: %w", row, err)
+	}
+	ev := int32(len(p.sched.events))
+	p.sched.events = append(p.sched.events, solveEvent{isCol: false, index: row})
+	for wi, col := range want {
+		o := op{dst: int32(c.cellIdx(row, col)), event: ev, width: int32(c.crow.Kappa())}
+		for hi := 0; hi < c.crow.Kappa(); hi++ {
+			coeff := k.At(wi, hi)
+			src := c.cellIdx(row, have[hi])
+			if coeff == 0 || p.zero[src] {
+				continue
+			}
+			o.terms = append(o.terms, term{src: int32(src), coeff: coeff})
+		}
+		p.sched.ops = append(p.sched.ops, o)
+		p.known[o.dst] = true
+	}
+	return true, nil
+}
+
+// solveCol is the column analogue of solveRow, using Ccol (κ = r).
+func (p *peeler) solveCol(col int) (bool, error) {
+	c := p.c
+	var have, want []int
+	for row := 0; row < c.rows; row++ {
+		if p.known[c.cellIdx(row, col)] {
+			have = append(have, row)
+		} else {
+			want = append(want, row)
+		}
+	}
+	if len(want) == 0 {
+		return false, nil
+	}
+	if len(have) < c.ccol.Kappa() {
+		return false, nil
+	}
+	k, err := c.ccol.SolveCoeffs(have, want)
+	if err != nil {
+		return false, fmt.Errorf("core: column %d solve: %w", col, err)
+	}
+	ev := int32(len(p.sched.events))
+	p.sched.events = append(p.sched.events, solveEvent{isCol: true, index: col})
+	for wi, row := range want {
+		o := op{dst: int32(c.cellIdx(row, col)), event: ev, width: int32(c.ccol.Kappa())}
+		for hi := 0; hi < c.ccol.Kappa(); hi++ {
+			coeff := k.At(wi, hi)
+			src := c.cellIdx(have[hi], col)
+			if coeff == 0 || p.zero[src] {
+				continue
+			}
+			o.terms = append(o.terms, term{src: int32(src), coeff: coeff})
+		}
+		p.sched.ops = append(p.sched.ops, o)
+		p.known[o.dst] = true
+	}
+	return true, nil
+}
+
+func (p *peeler) allKnown(cells []int) bool {
+	for _, i := range cells {
+		if !p.known[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// upstairsLoop runs the §4.2 core: alternate full passes of chunk-column
+// solves (left to right, skipping deferred chunks) and augmented-row
+// solves (top to bottom) until neither makes progress or all targets are
+// known.
+func (p *peeler) upstairsLoop(targets []int) error {
+	c := p.c
+	for {
+		progress := false
+		for col := 0; col < c.n; col++ {
+			if p.deferred[col] {
+				continue
+			}
+			ok, err := p.solveCol(col)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		for row := c.r; row < c.rows; row++ {
+			ok, err := p.solveRow(row)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		if p.allKnown(targets) || !progress {
+			return nil
+		}
+	}
+}
+
+// realRowPass solves every currently solvable real row (local repair via
+// row parity symbols, §4.3). Reports whether any row was solved.
+func (p *peeler) realRowPass() (bool, error) {
+	progress := false
+	for row := 0; row < p.c.r; row++ {
+		ok, err := p.solveRow(row)
+		if err != nil {
+			return progress, err
+		}
+		progress = progress || ok
+	}
+	return progress, nil
+}
+
+// upstairs runs strict upstairs order (§4.2, Table 2): columns and
+// augmented rows to a fixpoint, then real rows, repeated until stall.
+func (p *peeler) upstairs(targets []int) error {
+	for {
+		if err := p.upstairsLoop(targets); err != nil {
+			return err
+		}
+		if p.allKnown(targets) {
+			return nil
+		}
+		progress, err := p.realRowPass()
+		if err != nil {
+			return err
+		}
+		if p.allKnown(targets) || !progress {
+			return nil
+		}
+	}
+}
+
+// practical runs the §4.3 order: local row repair first, then the
+// upstairs machinery, then deferred row repairs, until stall.
+func (p *peeler) practical(targets []int) error {
+	for {
+		if _, err := p.realRowPass(); err != nil {
+			return err
+		}
+		if p.allKnown(targets) {
+			return nil
+		}
+		before := len(p.sched.ops)
+		if err := p.upstairsLoop(targets); err != nil {
+			return err
+		}
+		if p.allKnown(targets) {
+			return nil
+		}
+		progress, err := p.realRowPass()
+		if err != nil {
+			return err
+		}
+		if p.allKnown(targets) {
+			return nil
+		}
+		if !progress && len(p.sched.ops) == before {
+			return nil // stalled; caller detects missing targets
+		}
+	}
+}
+
+// downstairs runs the §5.1.2 order: real rows top→bottom, then
+// intermediate columns right→left, looped. Only valid for encoding (the
+// paper notes this order cannot decode general failure patterns).
+func (p *peeler) downstairs(targets []int) error {
+	c := p.c
+	for {
+		progress := false
+		for row := 0; row < c.r; row++ {
+			ok, err := p.solveRow(row)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		if p.allKnown(targets) {
+			return nil
+		}
+		for col := c.cols - 1; col >= c.n; col-- {
+			ok, err := p.solveCol(col)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		if p.allKnown(targets) || !progress {
+			return nil
+		}
+	}
+}
+
+// generic runs an unrestricted fixpoint over every row and column. It is
+// the best-effort fallback for failure patterns outside the constructed
+// coverage that nevertheless happen to be peelable.
+func (p *peeler) generic(targets []int) error {
+	c := p.c
+	for {
+		progress := false
+		for row := 0; row < c.rows; row++ {
+			ok, err := p.solveRow(row)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		for col := 0; col < c.cols; col++ {
+			ok, err := p.solveCol(col)
+			if err != nil {
+				return err
+			}
+			progress = progress || ok
+		}
+		if p.allKnown(targets) || !progress {
+			return nil
+		}
+	}
+}

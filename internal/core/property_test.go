@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConfig draws a valid configuration from a broad space.
+func randomConfig(rng *rand.Rand) Config {
+	n := 2 + rng.Intn(9)     // 2..10
+	r := 1 + rng.Intn(8)     // 1..8
+	m := rng.Intn(min(4, n)) // 0..min(3, n-1)
+	maxMPrime := min(4, n-m)
+	mPrime := rng.Intn(maxMPrime + 1)
+	e := make([]int, mPrime)
+	for i := range e {
+		e[i] = 1 + rng.Intn(r)
+	}
+	p := Inside
+	if rng.Intn(2) == 0 {
+		p = Outside
+	}
+	return Config{N: n, R: r, M: m, E: e, Placement: p}
+}
+
+// randomCoveredPattern draws a failure pattern within the code's
+// coverage: k ≤ m full chunks plus partial chunks matched to a random
+// subset of e's slots.
+func randomCoveredPattern(rng *rand.Rand, c *Code) []Cell {
+	cols := rng.Perm(c.N())
+	var lost []Cell
+	idx := 0
+	// Up to m full chunks.
+	nFull := rng.Intn(c.M() + 1)
+	for i := 0; i < nFull; i++ {
+		col := cols[idx]
+		idx++
+		for row := 0; row < c.R(); row++ {
+			lost = append(lost, Cell{Col: col, Row: row})
+		}
+	}
+	// Partial chunks: pick a random subset of e-slots; chunk for slot l
+	// loses up to e[l] sectors.
+	e := c.E()
+	for l := 0; l < len(e); l++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		col := cols[idx]
+		idx++
+		nSec := 1 + rng.Intn(e[l])
+		for _, row := range rng.Perm(c.R())[:nSec] {
+			lost = append(lost, Cell{Col: col, Row: row})
+		}
+	}
+	return lost
+}
+
+// TestPropertyRoundtrip fuzzes the full pipeline: random config, random
+// data, random covered failure pattern, repair, byte equality. This is
+// the library's main end-to-end invariant.
+func TestPropertyRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1009))
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := randomConfig(rng)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: New(%v): %v", trial, cfg, err)
+		}
+		lost := randomCoveredPattern(rng, c)
+		if covered, err := c.CoverageContains(lost); err != nil || !covered {
+			t.Fatalf("trial %d: generated pattern not covered (err=%v): cfg=%v lost=%v", trial, err, cfg, lost)
+		}
+		st, err := c.NewStripe(4 * c.Field().SymbolBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillData(t, c, st, int64(trial))
+		if err := c.Encode(st); err != nil {
+			t.Fatalf("trial %d: Encode(%v): %v", trial, cfg, err)
+		}
+		want := st.Clone()
+		corrupt(st, lost)
+		if err := c.Repair(st, lost); err != nil {
+			t.Fatalf("trial %d: Repair(%v) with %d lost: %v", trial, cfg, len(lost), err)
+		}
+		if !stripesEqual(st, want) {
+			t.Fatalf("trial %d: wrong bytes after repair: cfg=%v lost=%v", trial, cfg, lost)
+		}
+	}
+}
+
+// TestPropertyEncodeMethodsAgreeFuzz: §5.1.3 equality of the three
+// methods over random configurations.
+func TestPropertyEncodeMethodsAgreeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2003))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := randomConfig(rng)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := c.NewStripe(4 * c.Field().SymbolBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillData(t, c, base, int64(trial*3))
+		stripes := make([]*Stripe, 3)
+		for i, m := range []Method{MethodUpstairs, MethodDownstairs, MethodStandard} {
+			st := base.Clone()
+			if err := c.EncodeWith(st, m); err != nil {
+				t.Fatalf("trial %d: %v with %v: %v", trial, cfg, m, err)
+			}
+			stripes[i] = st
+		}
+		if !stripesEqual(stripes[0], stripes[1]) || !stripesEqual(stripes[0], stripes[2]) {
+			t.Fatalf("trial %d: methods disagree for %v", trial, cfg)
+		}
+	}
+}
+
+// TestPropertyCostFormulasFuzz: Eqs. 5 and 6 hold over the random
+// configuration space.
+func TestPropertyCostFormulasFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(3001))
+	for trial := 0; trial < 200; trial++ {
+		cfg := randomConfig(rng)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, eMax := c.S(), 0
+		if len(c.E()) > 0 {
+			eMax = c.E()[len(c.E())-1]
+		}
+		if got, want := c.Cost(MethodUpstairs), costUpstairsFormula(cfg.N, cfg.R, cfg.M, s, eMax); got != want {
+			t.Fatalf("trial %d %v: upstairs %d != Eq5 %d", trial, cfg, got, want)
+		}
+		if got, want := c.Cost(MethodDownstairs), costDownstairsFormula(cfg.N, cfg.R, cfg.M, len(cfg.E), s); got != want {
+			t.Fatalf("trial %d %v: downstairs %d != Eq6 %d", trial, cfg, got, want)
+		}
+	}
+}
+
+// TestPropertyUpdateFuzz: incremental update equals re-encode over random
+// configurations.
+func TestPropertyUpdateFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(4001))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := randomConfig(rng)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumDataCells() == 0 {
+			continue
+		}
+		sectorSize := 4 * c.Field().SymbolBytes()
+		st, _ := c.NewStripe(sectorSize)
+		fillData(t, c, st, int64(trial))
+		if err := c.Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		cell := c.DataCells()[rng.Intn(c.NumDataCells())]
+		newData := make([]byte, sectorSize)
+		rng.Read(newData)
+		if c.Field().W() == 4 {
+			for i := range newData {
+				newData[i] &= 0x0f
+			}
+		}
+		if err := c.Update(st, cell, newData); err != nil {
+			t.Fatalf("trial %d %v: Update: %v", trial, cfg, err)
+		}
+		ref := st.Clone()
+		if err := c.Encode(ref); err != nil {
+			t.Fatal(err)
+		}
+		if !stripesEqual(st, ref) {
+			t.Fatalf("trial %d %v: update != re-encode", trial, cfg)
+		}
+	}
+}

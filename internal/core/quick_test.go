@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEncodeRepairRoundtrip drives the central invariant with
+// testing/quick: for a random valid configuration, random data and a
+// random covered failure pattern, Repair restores the stripe exactly.
+func TestQuickEncodeRepairRoundtrip(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		st, err := c.NewStripe(4 * c.Field().SymbolBytes())
+		if err != nil {
+			return false
+		}
+		rng2 := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		for _, cell := range c.DataCells() {
+			rng2.Read(st.Sector(cell.Col, cell.Row))
+		}
+		if err := c.Encode(st); err != nil {
+			return false
+		}
+		want := st.Clone()
+		lost := randomCoveredPattern(rng, c)
+		corrupt(st, lost)
+		if err := c.Repair(st, lost); err != nil {
+			return false
+		}
+		return stripesEqual(st, want)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVerifyDetectsTampering: Verify accepts a fresh encode and
+// rejects any single flipped parity byte.
+func TestQuickVerifyDetectsTampering(t *testing.T) {
+	c, err := New(Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	property := func(seed int64, which uint16, bytePos uint8) bool {
+		st, _ := c.NewStripe(16)
+		rng := rand.New(rand.NewSource(seed))
+		for _, cell := range c.DataCells() {
+			rng.Read(st.Sector(cell.Col, cell.Row))
+		}
+		if err := c.Encode(st); err != nil {
+			return false
+		}
+		if ok, err := c.Verify(st); err != nil || !ok {
+			return false
+		}
+		parities := c.ParityCells()
+		pc := parities[int(which)%len(parities)]
+		st.Sector(pc.Col, pc.Row)[int(bytePos)%16] ^= 0x01
+		ok, err := c.Verify(st)
+		return err == nil && !ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUpstairsDecodeTable2 reproduces Table 2 of the paper: the upstairs
+// decoding step sequence for the exemplary configuration (n=8, r=4, m=2,
+// e=(1,1,2), outside globals) under the worst-case stair erasure of
+// Figure 4 (chunks 6 and 7 failed; d3,3, d3,4, d2,5, d3,5 lost).
+//
+// Note: the paper's Table 2 lists the outputs of steps 9-12 as
+// "p_{i,1}, p_{i,2}"; with m=2 row-parity indices run 0..1, so we pin the
+// consistent names p_{i,0}, p_{i,1} (the table's second index is a
+// typographical slip, cf. Figure 2's layout).
+func TestUpstairsDecodeTable2(t *testing.T) {
+	c := exemplary(t, Outside)
+	lost := []Cell{
+		{Col: 6, Row: 0}, {Col: 6, Row: 1}, {Col: 6, Row: 2}, {Col: 6, Row: 3},
+		{Col: 7, Row: 0}, {Col: 7, Row: 1}, {Col: 7, Row: 2}, {Col: 7, Row: 3},
+		{Col: 3, Row: 3}, {Col: 4, Row: 3}, {Col: 5, Row: 2}, {Col: 5, Row: 3},
+	}
+	steps, err := c.UpstairsDecodeTrace(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		coding  string
+		inputs  []string
+		outputs []string
+	}
+	wants := []want{
+		{"Ccol", []string{"d0,0", "d1,0", "d2,0", "d3,0"}, []string{"d*0,0", "d*1,0"}},
+		{"Ccol", []string{"d0,1", "d1,1", "d2,1", "d3,1"}, []string{"d*0,1", "d*1,1"}},
+		{"Ccol", []string{"d0,2", "d1,2", "d2,2", "d3,2"}, []string{"d*0,2", "d*1,2"}},
+		{"Crow", []string{"d*0,0", "d*0,1", "d*0,2", "g0,0", "g0,1", "g0,2"}, []string{"d*0,3", "d*0,4", "d*0,5"}},
+		{"Ccol", []string{"d0,3", "d1,3", "d2,3", "d*0,3"}, []string{"d3,3", "d*1,3"}},
+		{"Ccol", []string{"d0,4", "d1,4", "d2,4", "d*0,4"}, []string{"d3,4", "d*1,4"}},
+		{"Crow", []string{"d*1,0", "d*1,1", "d*1,2", "d*1,3", "d*1,4", "g1,2"}, []string{"d*1,5"}},
+		{"Ccol", []string{"d0,5", "d1,5", "d*0,5", "d*1,5"}, []string{"d2,5", "d3,5"}},
+		{"Crow", []string{"d0,0", "d0,1", "d0,2", "d0,3", "d0,4", "d0,5"}, []string{"p0,0", "p0,1"}},
+		{"Crow", []string{"d1,0", "d1,1", "d1,2", "d1,3", "d1,4", "d1,5"}, []string{"p1,0", "p1,1"}},
+		{"Crow", []string{"d2,0", "d2,1", "d2,2", "d2,3", "d2,4", "d2,5"}, []string{"p2,0", "p2,1"}},
+		{"Crow", []string{"d3,0", "d3,1", "d3,2", "d3,3", "d3,4", "d3,5"}, []string{"p3,0", "p3,1"}},
+	}
+	if len(steps) != len(wants) {
+		for i, s := range steps {
+			t.Logf("step %d: %v", i+1, s)
+		}
+		t.Fatalf("got %d steps, want %d (Table 2)", len(steps), len(wants))
+	}
+	for i, w := range wants {
+		got := steps[i]
+		if got.Coding != w.coding {
+			t.Errorf("step %d coding = %s, want %s", i+1, got.Coding, w.coding)
+		}
+		if !reflect.DeepEqual(got.Inputs, w.inputs) {
+			t.Errorf("step %d inputs = %v, want %v", i+1, got.Inputs, w.inputs)
+		}
+		if !reflect.DeepEqual(got.Outputs, w.outputs) {
+			t.Errorf("step %d outputs = %v, want %v", i+1, got.Outputs, w.outputs)
+		}
+	}
+}
+
+// TestDownstairsEncodeTable3 reproduces Table 3: the downstairs encoding
+// step sequence for the exemplary configuration with inside globals.
+// The zeroed outside global parities (g_{h,l} = 0) appear as inputs in
+// the paper's table; multiplications by a known-zero region are elided
+// here, so they are omitted from the input lists.
+func TestDownstairsEncodeTable3(t *testing.T) {
+	c := exemplary(t, Inside)
+	steps, err := c.EncodeTrace(MethodDownstairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		coding  string
+		inputs  []string
+		outputs []string
+	}
+	wants := []want{
+		{"Crow", []string{"d0,0", "d0,1", "d0,2", "d0,3", "d0,4", "d0,5"},
+			[]string{"p0,0", "p0,1", "p'0,0", "p'0,1", "p'0,2"}},
+		{"Crow", []string{"d1,0", "d1,1", "d1,2", "d1,3", "d1,4", "d1,5"},
+			[]string{"p1,0", "p1,1", "p'1,0", "p'1,1", "p'1,2"}},
+		{"Ccol", []string{"p'0,2", "p'1,2"}, []string{"p'2,2", "p'3,2"}},
+		{"Crow", []string{"d2,0", "d2,1", "d2,2", "d2,3", "d2,4", "p'2,2"},
+			[]string{"ĝ0,2", "p2,0", "p2,1", "p'2,0", "p'2,1"}},
+		{"Ccol", []string{"p'0,1", "p'1,1", "p'2,1"}, []string{"p'3,1"}},
+		{"Ccol", []string{"p'0,0", "p'1,0", "p'2,0"}, []string{"p'3,0"}},
+		{"Crow", []string{"d3,0", "d3,1", "d3,2", "p'3,0", "p'3,1", "p'3,2"},
+			[]string{"ĝ0,0", "ĝ0,1", "ĝ1,2", "p3,0", "p3,1"}},
+	}
+	if len(steps) != len(wants) {
+		for i, s := range steps {
+			t.Logf("step %d: %v", i+1, s)
+		}
+		t.Fatalf("got %d steps, want %d (Table 3)", len(steps), len(wants))
+	}
+	for i, w := range wants {
+		got := steps[i]
+		if got.Coding != w.coding {
+			t.Errorf("step %d coding = %s, want %s", i+1, got.Coding, w.coding)
+		}
+		if !reflect.DeepEqual(got.Inputs, w.inputs) {
+			t.Errorf("step %d inputs = %v, want %v", i+1, got.Inputs, w.inputs)
+		}
+		if !reflect.DeepEqual(got.Outputs, w.outputs) {
+			t.Errorf("step %d outputs = %v, want %v", i+1, got.Outputs, w.outputs)
+		}
+	}
+}
+
+// TestUpstairsEncodeTraceShape: upstairs encoding of the exemplary inside
+// configuration proceeds bottom-up: the three good chunks are
+// column-encoded first, the stair cells appear before any row parity.
+func TestUpstairsEncodeTraceShape(t *testing.T) {
+	c := exemplary(t, Inside)
+	steps, err := c.EncodeTrace(MethodUpstairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	for i := 0; i < 3; i++ {
+		if steps[i].Coding != "Ccol" {
+			t.Errorf("step %d = %v, want a column encode of a good chunk", i+1, steps[i])
+		}
+	}
+	// Find positions of the first ĝ output and the first row parity
+	// output ("ĝ" is neither 'p' nor 'd' in its first byte).
+	firstG, firstP := -1, -1
+	for i, s := range steps {
+		for _, out := range s.Outputs {
+			if len(out) > 1 && out[0] != 'p' && out[0] != 'd' && firstG < 0 {
+				firstG = i
+			}
+			if out[0] == 'p' && out[1] != '\'' && out[1] != '*' && firstP < 0 {
+				firstP = i
+			}
+		}
+	}
+	if firstG < 0 || firstP < 0 {
+		t.Fatalf("missing outputs: firstG=%d firstP=%d", firstG, firstP)
+	}
+	if firstG > firstP {
+		t.Errorf("upstairs should produce global parities (step %d) before row parities (step %d)", firstG, firstP)
+	}
+}
+
+func TestEncodeTraceStandardIsNil(t *testing.T) {
+	c := exemplary(t, Inside)
+	steps, err := c.EncodeTrace(MethodStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != nil {
+		t.Error("standard encoding has no solve steps; want nil trace")
+	}
+}
+
+func TestTraceStepString(t *testing.T) {
+	s := TraceStep{Coding: "Crow", Index: 4, Inputs: []string{"a", "b"}, Outputs: []string{"c"}}
+	if s.String() != "a,b ⇒ c  (Crow)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestUpstairsDecodeTraceUnrecoverable(t *testing.T) {
+	c := exemplary(t, Outside)
+	var lost []Cell
+	for col := 0; col < 3; col++ {
+		for row := 0; row < 4; row++ {
+			lost = append(lost, Cell{Col: col, Row: row})
+		}
+	}
+	if _, err := c.UpstairsDecodeTrace(lost); err == nil {
+		t.Error("expected error for 3 failed chunks with m=2")
+	}
+}

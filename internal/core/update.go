@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"stair/internal/gf"
+)
+
+// Update overwrites one data cell and incrementally patches every parity
+// cell that depends on it, using the uneven parity relations of §5.2:
+// for each affected parity p with coefficient a, p ^= a·(old ^ new).
+// newData must be SectorSize bytes. Only ClassData cells can be updated.
+func (c *Code) Update(st *Stripe, cell Cell, newData []byte) error {
+	if err := c.validateStripe(st); err != nil {
+		return err
+	}
+	class, err := c.Class(cell)
+	if err != nil {
+		return err
+	}
+	if class != ClassData {
+		return fmt.Errorf("core: cell %v is %v, not data", cell, class)
+	}
+	if len(newData) != st.SectorSize {
+		return fmt.Errorf("core: new data has %d bytes, want %d", len(newData), st.SectorSize)
+	}
+	ord := c.dataOrd[c.cellIdx(cell.Row, cell.Col)]
+	old := st.Sector(cell.Col, cell.Row)
+	delta := make([]byte, st.SectorSize)
+	copy(delta, old)
+	gf.XORRegion(delta, newData)
+	for _, pr := range c.dataDeps[ord] {
+		row, col := c.cellRC(int(pr.cell))
+		var sector []byte
+		if l, h, ok := c.globalOf(row, col); ok {
+			sector = st.Globals[c.globalOrd(l, h)]
+		} else {
+			sector = st.Sector(col, row)
+		}
+		c.f.MultXOR(sector, delta, pr.coeff)
+	}
+	copy(old, newData)
+	return nil
+}
+
+// UpdatePenalty returns the number of parity sectors that must be
+// rewritten when the given data cell changes (§6.3).
+func (c *Code) UpdatePenalty(cell Cell) (int, error) {
+	class, err := c.Class(cell)
+	if err != nil {
+		return 0, err
+	}
+	if class != ClassData {
+		return 0, fmt.Errorf("core: cell %v is %v, not data", cell, class)
+	}
+	ord := c.dataOrd[c.cellIdx(cell.Row, cell.Col)]
+	return len(c.dataDeps[ord]), nil
+}
+
+// MeanUpdatePenalty returns the update penalty averaged over all data
+// cells — the quantity plotted in the paper's Figures 14 and 15.
+func (c *Code) MeanUpdatePenalty() float64 {
+	if len(c.dataDeps) == 0 {
+		return 0
+	}
+	total := 0
+	for _, deps := range c.dataDeps {
+		total += len(deps)
+	}
+	return float64(total) / float64(len(c.dataDeps))
+}
+
+// ParityDependencies returns the cells of every parity sector affected by
+// the given data cell, exposing the §5.2 parity-relation structure
+// (Property 5.1). Outside globals are reported with Col == N+l, Row == h.
+func (c *Code) ParityDependencies(cell Cell) ([]Cell, error) {
+	class, err := c.Class(cell)
+	if err != nil {
+		return nil, err
+	}
+	if class != ClassData {
+		return nil, fmt.Errorf("core: cell %v is %v, not data", cell, class)
+	}
+	ord := c.dataOrd[c.cellIdx(cell.Row, cell.Col)]
+	out := make([]Cell, 0, len(c.dataDeps[ord]))
+	for _, pr := range c.dataDeps[ord] {
+		row, col := c.cellRC(int(pr.cell))
+		if l, h, ok := c.globalOf(row, col); ok {
+			out = append(out, Cell{Col: c.n + l, Row: h})
+			continue
+		}
+		out = append(out, Cell{Col: col, Row: row})
+	}
+	return out, nil
+}

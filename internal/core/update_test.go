@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUpdateMatchesReencode: incrementally updating a data cell must give
+// byte-identical parity to a full re-encode of the modified data.
+func TestUpdateMatchesReencode(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 8, R: 4, M: 2, E: []int{1, 1, 2}},
+		{N: 8, R: 4, M: 2, E: []int{1, 1, 2}, Placement: Outside},
+		{N: 6, R: 4, M: 1, E: []int{4}},
+		{N: 5, R: 4, M: 0, E: []int{1, 2}},
+	} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const sectorSize = 16
+			st, _ := c.NewStripe(sectorSize)
+			fillData(t, c, st, 51)
+			if err := c.Encode(st); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(53))
+			for trial, cell := range c.DataCells() {
+				if trial%3 != 0 {
+					continue // subsample for speed
+				}
+				newData := make([]byte, sectorSize)
+				rng.Read(newData)
+				if err := c.Update(st, cell, newData); err != nil {
+					t.Fatalf("Update(%v): %v", cell, err)
+				}
+				// Full re-encode of a copy for comparison.
+				ref := st.Clone()
+				if err := c.Encode(ref); err != nil {
+					t.Fatal(err)
+				}
+				if !stripesEqual(st, ref) {
+					t.Fatalf("Update(%v) diverges from re-encode", cell)
+				}
+			}
+		})
+	}
+}
+
+func TestUpdateRejectsParityCells(t *testing.T) {
+	c := exemplary(t, Inside)
+	st, _ := c.NewStripe(8)
+	buf := make([]byte, 8)
+	if err := c.Update(st, Cell{Col: 6, Row: 0}, buf); err == nil {
+		t.Error("row parity cell accepted")
+	}
+	if err := c.Update(st, Cell{Col: 3, Row: 3}, buf); err == nil {
+		t.Error("stair (global parity) cell accepted")
+	}
+	if err := c.Update(st, Cell{Col: 0, Row: 0}, buf[:4]); err == nil {
+		t.Error("short payload accepted")
+	}
+	if err := c.Update(st, Cell{Col: -1, Row: 0}, buf); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+// TestUpdatePenaltyBounds: every data symbol affects at least the m row
+// parities of its row; the penalty never exceeds the total parity count.
+func TestUpdatePenaltyBounds(t *testing.T) {
+	c := exemplary(t, Inside)
+	total := c.M()*c.R() + c.S()
+	for _, cell := range c.DataCells() {
+		p, err := c.UpdatePenalty(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < c.M() {
+			t.Errorf("penalty(%v) = %d < m = %d", cell, p, c.M())
+		}
+		if p > total {
+			t.Errorf("penalty(%v) = %d > total parities %d", cell, p, total)
+		}
+		deps, err := c.ParityDependencies(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(deps) != p {
+			t.Errorf("ParityDependencies(%v) has %d entries, penalty says %d", cell, len(deps), p)
+		}
+	}
+	if got := c.MeanUpdatePenalty(); got < float64(c.M()) || got > float64(total) {
+		t.Errorf("mean penalty %v out of bounds", got)
+	}
+}
+
+// TestParityRelationsProperty51 pins Property 5.1: a parity symbol in row
+// i0, column j0 depends only on data symbols d_{i,j} with i ≤ i0 and
+// j ≤ j0.
+func TestParityRelationsProperty51(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 8, R: 4, M: 2, E: []int{1, 1, 2}},
+		{N: 8, R: 8, M: 2, E: []int{1, 3}},
+		{N: 6, R: 6, M: 1, E: []int{2, 2}},
+	} {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ord, cell := range c.DataCells() {
+			deps := c.dataDeps[ord]
+			for _, pr := range deps {
+				row, col := c.cellRC(int(pr.cell))
+				if _, _, ok := c.globalOf(row, col); ok {
+					continue // outside globals sit outside the grid
+				}
+				if cell.Row > row || cell.Col > col {
+					t.Errorf("cfg %v: parity %s depends on data %s below/right of it",
+						cfg, c.CellName(row, col), c.CellName(cell.Row, cell.Col))
+				}
+			}
+		}
+	}
+}
+
+// TestFigure8DependencySets pins the three worked examples of Figure 8
+// for the exemplary configuration: the exact data cells contributing to
+// p2,0, ĝ0,1 and p1,1.
+func TestFigure8DependencySets(t *testing.T) {
+	c := exemplary(t, Inside)
+	dependsOn := func(parity Cell) map[Cell]bool {
+		set := map[Cell]bool{}
+		pidx := c.cellIdx(parity.Row, parity.Col)
+		for ord, cell := range c.DataCells() {
+			for _, pr := range c.dataDeps[ord] {
+				if int(pr.cell) == pidx {
+					set[cell] = true
+				}
+			}
+		}
+		return set
+	}
+
+	// p2,0 (row 2, col 6) depends on all data in rows 0-2, columns 0-5.
+	p20 := dependsOn(Cell{Col: 6, Row: 2})
+	for col := 0; col <= 5; col++ {
+		for row := 0; row <= 2; row++ {
+			cell := Cell{Col: col, Row: row}
+			if cls, _ := c.Class(cell); cls != ClassData {
+				continue
+			}
+			if !p20[cell] {
+				t.Errorf("p2,0 should depend on %v", cell)
+			}
+		}
+	}
+	for cell := range p20 {
+		if cell.Row > 2 {
+			t.Errorf("p2,0 must not depend on %v (row > 2)", cell)
+		}
+	}
+
+	// ĝ0,1 (row 3, col 4): depends on columns 0-2 and 4, but on no data
+	// symbol in column 3 (same tread).
+	g01 := dependsOn(Cell{Col: 4, Row: 3})
+	for cell := range g01 {
+		if cell.Col == 3 {
+			t.Errorf("ĝ0,1 must not depend on %v (column 3, same tread)", cell)
+		}
+		if cell.Col > 4 {
+			t.Errorf("ĝ0,1 must not depend on %v (column > 4)", cell)
+		}
+	}
+	for col := 0; col <= 2; col++ {
+		for row := 0; row <= 3; row++ {
+			if !g01[Cell{Col: col, Row: row}] {
+				t.Errorf("ĝ0,1 should depend on (%d,%d)", col, row)
+			}
+		}
+	}
+	for row := 0; row <= 2; row++ {
+		if !g01[Cell{Col: 4, Row: row}] {
+			t.Errorf("ĝ0,1 should depend on (4,%d)", row)
+		}
+	}
+
+	// p1,1 (row 1, col 7): depends exactly on d1,0..d1,5 (not row 0,
+	// same riser).
+	p11 := dependsOn(Cell{Col: 7, Row: 1})
+	want := map[Cell]bool{}
+	for col := 0; col <= 5; col++ {
+		want[Cell{Col: col, Row: 1}] = true
+	}
+	if len(p11) != len(want) {
+		t.Errorf("p1,1 depends on %d cells, want %d", len(p11), len(want))
+	}
+	for cell := range want {
+		if !p11[cell] {
+			t.Errorf("p1,1 should depend on %v", cell)
+		}
+	}
+	for cell := range p11 {
+		if !want[cell] {
+			t.Errorf("p1,1 must not depend on %v", cell)
+		}
+	}
+}
+
+// TestUpdatePenaltyGrowsWithM (Figure 14 shape): for fixed e, the mean
+// update penalty increases with m.
+func TestUpdatePenaltyGrowsWithM(t *testing.T) {
+	prev := 0.0
+	for m := 1; m <= 3; m++ {
+		c, err := New(Config{N: 16, R: 16, M: m, E: []int{1, 1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.MeanUpdatePenalty()
+		if got <= prev {
+			t.Errorf("m=%d: mean penalty %v not greater than m=%d's %v", m, got, m-1, prev)
+		}
+		prev = got
+	}
+}
+
+// TestUpdatePenaltyRSBaseline: with E empty the code is Reed-Solomon and
+// every data symbol affects exactly the m row parities.
+func TestUpdatePenaltyRSBaseline(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		c, err := New(Config{N: 16, R: 16, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.MeanUpdatePenalty(); got != float64(m) {
+			t.Errorf("m=%d: RS mean penalty %v, want %d", m, got, m)
+		}
+	}
+}
+
+// TestUpdateThenRepair: parity updated incrementally must still support
+// repair.
+func TestUpdateThenRepair(t *testing.T) {
+	c := exemplary(t, Inside)
+	st, _ := c.NewStripe(16)
+	fillData(t, c, st, 61)
+	if err := c.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	newData := make([]byte, 16)
+	rand.New(rand.NewSource(67)).Read(newData)
+	if err := c.Update(st, Cell{Col: 0, Row: 0}, newData); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Clone()
+	lost := worstCaseLost(c)
+	corrupt(st, lost)
+	if err := c.Repair(st, lost); err != nil {
+		t.Fatal(err)
+	}
+	if !stripesEqual(st, want) {
+		t.Error("repair after incremental update produced wrong bytes")
+	}
+}

@@ -1,0 +1,348 @@
+// Package gf implements arithmetic over the finite fields GF(2^w) for
+// w ∈ {4, 8, 16}, together with the region operations that erasure codes
+// are built from.
+//
+// The STAIR paper (§5.3) decomposes all encoding work into Mult_XOR
+// operations: multiply a region of bytes by a w-bit constant and XOR the
+// product into a target region. This package provides that primitive
+// (Field.MultXOR) plus plain region XOR and copy. The paper accelerates
+// GF(2^8) with SIMD via GF-Complete; this implementation substitutes
+// portable table lookups, which preserves the relative cost shape
+// (work ∝ number of Mult_XORs × region size) that the paper's evaluation
+// figures measure.
+//
+// Field values are immutable after construction and safe for concurrent
+// use.
+package gf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Primitive polynomials used to construct each field, expressed with the
+// leading term included (e.g. 0x11d = x^8+x^4+x^3+x^2+1). These match the
+// polynomials used by GF-Complete and Jerasure, the libraries the paper's
+// implementation builds on.
+const (
+	poly4  = 0x13    // x^4 + x + 1
+	poly8  = 0x11d   // x^8 + x^4 + x^3 + x^2 + 1
+	poly16 = 0x1100b // x^16 + x^12 + x^3 + x + 1
+)
+
+// Field represents GF(2^w). The zero value is not usable; construct one
+// with NewField or fetch a shared instance with Get.
+type Field struct {
+	w    int
+	size int    // 2^w
+	mask uint32 // 2^w - 1
+
+	log []uint16 // log[a] for a in 1..size-1 (log[0] is unused)
+	exp []uint16 // exp[i] = g^i, doubled length to avoid modular reduction
+	inv []uint32 // multiplicative inverses, inv[0] = 0 (unused)
+
+	// mul8 is the full 256×256 product table, built only for w == 8.
+	// Row c is the multiply-by-c lookup table used by region operations.
+	mul8 [][]byte
+}
+
+var (
+	fieldCache   [17]*Field
+	fieldCacheMu sync.Mutex
+)
+
+// NewField constructs GF(2^w). Supported word sizes are 4, 8 and 16.
+func NewField(w int) (*Field, error) {
+	var poly uint32
+	switch w {
+	case 4:
+		poly = poly4
+	case 8:
+		poly = poly8
+	case 16:
+		poly = poly16
+	default:
+		return nil, fmt.Errorf("gf: unsupported word size w=%d (want 4, 8 or 16)", w)
+	}
+	f := &Field{
+		w:    w,
+		size: 1 << w,
+		mask: uint32(1<<w) - 1,
+	}
+	f.buildTables(poly)
+	return f, nil
+}
+
+// Get returns a shared, lazily constructed field for the given word size.
+// It panics if w is unsupported; use NewField to get an error instead.
+func Get(w int) *Field {
+	fieldCacheMu.Lock()
+	defer fieldCacheMu.Unlock()
+	if w < 0 || w >= len(fieldCache) {
+		panic(fmt.Sprintf("gf: unsupported word size w=%d", w))
+	}
+	if f := fieldCache[w]; f != nil {
+		return f
+	}
+	f, err := NewField(w)
+	if err != nil {
+		panic(err)
+	}
+	fieldCache[w] = f
+	return f
+}
+
+func (f *Field) buildTables(poly uint32) {
+	n := f.size
+	f.log = make([]uint16, n)
+	f.exp = make([]uint16, 2*n)
+
+	// Generate the field as powers of the generator x (the polynomial's
+	// root), reducing modulo the primitive polynomial.
+	x := uint32(1)
+	for i := 0; i < n-1; i++ {
+		f.exp[i] = uint16(x)
+		f.exp[i+n-1] = uint16(x)
+		f.log[x] = uint16(i)
+		x <<= 1
+		if x&uint32(n) != 0 {
+			x ^= poly
+		}
+	}
+
+	f.inv = make([]uint32, n)
+	for a := 1; a < n; a++ {
+		// a^-1 = g^(size-1-log a)
+		f.inv[a] = uint32(f.exp[n-1-int(f.log[a])])
+	}
+
+	if f.w == 8 {
+		f.mul8 = make([][]byte, 256)
+		flat := make([]byte, 256*256)
+		for c := 0; c < 256; c++ {
+			row := flat[c*256 : (c+1)*256 : (c+1)*256]
+			for a := 0; a < 256; a++ {
+				row[a] = byte(f.mulSlow(uint32(c), uint32(a)))
+			}
+			f.mul8[c] = row
+		}
+	}
+}
+
+// W returns the field's word size in bits.
+func (f *Field) W() int { return f.w }
+
+// Size returns the number of field elements, 2^w.
+func (f *Field) Size() int { return f.size }
+
+// SymbolBytes returns the number of bytes one field symbol occupies in a
+// region: 1 for w ≤ 8 and 2 for w == 16. Region lengths passed to the
+// region operations must be multiples of this.
+func (f *Field) SymbolBytes() int {
+	if f.w == 16 {
+		return 2
+	}
+	return 1
+}
+
+// Add returns a + b. Addition in GF(2^w) is XOR; subtraction is identical.
+func (f *Field) Add(a, b uint32) uint32 { return (a ^ b) & f.mask }
+
+// Mul returns a × b.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if f.mul8 != nil {
+		return uint32(f.mul8[a&0xff][b&0xff])
+	}
+	return uint32(f.exp[int(f.log[a&f.mask])+int(f.log[b&f.mask])])
+}
+
+func (f *Field) mulSlow(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return uint32(f.exp[int(f.log[a])+int(f.log[b])])
+}
+
+// Div returns a / b. It panics if b is zero: dividing by zero indicates a
+// programming error in matrix/code construction, never a data-dependent
+// condition.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b&f.mask == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.Mul(a, f.inv[b&f.mask])
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func (f *Field) Inv(a uint32) uint32 {
+	if a&f.mask == 0 {
+		panic("gf: zero has no multiplicative inverse")
+	}
+	return f.inv[a&f.mask]
+}
+
+// Exp returns a raised to the power n (n ≥ 0), with a^0 = 1.
+func (f *Field) Exp(a uint32, n int) uint32 {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	// a^n = g^(n·log a mod (size-1))
+	e := (int(f.log[a&f.mask]) * n) % (f.size - 1)
+	return uint32(f.exp[e])
+}
+
+// checkRegions validates a dst/src region pair for the region operations.
+func (f *Field) checkRegions(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf: region length mismatch: dst=%d src=%d", len(dst), len(src)))
+	}
+	if sb := f.SymbolBytes(); len(src)%sb != 0 {
+		panic(fmt.Sprintf("gf: region length %d is not a multiple of the %d-byte symbol size", len(src), sb))
+	}
+}
+
+// MultXOR computes dst ^= c·src over the field, symbol by symbol. This is
+// the paper's Mult_XOR(src, dst, c) primitive (§5.3). dst and src must
+// have equal length, a multiple of SymbolBytes, and must not overlap
+// partially (dst == src exactly is allowed when c avoids aliasing issues;
+// callers in this module never alias).
+func (f *Field) MultXOR(dst, src []byte, c uint32) {
+	f.checkRegions(dst, src)
+	c &= f.mask
+	if c == 0 {
+		return
+	}
+	switch f.w {
+	case 8:
+		row := f.mul8[c]
+		if c == 1 {
+			XORRegion(dst, src)
+			return
+		}
+		for i, v := range src {
+			dst[i] ^= row[v]
+		}
+	case 4:
+		var tab [16]byte
+		for a := 0; a < 16; a++ {
+			tab[a] = byte(f.Mul(c, uint32(a)))
+		}
+		for i, v := range src {
+			dst[i] ^= tab[v&0x0f]
+		}
+	case 16:
+		if c == 1 {
+			XORRegion(dst, src)
+			return
+		}
+		var lo, hi [256]uint16
+		for a := 0; a < 256; a++ {
+			lo[a] = uint16(f.Mul(c, uint32(a)))
+			hi[a] = uint16(f.Mul(c, uint32(a)<<8))
+		}
+		for i := 0; i+1 < len(src); i += 2 {
+			v := lo[src[i]] ^ hi[src[i+1]]
+			dst[i] ^= byte(v)
+			dst[i+1] ^= byte(v >> 8)
+		}
+	}
+}
+
+// MultRegion computes dst = c·src (overwriting dst).
+func (f *Field) MultRegion(dst, src []byte, c uint32) {
+	f.checkRegions(dst, src)
+	c &= f.mask
+	if c == 0 {
+		Zero(dst)
+		return
+	}
+	switch f.w {
+	case 8:
+		row := f.mul8[c]
+		for i, v := range src {
+			dst[i] = row[v]
+		}
+	case 4:
+		var tab [16]byte
+		for a := 0; a < 16; a++ {
+			tab[a] = byte(f.Mul(c, uint32(a)))
+		}
+		for i, v := range src {
+			dst[i] = tab[v&0x0f]
+		}
+	case 16:
+		var lo, hi [256]uint16
+		for a := 0; a < 256; a++ {
+			lo[a] = uint16(f.Mul(c, uint32(a)))
+			hi[a] = uint16(f.Mul(c, uint32(a)<<8))
+		}
+		for i := 0; i+1 < len(src); i += 2 {
+			v := lo[src[i]] ^ hi[src[i+1]]
+			dst[i] = byte(v)
+			dst[i+1] = byte(v >> 8)
+		}
+	}
+}
+
+// ReadSymbol extracts the symbol at index i from a region, honouring the
+// field's symbol width (little-endian for w == 16).
+func (f *Field) ReadSymbol(region []byte, i int) uint32 {
+	if f.w == 16 {
+		return uint32(region[2*i]) | uint32(region[2*i+1])<<8
+	}
+	return uint32(region[i]) & f.mask
+}
+
+// WriteSymbol stores symbol v at index i in a region.
+func (f *Field) WriteSymbol(region []byte, i int, v uint32) {
+	if f.w == 16 {
+		region[2*i] = byte(v)
+		region[2*i+1] = byte(v >> 8)
+		return
+	}
+	region[i] = byte(v & f.mask)
+}
+
+// SymbolsPerRegion returns how many field symbols fit in a region of the
+// given byte length.
+func (f *Field) SymbolsPerRegion(n int) int { return n / f.SymbolBytes() }
+
+// XORRegion computes dst ^= src. It is field-independent.
+func XORRegion(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf: region length mismatch: dst=%d src=%d", len(dst), len(src)))
+	}
+	// Process 8 bytes at a time via manual word packing; the compiler
+	// vectorizes this simple loop reasonably well.
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Zero clears a region.
+func Zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,398 @@
+// Package matrix implements dense matrix algebra over GF(2^w), the
+// linear-algebra substrate for the Reed-Solomon codes that STAIR codes
+// are built from (paper §2-§3).
+//
+// Matrices are small (dimensions bounded by stripe geometry, at most a
+// few hundred), so the implementation favours clarity over blocking or
+// cache tricks: Gauss-Jordan inversion, naive multiplication.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"stair/internal/gf"
+)
+
+// ErrSingular is returned when a matrix that must be inverted has no
+// inverse.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Matrix is a dense rows×cols matrix over a Galois field. The zero value
+// is not usable; construct with New or one of the builders.
+type Matrix struct {
+	f    *gf.Field
+	rows int
+	cols int
+	data []uint32 // row-major
+}
+
+// New returns a zero rows×cols matrix over field f.
+func New(f *gf.Field, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{f: f, rows: rows, cols: cols, data: make([]uint32, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(f *gf.Field, n int) *Matrix {
+	m := New(f, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Cauchy builds the |ys|×|xs| Cauchy matrix A with A[i][j] = 1/(xs[j]+ys[i]).
+// All xs and ys values must be distinct field elements (xs[j] != ys[i] for
+// every pair), which guarantees every square submatrix is invertible — the
+// property that makes Cauchy Reed-Solomon codes MDS.
+func Cauchy(f *gf.Field, xs, ys []uint32) (*Matrix, error) {
+	seen := make(map[uint32]bool, len(xs)+len(ys))
+	for _, v := range append(append([]uint32{}, xs...), ys...) {
+		if seen[v] {
+			return nil, fmt.Errorf("matrix: Cauchy points not distinct (duplicate %d)", v)
+		}
+		seen[v] = true
+	}
+	m := New(f, len(ys), len(xs))
+	for i, y := range ys {
+		for j, x := range xs {
+			m.Set(i, j, f.Inv(f.Add(x, y)))
+		}
+	}
+	return m, nil
+}
+
+// Vandermonde builds the rows×cols matrix V with V[i][j] = i^j (the i-th
+// evaluation point raised to the column power), using points 0..rows-1.
+// Requires rows ≤ field size.
+func Vandermonde(f *gf.Field, rows, cols int) (*Matrix, error) {
+	if rows > f.Size() {
+		return nil, fmt.Errorf("matrix: Vandermonde needs %d distinct points but field has %d elements", rows, f.Size())
+	}
+	m := New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, f.Exp(uint32(i), j))
+		}
+	}
+	return m, nil
+}
+
+// Field returns the field the matrix is defined over.
+func (m *Matrix) Field() *gf.Field { return m.f }
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) uint32 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v uint32) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.f, m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical dimensions and data.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m·o. Panics on dimension mismatch (programming error).
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("matrix: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	r := New(m.f, m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				if b := o.At(k, j); b != 0 {
+					r.data[i*o.cols+j] ^= m.f.Mul(a, b)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// MulVec returns m·v for a column vector v (len = cols).
+func (m *Matrix) MulVec(v []uint32) []uint32 {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: vector length %d != cols %d", len(v), m.cols))
+	}
+	out := make([]uint32, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var acc uint32
+		for j, x := range v {
+			if a := m.At(i, j); a != 0 && x != 0 {
+				acc ^= m.f.Mul(a, x)
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// VecMul returns v·m for a row vector v (len = rows).
+func (m *Matrix) VecMul(v []uint32) []uint32 {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("matrix: vector length %d != rows %d", len(v), m.rows))
+	}
+	out := make([]uint32, m.cols)
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		for j := 0; j < m.cols; j++ {
+			if a := m.At(i, j); a != 0 {
+				out[j] ^= m.f.Mul(x, a)
+			}
+		}
+	}
+	return out
+}
+
+// Invert returns the inverse of a square matrix using Gauss-Jordan
+// elimination, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(m.f, n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale pivot row to make the pivot 1.
+		p := a.At(col, col)
+		if p != 1 {
+			pinv := m.f.Inv(p)
+			a.scaleRow(col, pinv)
+			inv.scaleRow(col, pinv)
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := a.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			a.addScaledRow(r, col, factor)
+			inv.addScaledRow(r, col, factor)
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) scaleRow(i int, c uint32) {
+	row := m.data[i*m.cols : (i+1)*m.cols]
+	for k, v := range row {
+		row[k] = m.f.Mul(v, c)
+	}
+}
+
+// addScaledRow does row[dst] ^= c·row[src].
+func (m *Matrix) addScaledRow(dst, src int, c uint32) {
+	rd := m.data[dst*m.cols : (dst+1)*m.cols]
+	rs := m.data[src*m.cols : (src+1)*m.cols]
+	for k, v := range rs {
+		if v != 0 {
+			rd[k] ^= m.f.Mul(c, v)
+		}
+	}
+}
+
+// Rank returns the rank of the matrix (row echelon reduction on a copy).
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < a.cols && rank < a.rows; col++ {
+		pivot := -1
+		for r := rank; r < a.rows; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a.swapRows(pivot, rank)
+		pinv := a.f.Inv(a.At(rank, col))
+		a.scaleRow(rank, pinv)
+		for r := 0; r < a.rows; r++ {
+			if r != rank && a.At(r, col) != 0 {
+				a.addScaledRow(r, rank, a.At(r, col))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// SelectRows returns a new matrix made of the given rows of m, in order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	r := New(m.f, len(rows), m.cols)
+	for i, src := range rows {
+		copy(r.data[i*m.cols:(i+1)*m.cols], m.data[src*m.cols:(src+1)*m.cols])
+	}
+	return r
+}
+
+// SelectCols returns a new matrix made of the given columns of m, in order.
+func (m *Matrix) SelectCols(cols []int) *Matrix {
+	r := New(m.f, m.rows, len(cols))
+	for i := 0; i < m.rows; i++ {
+		for j, src := range cols {
+			r.Set(i, j, m.At(i, src))
+		}
+	}
+	return r
+}
+
+// ConcatCols returns [m | o] (horizontal concatenation).
+func (m *Matrix) ConcatCols(o *Matrix) *Matrix {
+	if m.rows != o.rows {
+		panic("matrix: ConcatCols row mismatch")
+	}
+	r := New(m.f, m.rows, m.cols+o.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(r.data[i*r.cols:], m.data[i*m.cols:(i+1)*m.cols])
+		copy(r.data[i*r.cols+m.cols:], o.data[i*o.cols:(i+1)*o.cols])
+	}
+	return r
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%3d", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// SystematicFromVandermonde builds an eta×kappa matrix whose top kappa×kappa
+// block is the identity and whose every kappa-row subset is invertible.
+// This is the classic Plank construction for systematic Reed-Solomon
+// generator matrices: start from an eta×kappa Vandermonde matrix (distinct
+// evaluation points, so every kappa×kappa submatrix is invertible) and
+// apply elementary column operations — which preserve that property — to
+// reduce the top block to the identity.
+func SystematicFromVandermonde(f *gf.Field, eta, kappa int) (*Matrix, error) {
+	if kappa <= 0 || eta < kappa {
+		return nil, fmt.Errorf("matrix: invalid code shape eta=%d kappa=%d", eta, kappa)
+	}
+	v, err := Vandermonde(f, eta, kappa)
+	if err != nil {
+		return nil, err
+	}
+	// Column-reduce the top kappa×kappa block to the identity.
+	for col := 0; col < kappa; col++ {
+		// Ensure v[col][col] != 0 by swapping columns if needed.
+		if v.At(col, col) == 0 {
+			swapped := false
+			for c2 := col + 1; c2 < kappa; c2++ {
+				if v.At(col, c2) != 0 {
+					v.swapCols(col, c2)
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return nil, ErrSingular
+			}
+		}
+		// Scale the column so the diagonal is 1.
+		pinv := f.Inv(v.At(col, col))
+		v.scaleCol(col, pinv)
+		// Eliminate row `col` from all other columns.
+		for c2 := 0; c2 < kappa; c2++ {
+			if c2 == col {
+				continue
+			}
+			factor := v.At(col, c2)
+			if factor != 0 {
+				v.addScaledCol(c2, col, factor)
+			}
+		}
+	}
+	return v, nil
+}
+
+func (m *Matrix) swapCols(i, j int) {
+	for r := 0; r < m.rows; r++ {
+		vi, vj := m.At(r, i), m.At(r, j)
+		m.Set(r, i, vj)
+		m.Set(r, j, vi)
+	}
+}
+
+func (m *Matrix) scaleCol(j int, c uint32) {
+	for r := 0; r < m.rows; r++ {
+		m.Set(r, j, m.f.Mul(m.At(r, j), c))
+	}
+}
+
+// addScaledCol does col[dst] ^= c·col[src].
+func (m *Matrix) addScaledCol(dst, src int, c uint32) {
+	for r := 0; r < m.rows; r++ {
+		v := m.At(r, src)
+		if v != 0 {
+			m.Set(r, dst, m.At(r, dst)^m.f.Mul(c, v))
+		}
+	}
+}

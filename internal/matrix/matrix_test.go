@@ -1,0 +1,288 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stair/internal/gf"
+)
+
+func randMatrix(f *gf.Field, rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, uint32(rng.Intn(f.Size())))
+		}
+	}
+	return m
+}
+
+func TestIdentityMulIsNoop(t *testing.T) {
+	f := gf.Get(8)
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(f, rng, 5, 7)
+	i5 := Identity(f, 5)
+	i7 := Identity(f, 7)
+	if !i5.Mul(m).Equal(m) {
+		t.Error("I·M != M")
+	}
+	if !m.Mul(i7).Equal(m) {
+		t.Error("M·I != M")
+	}
+}
+
+func TestInvertRoundtrip(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		f := gf.Get(w)
+		rng := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(8)
+			var m *Matrix
+			// Retry until we draw an invertible matrix.
+			for {
+				m = randMatrix(f, rng, n, n)
+				if m.Rank() == n {
+					break
+				}
+			}
+			inv, err := m.Invert()
+			if err != nil {
+				t.Fatalf("w=%d n=%d: unexpected Invert error: %v", w, n, err)
+			}
+			if !m.Mul(inv).Equal(Identity(f, n)) {
+				t.Fatalf("w=%d n=%d: M·M^-1 != I", w, n)
+			}
+			if !inv.Mul(m).Equal(Identity(f, n)) {
+				t.Fatalf("w=%d n=%d: M^-1·M != I", w, n)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	f := gf.Get(8)
+	m := New(f, 3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 1) // rows 0 and 1 identical in column 0, zero elsewhere
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	f := gf.Get(8)
+	if _, err := New(f, 2, 3).Invert(); err == nil {
+		t.Error("expected error inverting non-square matrix")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	f := gf.Get(8)
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(f, rng, 3, 4)
+	b := randMatrix(f, rng, 4, 5)
+	c := randMatrix(f, rng, 5, 2)
+	if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+		t.Error("(AB)C != A(BC)")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := gf.Get(8)
+	rng := rand.New(rand.NewSource(7))
+	m := randMatrix(f, rng, 4, 6)
+	v := make([]uint32, 6)
+	for i := range v {
+		v[i] = uint32(rng.Intn(256))
+	}
+	// Represent v as a 6x1 matrix and compare.
+	vm := New(f, 6, 1)
+	for i, x := range v {
+		vm.Set(i, 0, x)
+	}
+	want := m.Mul(vm)
+	got := m.MulVec(v)
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %d, want %d", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestVecMulMatchesMul(t *testing.T) {
+	f := gf.Get(8)
+	rng := rand.New(rand.NewSource(8))
+	m := randMatrix(f, rng, 4, 6)
+	v := make([]uint32, 4)
+	for i := range v {
+		v[i] = uint32(rng.Intn(256))
+	}
+	vm := New(f, 1, 4)
+	for i, x := range v {
+		vm.Set(0, i, x)
+	}
+	want := vm.Mul(m)
+	got := m.VecMul(v)
+	for j := range got {
+		if got[j] != want.At(0, j) {
+			t.Fatalf("VecMul[%d] = %d, want %d", j, got[j], want.At(0, j))
+		}
+	}
+}
+
+// TestCauchySubmatricesInvertible is the MDS-enabling property: every
+// square submatrix of a Cauchy matrix is invertible.
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	f := gf.Get(8)
+	xs := []uint32{10, 11, 12, 13}
+	ys := []uint32{0, 1, 2, 3, 4}
+	c, err := Cauchy(f, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(4)
+		rows := rng.Perm(len(ys))[:k]
+		cols := rng.Perm(len(xs))[:k]
+		sub := c.SelectRows(rows).SelectCols(cols)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("Cauchy %dx%d submatrix rows=%v cols=%v singular", k, k, rows, cols)
+		}
+	}
+}
+
+func TestCauchyRejectsDuplicatePoints(t *testing.T) {
+	f := gf.Get(8)
+	if _, err := Cauchy(f, []uint32{1, 2}, []uint32{2, 3}); err == nil {
+		t.Error("expected error for overlapping xs/ys")
+	}
+	if _, err := Cauchy(f, []uint32{1, 1}, []uint32{2, 3}); err == nil {
+		t.Error("expected error for duplicate xs")
+	}
+}
+
+func TestVandermondeShape(t *testing.T) {
+	f := gf.Get(8)
+	v, err := Vandermonde(f, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if v.At(i, 0) != 1 {
+			t.Errorf("V[%d][0] = %d, want 1", i, v.At(i, 0))
+		}
+		if v.At(i, 1) != uint32(i) {
+			t.Errorf("V[%d][1] = %d, want %d", i, v.At(i, 1), i)
+		}
+	}
+}
+
+func TestVandermondeTooManyPoints(t *testing.T) {
+	f := gf.Get(4)
+	if _, err := Vandermonde(f, 17, 3); err == nil {
+		t.Error("expected error for rows > field size")
+	}
+}
+
+func TestSystematicFromVandermonde(t *testing.T) {
+	for _, w := range []int{8, 16} {
+		f := gf.Get(w)
+		for _, shape := range []struct{ eta, kappa int }{
+			{6, 4}, {11, 6}, {10, 1}, {5, 5}, {20, 13},
+		} {
+			g, err := SystematicFromVandermonde(f, shape.eta, shape.kappa)
+			if err != nil {
+				t.Fatalf("w=%d shape=%v: %v", w, shape, err)
+			}
+			// Top block must be identity.
+			for i := 0; i < shape.kappa; i++ {
+				for j := 0; j < shape.kappa; j++ {
+					want := uint32(0)
+					if i == j {
+						want = 1
+					}
+					if g.At(i, j) != want {
+						t.Fatalf("w=%d shape=%v: top block not identity at (%d,%d)", w, shape, i, j)
+					}
+				}
+			}
+			// Every kappa-row subset must be invertible (spot check).
+			rng := rand.New(rand.NewSource(int64(w + shape.eta)))
+			for trial := 0; trial < 30; trial++ {
+				rows := rng.Perm(shape.eta)[:shape.kappa]
+				if _, err := g.SelectRows(rows).Invert(); err != nil {
+					t.Fatalf("w=%d shape=%v rows=%v: submatrix singular (not MDS)", w, shape, rows)
+				}
+			}
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	f := gf.Get(8)
+	if got := Identity(f, 4).Rank(); got != 4 {
+		t.Errorf("rank(I4) = %d", got)
+	}
+	z := New(f, 3, 3)
+	if got := z.Rank(); got != 0 {
+		t.Errorf("rank(0) = %d", got)
+	}
+	m := New(f, 3, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row
+	m.Set(2, 2, 5)
+	if got := m.Rank(); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	f := gf.Get(8)
+	m := New(f, 3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, uint32(10*i+j))
+		}
+	}
+	r := m.SelectRows([]int{2, 0})
+	if r.At(0, 1) != 21 || r.At(1, 2) != 2 {
+		t.Error("SelectRows wrong content")
+	}
+	c := m.SelectCols([]int{1})
+	if c.Rows() != 3 || c.Cols() != 1 || c.At(2, 0) != 21 {
+		t.Error("SelectCols wrong content")
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	f := gf.Get(8)
+	a := Identity(f, 2)
+	b := New(f, 2, 1)
+	b.Set(0, 0, 7)
+	b.Set(1, 0, 9)
+	m := a.ConcatCols(b)
+	if m.Cols() != 3 || m.At(0, 2) != 7 || m.At(1, 2) != 9 || m.At(1, 1) != 1 {
+		t.Errorf("ConcatCols wrong content:\n%v", m)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := gf.Get(8)
+	m := Identity(f, 2)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	f := gf.Get(8)
+	if s := Identity(f, 2).String(); s == "" {
+		t.Error("empty String()")
+	}
+}

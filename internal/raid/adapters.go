@@ -1,0 +1,134 @@
+package raid
+
+import (
+	"stair/internal/core"
+	"stair/internal/idr"
+	"stair/internal/sd"
+)
+
+// StairCode adapts *core.Code (including its Reed-Solomon degeneration
+// with an empty E) to the array's Code interface. Only Inside placement
+// is supported: the simulator has no out-of-band storage for globals.
+type StairCode struct{ C *core.Code }
+
+// N returns the chunk count.
+func (s StairCode) N() int { return s.C.N() }
+
+// R returns the sectors per chunk.
+func (s StairCode) R() int { return s.C.R() }
+
+// DataCells lists the writable cells.
+func (s StairCode) DataCells() []Cell {
+	cells := s.C.DataCells()
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		out[i] = Cell{Col: c.Col, Row: c.Row}
+	}
+	return out
+}
+
+func (s StairCode) stripeOf(cells [][]byte) *core.Stripe {
+	return &core.Stripe{N: s.C.N(), R: s.C.R(), SectorSize: len(cells[0]), Cells: cells}
+}
+
+// Encode fills parity cells.
+func (s StairCode) Encode(cells [][]byte) error { return s.C.Encode(s.stripeOf(cells)) }
+
+// Repair reconstructs lost cells.
+func (s StairCode) Repair(cells [][]byte, lost []Cell) error {
+	conv := make([]core.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = core.Cell{Col: c.Col, Row: c.Row}
+	}
+	return s.C.Repair(s.stripeOf(cells), conv)
+}
+
+// CanRecover reports pattern repairability.
+func (s StairCode) CanRecover(lost []Cell) bool {
+	conv := make([]core.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = core.Cell{Col: c.Col, Row: c.Row}
+	}
+	ok, err := s.C.CanRecover(conv)
+	return err == nil && ok
+}
+
+// SDCode adapts *sd.Code to the array's Code interface.
+type SDCode struct{ C *sd.Code }
+
+// N returns the chunk count.
+func (s SDCode) N() int { return s.C.N() }
+
+// R returns the sectors per chunk.
+func (s SDCode) R() int { return s.C.R() }
+
+// DataCells lists the writable cells.
+func (s SDCode) DataCells() []Cell {
+	cells := s.C.DataCells()
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		out[i] = Cell{Col: c.Col, Row: c.Row}
+	}
+	return out
+}
+
+// Encode fills parity cells.
+func (s SDCode) Encode(cells [][]byte) error { return s.C.Encode(cells) }
+
+// Repair reconstructs lost cells.
+func (s SDCode) Repair(cells [][]byte, lost []Cell) error {
+	conv := make([]sd.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = sd.Cell{Col: c.Col, Row: c.Row}
+	}
+	return s.C.Repair(cells, conv)
+}
+
+// CanRecover reports pattern repairability.
+func (s SDCode) CanRecover(lost []Cell) bool {
+	conv := make([]sd.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = sd.Cell{Col: c.Col, Row: c.Row}
+	}
+	return s.C.CanRecover(conv)
+}
+
+// IDRCode adapts *idr.Code to the array's Code interface.
+type IDRCode struct{ C *idr.Code }
+
+// N returns the chunk count.
+func (s IDRCode) N() int { return s.C.N() }
+
+// R returns the sectors per chunk.
+func (s IDRCode) R() int { return s.C.R() }
+
+// DataCells lists the writable cells.
+func (s IDRCode) DataCells() []Cell {
+	cells := s.C.DataCells()
+	out := make([]Cell, len(cells))
+	for i, c := range cells {
+		out[i] = Cell{Col: c.Col, Row: c.Row}
+	}
+	return out
+}
+
+// Encode fills parity cells.
+func (s IDRCode) Encode(cells [][]byte) error { return s.C.Encode(cells) }
+
+// Repair reconstructs lost cells.
+func (s IDRCode) Repair(cells [][]byte, lost []Cell) error {
+	conv := make([]idr.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = idr.Cell{Col: c.Col, Row: c.Row}
+	}
+	return s.C.Repair(cells, conv)
+}
+
+// CanRecover reports pattern coverage (IDR has no partial-luck recovery).
+func (s IDRCode) CanRecover(lost []Cell) bool {
+	conv := make([]idr.Cell, len(lost))
+	for i, c := range lost {
+		conv[i] = idr.Cell{Col: c.Col, Row: c.Row}
+	}
+	return s.C.CoverageContains(conv)
+}

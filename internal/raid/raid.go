@@ -1,0 +1,327 @@
+// Package raid is a small storage-array simulator: n devices split into
+// stripes protected by a pluggable erasure code. It provides the
+// end-to-end substrate the paper's motivation describes — device loss,
+// latent sector errors and scrub/repair — so that integration tests and
+// examples exercise the same erasure patterns a deployment would.
+//
+// The simulator tracks failures as metadata (and zeroes lost payloads so
+// that a repair which merely leaves stale bytes in place cannot pass
+// verification).
+package raid
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"stair/internal/failures"
+)
+
+// Cell addresses one sector within a stripe: chunk column and sector row
+// (matching internal/core's layout).
+type Cell struct {
+	Col int
+	Row int
+}
+
+// Code is the erasure-code contract the array drives. Implementations
+// wrap STAIR, SD, IDR or plain Reed-Solomon codes (see adapters.go).
+type Code interface {
+	// N and R describe the stripe geometry: N chunks of R sectors.
+	N() int
+	R() int
+	// DataCells lists the cells a writer fills, in payload order.
+	DataCells() []Cell
+	// Encode fills the parity cells of the stripe; cells is indexed
+	// col*R+row.
+	Encode(cells [][]byte) error
+	// Repair reconstructs the lost cells in place.
+	Repair(cells [][]byte, lost []Cell) error
+	// CanRecover reports whether a pattern is repairable.
+	CanRecover(lost []Cell) bool
+}
+
+// Device models one disk: a flat array of sectors plus failure state.
+type Device struct {
+	id      int
+	sectors [][]byte
+	failed  bool
+	bad     map[int]bool // sector index → lost
+}
+
+// Failed reports whether the whole device is down.
+func (d *Device) Failed() bool { return d.failed }
+
+// BadSectors returns the number of latent sector errors.
+func (d *Device) BadSectors() int { return len(d.bad) }
+
+// Array is a simulated storage array.
+type Array struct {
+	code       Code
+	sectorSize int
+	stripes    int
+	devices    []*Device
+}
+
+// ErrDataLoss reports an unrecoverable stripe during scrub or rebuild.
+var ErrDataLoss = errors.New("raid: unrecoverable data loss")
+
+// NewArray builds an array of code.N() devices with the given number of
+// stripes. Every stripe holds code geometry N×R sectors of sectorSize
+// bytes.
+func NewArray(code Code, stripes, sectorSize int) (*Array, error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("raid: stripes=%d must be ≥ 1", stripes)
+	}
+	if sectorSize < 1 {
+		return nil, fmt.Errorf("raid: sectorSize=%d must be ≥ 1", sectorSize)
+	}
+	a := &Array{code: code, sectorSize: sectorSize, stripes: stripes}
+	for i := 0; i < code.N(); i++ {
+		d := &Device{id: i, bad: map[int]bool{}}
+		d.sectors = make([][]byte, stripes*code.R())
+		for s := range d.sectors {
+			d.sectors[s] = make([]byte, sectorSize)
+		}
+		a.devices = append(a.devices, d)
+	}
+	return a, nil
+}
+
+// Geometry returns (devices, stripes, sectors per chunk, sector size).
+func (a *Array) Geometry() (n, stripes, r, sectorSize int) {
+	return a.code.N(), a.stripes, a.code.R(), a.sectorSize
+}
+
+// DataCapacity returns the number of user-data bytes the array holds.
+func (a *Array) DataCapacity() int {
+	return a.stripes * len(a.code.DataCells()) * a.sectorSize
+}
+
+// sectorOf maps (stripe, cell) to the backing device sector.
+func (a *Array) sectorOf(stripe int, c Cell) []byte {
+	return a.devices[c.Col].sectors[stripe*a.code.R()+c.Row]
+}
+
+// stripeCells materialises the [][]byte view (col*R+row) of one stripe.
+func (a *Array) stripeCells(stripe int) [][]byte {
+	n, r := a.code.N(), a.code.R()
+	cells := make([][]byte, n*r)
+	for col := 0; col < n; col++ {
+		for row := 0; row < r; row++ {
+			cells[col*r+row] = a.sectorOf(stripe, Cell{Col: col, Row: row})
+		}
+	}
+	return cells
+}
+
+// Write stores data across the array, stripe by stripe, encoding parity
+// as it goes. It returns the number of bytes written; writing more than
+// DataCapacity is an error.
+func (a *Array) Write(data []byte) (int, error) {
+	if len(data) > a.DataCapacity() {
+		return 0, fmt.Errorf("raid: %d bytes exceed capacity %d", len(data), a.DataCapacity())
+	}
+	cellsPerStripe := a.code.DataCells()
+	written := 0
+	for stripe := 0; stripe < a.stripes && written < len(data); stripe++ {
+		for _, cell := range cellsPerStripe {
+			dst := a.sectorOf(stripe, Cell{Col: cell.Col, Row: cell.Row})
+			n := copy(dst, data[written:])
+			for i := n; i < len(dst); i++ {
+				dst[i] = 0
+			}
+			written += n
+			if written >= len(data) {
+				break
+			}
+		}
+		if err := a.code.Encode(a.stripeCells(stripe)); err != nil {
+			return written, fmt.Errorf("raid: encoding stripe %d: %w", stripe, err)
+		}
+	}
+	// Encode any remaining (all-zero) stripes so scrubs pass.
+	for stripe := 0; stripe < a.stripes; stripe++ {
+		if err := a.code.Encode(a.stripeCells(stripe)); err != nil {
+			return written, fmt.Errorf("raid: encoding stripe %d: %w", stripe, err)
+		}
+	}
+	return written, nil
+}
+
+// Read returns the first length bytes of user data.
+func (a *Array) Read(length int) ([]byte, error) {
+	if length > a.DataCapacity() {
+		return nil, fmt.Errorf("raid: %d bytes exceed capacity %d", length, a.DataCapacity())
+	}
+	out := make([]byte, 0, length)
+	cellsPerStripe := a.code.DataCells()
+	for stripe := 0; stripe < a.stripes && len(out) < length; stripe++ {
+		for _, cell := range cellsPerStripe {
+			src := a.sectorOf(stripe, Cell{Col: cell.Col, Row: cell.Row})
+			remain := length - len(out)
+			if remain <= 0 {
+				break
+			}
+			if remain < len(src) {
+				out = append(out, src[:remain]...)
+			} else {
+				out = append(out, src...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FailDevice marks a whole device as failed and destroys its contents.
+func (a *Array) FailDevice(dev int) error {
+	if dev < 0 || dev >= len(a.devices) {
+		return fmt.Errorf("raid: device %d out of range", dev)
+	}
+	d := a.devices[dev]
+	d.failed = true
+	for _, s := range d.sectors {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	return nil
+}
+
+// CorruptSector marks one sector as lost (a latent sector error) and
+// destroys its payload.
+func (a *Array) CorruptSector(dev, sector int) error {
+	if dev < 0 || dev >= len(a.devices) {
+		return fmt.Errorf("raid: device %d out of range", dev)
+	}
+	d := a.devices[dev]
+	if sector < 0 || sector >= len(d.sectors) {
+		return fmt.Errorf("raid: sector %d out of range", sector)
+	}
+	d.bad[sector] = true
+	for i := range d.sectors[sector] {
+		d.sectors[sector][i] = 0
+	}
+	return nil
+}
+
+// InjectBurst corrupts a run of consecutive sectors on one device,
+// clipped to the device size — the §7.2.2 failure mode.
+func (a *Array) InjectBurst(dev, start, length int) error {
+	for i := 0; i < length; i++ {
+		s := start + i
+		if s >= len(a.devices[dev].sectors) {
+			break
+		}
+		if err := a.CorruptSector(dev, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectRandomBursts draws bursts on every live device per the (b1, α)
+// distribution with per-sector start probability pStart, returning how
+// many sectors were lost.
+func (a *Array) InjectRandomBursts(rng *rand.Rand, pStart float64, dist *failures.BurstDist) (int, error) {
+	lost := 0
+	for dev, d := range a.devices {
+		if d.failed {
+			continue
+		}
+		for _, b := range failures.ChunkFailures(rng, len(d.sectors), pStart, dist) {
+			if err := a.InjectBurst(dev, b.Start, b.Len); err != nil {
+				return lost, err
+			}
+			lost += b.Len
+		}
+	}
+	return lost, nil
+}
+
+// lostCellsOf collects the lost cells of one stripe.
+func (a *Array) lostCellsOf(stripe int) []Cell {
+	var lost []Cell
+	r := a.code.R()
+	for col, d := range a.devices {
+		for row := 0; row < r; row++ {
+			if d.failed || d.bad[stripe*r+row] {
+				lost = append(lost, Cell{Col: col, Row: row})
+			}
+		}
+	}
+	return lost
+}
+
+// ScrubReport summarises a scrub pass.
+type ScrubReport struct {
+	StripesChecked     int
+	StripesRepaired    int
+	SectorsRepaired    int
+	UnrecoverableLoss  int // stripes that could not be repaired
+	DevicesReactivated int
+}
+
+// Scrub walks every stripe, repairs what the code can repair, and
+// clears failure metadata for repaired sectors. Failed devices are
+// rebuilt in place (their content restored stripe by stripe) and
+// reactivated. Returns ErrDataLoss (with a best-effort report) if any
+// stripe is unrecoverable.
+func (a *Array) Scrub() (ScrubReport, error) {
+	rep := ScrubReport{}
+	anyFailedDevice := false
+	for _, d := range a.devices {
+		if d.failed {
+			anyFailedDevice = true
+		}
+	}
+	for stripe := 0; stripe < a.stripes; stripe++ {
+		rep.StripesChecked++
+		lost := a.lostCellsOf(stripe)
+		if len(lost) == 0 {
+			continue
+		}
+		cells := a.stripeCells(stripe)
+		lostCode := make([]Cell, len(lost))
+		copy(lostCode, lost)
+		if err := a.code.Repair(cells, lostCode); err != nil {
+			rep.UnrecoverableLoss++
+			continue
+		}
+		rep.StripesRepaired++
+		rep.SectorsRepaired += len(lost)
+	}
+	if rep.UnrecoverableLoss > 0 {
+		return rep, fmt.Errorf("%w: %d stripes", ErrDataLoss, rep.UnrecoverableLoss)
+	}
+	// All stripes clean: clear metadata and reactivate devices.
+	for _, d := range a.devices {
+		if d.failed {
+			d.failed = false
+			rep.DevicesReactivated++
+		}
+		d.bad = map[int]bool{}
+	}
+	_ = anyFailedDevice
+	return rep, nil
+}
+
+// TotalBadSectors counts latent sector errors across live devices.
+func (a *Array) TotalBadSectors() int {
+	n := 0
+	for _, d := range a.devices {
+		n += len(d.bad)
+	}
+	return n
+}
+
+// FailedDevices lists the ids of failed devices.
+func (a *Array) FailedDevices() []int {
+	var out []int
+	for _, d := range a.devices {
+		if d.failed {
+			out = append(out, d.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package reliability
+
+import "math"
+
+// Closed-form Pstr expressions from Appendix B (Eqs. 18-26), kept as
+// independent implementations to cross-validate the general enumerator
+// in Pstr. nm is the number of surviving chunks, n−m.
+
+// PstrRSClosed is Eq. 18.
+func PstrRSClosed(nm int, m ChunkModel) float64 {
+	return 1 - math.Pow(m.Pchk(0), float64(nm))
+}
+
+// PstrStairSClosed is Eq. 19: STAIR with e = (s), s ≥ 1.
+func PstrStairSClosed(nm, s int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	sum := 0.0
+	for i := 1; i <= s; i++ {
+		sum += m.Pchk(i)
+	}
+	return 1 - math.Pow(p0, float64(nm)) - float64(nm)*sum*math.Pow(p0, float64(nm-1))
+}
+
+// PstrStair1Sm1Closed is Eq. 20: STAIR with e = (1, s−1), s ≥ 2.
+func PstrStair1Sm1Closed(nm, s int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	n1 := float64(nm)
+	res := 1 - math.Pow(p0, n1)
+	sum1 := 0.0
+	for i := 1; i <= s-1; i++ {
+		sum1 += m.Pchk(i)
+	}
+	res -= n1 * sum1 * math.Pow(p0, n1-1)
+	res -= binomCoeff(nm, 2) * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-2)
+	sum2 := 0.0
+	for i := 2; i <= s-1; i++ {
+		sum2 += m.Pchk(i)
+	}
+	res -= n1 * float64(nm-1) * sum2 * m.Pchk(1) * math.Pow(p0, n1-2)
+	return res
+}
+
+// PstrStair2Sm2Closed is Eq. 21: STAIR with e = (2, s−2), s ≥ 4.
+func PstrStair2Sm2Closed(nm, s int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	n1 := float64(nm)
+	res := 1 - math.Pow(p0, n1)
+	sum1 := 0.0
+	for i := 1; i <= s-2; i++ {
+		sum1 += m.Pchk(i)
+	}
+	res -= n1 * sum1 * math.Pow(p0, n1-1)
+	res -= binomCoeff(nm, 2) * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-2)
+	sum2 := 0.0
+	for i := 2; i <= s-2; i++ {
+		sum2 += m.Pchk(i)
+	}
+	res -= n1 * float64(nm-1) * sum2 * m.Pchk(1) * math.Pow(p0, n1-2)
+	res -= binomCoeff(nm, 2) * m.Pchk(2) * m.Pchk(2) * math.Pow(p0, n1-2)
+	sum3 := 0.0
+	for i := 3; i <= s-2; i++ {
+		sum3 += m.Pchk(i)
+	}
+	res -= n1 * float64(nm-1) * sum3 * m.Pchk(2) * math.Pow(p0, n1-2)
+	return res
+}
+
+// PstrStair11Sm2Closed is Eq. 22: STAIR with e = (1, 1, s−2), s ≥ 3.
+func PstrStair11Sm2Closed(nm, s int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	n1 := float64(nm)
+	res := 1 - math.Pow(p0, n1)
+	sum1 := 0.0
+	for i := 1; i <= s-2; i++ {
+		sum1 += m.Pchk(i)
+	}
+	res -= n1 * sum1 * math.Pow(p0, n1-1)
+	res -= binomCoeff(nm, 2) * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-2)
+	sum2 := 0.0
+	for i := 2; i <= s-2; i++ {
+		sum2 += m.Pchk(i)
+	}
+	res -= n1 * float64(nm-1) * sum2 * m.Pchk(1) * math.Pow(p0, n1-2)
+	res -= binomCoeff(nm, 3) * math.Pow(m.Pchk(1), 3) * math.Pow(p0, n1-3)
+	res -= binomCoeff(nm, 2) * float64(nm-2) * sum2 * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-3)
+	return res
+}
+
+// PstrStairAllOnesClosed is Eq. 23: STAIR with e = (1, 1, …, 1), s ≥ 1.
+func PstrStairAllOnesClosed(nm, s int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	res := 1.0
+	for i := 0; i <= s; i++ {
+		res -= binomCoeff(nm, i) * math.Pow(m.Pchk(1), float64(i)) * math.Pow(p0, float64(nm-i))
+	}
+	return res
+}
+
+// PstrSD1Closed is Eq. 24.
+func PstrSD1Closed(nm int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	return 1 - math.Pow(p0, float64(nm)) - float64(nm)*m.Pchk(1)*math.Pow(p0, float64(nm-1))
+}
+
+// PstrSD2Closed is Eq. 25.
+func PstrSD2Closed(nm int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	n1 := float64(nm)
+	res := 1 - math.Pow(p0, n1)
+	res -= n1 * (m.Pchk(1) + m.Pchk(2)) * math.Pow(p0, n1-1)
+	res -= binomCoeff(nm, 2) * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-2)
+	return res
+}
+
+// PstrSD3Closed is Eq. 26.
+func PstrSD3Closed(nm int, m ChunkModel) float64 {
+	p0 := m.Pchk(0)
+	n1 := float64(nm)
+	res := 1 - math.Pow(p0, n1)
+	res -= n1 * (m.Pchk(1) + m.Pchk(2) + m.Pchk(3)) * math.Pow(p0, n1-1)
+	res -= binomCoeff(nm, 2) * m.Pchk(1) * m.Pchk(1) * math.Pow(p0, n1-2)
+	res -= n1 * float64(nm-1) * m.Pchk(2) * m.Pchk(1) * math.Pow(p0, n1-2)
+	res -= binomCoeff(nm, 3) * math.Pow(m.Pchk(1), 3) * math.Pow(p0, n1-3)
+	return res
+}

@@ -1,0 +1,6 @@
+package reliability
+
+import "math/rand"
+
+// newTestRand returns a seeded PRNG for Monte-Carlo cross-checks.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

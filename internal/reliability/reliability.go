@@ -1,0 +1,332 @@
+// Package reliability implements the STAIR paper's analytical reliability
+// models (§7): the MTTDL system model built on a Markov chain for a
+// storage array in critical mode (Eqs. 7-11), sector failure models —
+// independent (Eq. 13) and correlated bursts (Eqs. 14-17) — and the
+// stripe-level unrecoverability probability Pstr, both as the paper's
+// closed forms for specific coverage vectors (Appendix B, Eqs. 18-26)
+// and as a general enumerator valid for any e.
+package reliability
+
+import (
+	"fmt"
+	"math"
+
+	"stair/internal/failures"
+)
+
+// SystemParams mirrors §7.2's storage-system configuration. All byte
+// quantities use binary units upstream (the paper's 10PB = 10·2^50 B).
+type SystemParams struct {
+	UserData     float64 // U: total user data (bytes)
+	Capacity     float64 // C: device capacity (bytes)
+	SectorSize   float64 // S: sector size (bytes), typically 512
+	MTTFHours    float64 // 1/λ: mean time to device failure
+	RebuildHours float64 // 1/µ: mean rebuild time in critical mode
+	N            int     // devices per array
+	R            int     // sectors per chunk
+	M            int     // chunk-failure tolerance (the model assumes M = 1)
+}
+
+// DefaultParams returns the §7.2 configuration: U=10PB, C=300GB SATA,
+// S=512B, 1/λ=500000h, 1/µ=17.8h, n=8, r=16, m=1.
+func DefaultParams() SystemParams {
+	return SystemParams{
+		UserData:     10 * math.Pow(2, 50),
+		Capacity:     300 * math.Pow(2, 30),
+		SectorSize:   512,
+		MTTFHours:    500000,
+		RebuildHours: 17.8,
+		N:            8,
+		R:            16,
+		M:            1,
+	}
+}
+
+// Efficiency is the storage efficiency of Eq. 8: (r(n−m)−s)/(r·n).
+// s = 0 gives Reed-Solomon; SD codes with equal s match exactly.
+func Efficiency(n, r, m, s int) float64 {
+	return float64(r*(n-m)-s) / float64(r*n)
+}
+
+// Narr is Eq. 7: the number of arrays needed to hold U bytes of user
+// data at the given storage efficiency.
+func Narr(p SystemParams, efficiency float64) int {
+	return int(math.Ceil(p.UserData / efficiency / (p.Capacity * float64(p.N))))
+}
+
+// StripesPerArray is ⌊C/(S·r)⌋ (Eq. 11's stripe count).
+func StripesPerArray(p SystemParams) float64 {
+	return math.Floor(p.Capacity / (p.SectorSize * float64(p.R)))
+}
+
+// Parr is Eq. 11: the probability that an array in critical mode has an
+// unrecoverable stripe, computed stably as 1−(1−Pstr)^stripes.
+func Parr(stripes, pstr float64) float64 {
+	if pstr <= 0 {
+		return 0
+	}
+	if pstr >= 1 {
+		return 1
+	}
+	return -math.Expm1(stripes * math.Log1p(-pstr))
+}
+
+// MTTDLArr is Eq. 10: the Markov-model MTTDL of one array with m = 1.
+func MTTDLArr(n int, lambda, mu, parr float64) float64 {
+	num := float64(2*n-1)*lambda + mu
+	den := float64(n) * lambda * (float64(n-1)*lambda + mu*parr)
+	return num / den
+}
+
+// MTTDLSys is Eq. 9: system MTTDL across Narr independent arrays.
+func MTTDLSys(mttdlArr float64, narr int) float64 {
+	return mttdlArr / float64(narr)
+}
+
+// PsecFromPbit is Eq. 12: sector failure probability from the
+// unrecoverable bit error rate, computed exactly.
+func PsecFromPbit(pbit, sectorBytes float64) float64 {
+	return -math.Expm1(sectorBytes * 8 * math.Log1p(-pbit))
+}
+
+// ChunkModel yields Pchk(i): the probability a chunk suffers exactly i
+// sector failures (§7.1.1).
+type ChunkModel interface {
+	Pchk(i int) float64
+	R() int
+}
+
+// Independent is the independent sector-failure model (Eq. 13):
+// Pchk(i) = C(r,i)·Psec^i·(1−Psec)^{r−i}.
+type Independent struct {
+	Psec float64
+	Rval int
+}
+
+// R returns the chunk size in sectors.
+func (m Independent) R() int { return m.Rval }
+
+// Pchk returns the binomial probability of exactly i sector failures.
+func (m Independent) Pchk(i int) float64 {
+	if i < 0 || i > m.Rval {
+		return 0
+	}
+	return binomCoeff(m.Rval, i) * math.Pow(m.Psec, float64(i)) * math.Pow(1-m.Psec, float64(m.Rval-i))
+}
+
+// Correlated is the correlated (bursty) model of Eqs. 14-17: bursts
+// start at a sector with probability Psec/B and have length distribution
+// Dist; Pchk(0) = (1−Psec/B)^r and Pchk(i) = b_i·r·Psec/B for i ≥ 1.
+type Correlated struct {
+	Psec float64
+	Dist *failures.BurstDist
+}
+
+// R returns the chunk size in sectors.
+func (m Correlated) R() int { return m.Dist.MaxLen }
+
+// Pchk returns the bursty-model probability of exactly i sector failures.
+func (m Correlated) Pchk(i int) float64 {
+	b := m.Dist.Mean()
+	r := float64(m.Dist.MaxLen)
+	switch {
+	case i == 0:
+		return math.Pow(1-m.Psec/b, r)
+	case i >= 1 && i <= m.Dist.MaxLen:
+		return m.Dist.P(i) * r * m.Psec / b
+	default:
+		return 0
+	}
+}
+
+func binomCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// CoverageFunc reports whether a stripe in critical mode survives when
+// the surviving chunks' nonzero sector-failure counts are the given
+// ascending multiset. It must be monotone: adding failures or enlarging
+// any count never turns an uncovered pattern covered.
+type CoverageFunc func(ascCounts []int) bool
+
+// StairCoverage returns the coverage predicate of a STAIR code with
+// vector e: at most len(e) chunks fail, and the ascending counts fit
+// under e's largest slots.
+func StairCoverage(e []int) CoverageFunc {
+	ecopy := append([]int{}, e...)
+	return func(counts []int) bool {
+		k := len(counts)
+		if k > len(ecopy) {
+			return false
+		}
+		off := len(ecopy) - k
+		for i, c := range counts {
+			if c > ecopy[off+i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// SDCoverage returns the SD-code predicate: at most s total failures.
+func SDCoverage(s int) CoverageFunc {
+	return func(counts []int) bool {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total <= s
+	}
+}
+
+// RSCoverage tolerates no sector failures beyond the m failed devices.
+func RSCoverage() CoverageFunc {
+	return func(counts []int) bool { return len(counts) == 0 }
+}
+
+// IDRCoverage tolerates up to eps failures in every chunk independently.
+func IDRCoverage(eps int) CoverageFunc {
+	return func(counts []int) bool {
+		for _, c := range counts {
+			if c > eps {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Pstr computes the probability that a stripe in critical mode (its m
+// failed chunks already set aside) is unrecoverable: one minus the total
+// probability of all covered failure patterns across the nChunks
+// surviving chunks. The enumeration walks ascending count multisets,
+// pruning on the monotone coverage predicate, and weights each multiset
+// by the number of chunk assignments realising it.
+func Pstr(nChunks int, model ChunkModel, covers CoverageFunc) float64 {
+	p0 := model.Pchk(0)
+	r := model.R()
+	recoverable := 0.0
+	counts := make([]int, 0, nChunks)
+	var dfs func(minVal int, prod float64)
+	dfs = func(minVal int, prod float64) {
+		k := len(counts)
+		recoverable += multiplicity(nChunks, counts) * prod * math.Pow(p0, float64(nChunks-k))
+		if k == nChunks {
+			return
+		}
+		for v := minVal; v <= r; v++ {
+			counts = append(counts, v)
+			ok := covers(counts)
+			if ok {
+				dfs(v, prod*model.Pchk(v))
+			}
+			counts = counts[:k]
+			if !ok {
+				break // monotone: larger v cannot become covered
+			}
+		}
+	}
+	dfs(1, 1)
+	u := 1 - recoverable
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// multiplicity counts the assignments of the ascending count multiset to
+// nChunks distinct chunks: n!/((n−k)!·∏ mult_v!).
+func multiplicity(nChunks int, counts []int) float64 {
+	k := len(counts)
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res *= float64(nChunks - i)
+	}
+	run := 1
+	for i := 1; i <= k; i++ {
+		if i < k && counts[i] == counts[i-1] {
+			run++
+			continue
+		}
+		for f := 2; f <= run; f++ {
+			res /= float64(f)
+		}
+		run = 1
+	}
+	return res
+}
+
+// CodeSpec identifies an erasure code for system-level evaluation.
+type CodeSpec struct {
+	// Kind is "rs", "stair", "sd" or "idr".
+	Kind string
+	// E is the STAIR coverage vector (Kind == "stair").
+	E []int
+	// S is the sector-failure tolerance for SD, or ϵ per chunk for IDR.
+	S int
+}
+
+func (cs CodeSpec) String() string {
+	switch cs.Kind {
+	case "stair":
+		return fmt.Sprintf("STAIR e=%v", cs.E)
+	case "sd":
+		return fmt.Sprintf("SD s=%d", cs.S)
+	case "idr":
+		return fmt.Sprintf("IDR ϵ=%d", cs.S)
+	default:
+		return "RS"
+	}
+}
+
+// sectors returns the per-stripe parity sectors beyond the m chunks,
+// used for storage efficiency.
+func (cs CodeSpec) sectors(p SystemParams) int {
+	switch cs.Kind {
+	case "stair":
+		s := 0
+		for _, v := range cs.E {
+			s += v
+		}
+		return s
+	case "sd":
+		return cs.S
+	case "idr":
+		return cs.S * (p.N - p.M)
+	default:
+		return 0
+	}
+}
+
+func (cs CodeSpec) coverage() CoverageFunc {
+	switch cs.Kind {
+	case "stair":
+		return StairCoverage(cs.E)
+	case "sd":
+		return SDCoverage(cs.S)
+	case "idr":
+		return IDRCoverage(cs.S)
+	default:
+		return RSCoverage()
+	}
+}
+
+// SystemMTTDL evaluates the full pipeline of §7.1 for one code and one
+// sector-failure model: Pstr → Parr → MTTDL_arr → MTTDL_sys.
+func SystemMTTDL(p SystemParams, spec CodeSpec, model ChunkModel) float64 {
+	pstr := Pstr(p.N-p.M, model, spec.coverage())
+	parr := Parr(StripesPerArray(p), pstr)
+	lambda := 1 / p.MTTFHours
+	mu := 1 / p.RebuildHours
+	arr := MTTDLArr(p.N, lambda, mu, parr)
+	narr := Narr(p, Efficiency(p.N, p.R, p.M, spec.sectors(p)))
+	return MTTDLSys(arr, narr)
+}

@@ -1,0 +1,400 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"stair/internal/failures"
+)
+
+// almostEqual compares with a relative tolerance plus an absolute floor
+// of 1e-13: Pstr values are computed as 1−Σ(recoverable) and both the
+// closed forms and the enumerator bottom out at double-precision noise
+// (~1e-16 per term) when the true probability is smaller than that.
+func almostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) < rel*denom+1e-13
+}
+
+// TestNarrTableSection72 pins the paper's §7.2 table of Narr values for
+// s = 0..12 with U=10PB, C=300GB, n=8, r=16, m=1 (binary units).
+func TestNarrTableSection72(t *testing.T) {
+	p := DefaultParams()
+	want := []int{4994, 5039, 5085, 5131, 5179, 5227, 5276, 5327, 5378, 5430, 5483, 5538, 5593}
+	for s, w := range want {
+		got := Narr(p, Efficiency(p.N, p.R, p.M, s))
+		if got != w {
+			t.Errorf("Narr(s=%d) = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(8, 16, 1, 0); got != 112.0/128 {
+		t.Errorf("RS efficiency = %v", got)
+	}
+	if got := Efficiency(8, 16, 1, 4); got != 108.0/128 {
+		t.Errorf("s=4 efficiency = %v", got)
+	}
+}
+
+func TestPsecFromPbit(t *testing.T) {
+	// Eq. 12 approximation: Psec ≈ S·8·Pbit for small Pbit.
+	got := PsecFromPbit(1e-14, 512)
+	want := 512 * 8 * 1e-14
+	if !almostEqual(got, want, 1e-6) {
+		t.Errorf("Psec = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestParrStability(t *testing.T) {
+	// Tiny Pstr with many stripes must not underflow to 0.
+	got := Parr(3.93e7, 1e-9)
+	if got <= 0 || got >= 1 {
+		t.Errorf("Parr = %v", got)
+	}
+	// The direct power loses ~2e-9 of relative accuracy to the rounding
+	// of 1−Pstr before the exponentiation; the expm1/log1p form is the
+	// more accurate of the two.
+	if !almostEqual(got, 1-math.Pow(1-1e-9, 3.93e7), 1e-7) {
+		t.Error("Parr disagrees with direct power")
+	}
+	if Parr(1e7, 0) != 0 || Parr(1e7, 1) != 1 {
+		t.Error("Parr boundary cases wrong")
+	}
+}
+
+func TestMTTDLArrSanity(t *testing.T) {
+	// With Parr → 0 the array MTTDL approaches the classic RAID-5 form
+	// ((2n−1)λ+µ)/(n(n−1)λ²); with Parr = 1 it is much smaller.
+	lambda, mu := 1/500000.0, 1/17.8
+	hi := MTTDLArr(8, lambda, mu, 0)
+	lo := MTTDLArr(8, lambda, mu, 1)
+	if hi <= lo {
+		t.Errorf("MTTDL should decrease with Parr: %v vs %v", hi, lo)
+	}
+	classic := (15*lambda + mu) / (8 * 7 * lambda * lambda)
+	if !almostEqual(hi, classic, 1e-12) {
+		t.Errorf("Parr=0 MTTDL %v, want %v", hi, classic)
+	}
+}
+
+func independentModel(pbit float64, p SystemParams) Independent {
+	return Independent{Psec: PsecFromPbit(pbit, p.SectorSize), Rval: p.R}
+}
+
+func correlatedModel(t *testing.T, pbit, b1, alpha float64, p SystemParams) Correlated {
+	t.Helper()
+	d, err := failures.NewBurstDist(b1, alpha, p.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Correlated{Psec: PsecFromPbit(pbit, p.SectorSize), Dist: d}
+}
+
+// TestClosedFormsMatchEnumerator cross-validates every Appendix-B closed
+// form against the general Pstr enumerator, under both failure models.
+func TestClosedFormsMatchEnumerator(t *testing.T) {
+	p := DefaultParams()
+	nm := p.N - p.M
+	models := map[string]ChunkModel{
+		"independent": independentModel(1e-12, p),
+		"correlated":  correlatedModel(t, 1e-12, 0.98, 1.79, p),
+	}
+	for name, model := range models {
+		t.Run(name, func(t *testing.T) {
+			if got, want := Pstr(nm, model, RSCoverage()), PstrRSClosed(nm, model); !almostEqual(got, want, 1e-6) {
+				t.Errorf("RS: enumerator %v, closed %v", got, want)
+			}
+			for s := 1; s <= 6; s++ {
+				got := Pstr(nm, model, StairCoverage([]int{s}))
+				want := PstrStairSClosed(nm, s, model)
+				if !almostEqual(got, want, 1e-6) {
+					t.Errorf("e=(%d): enumerator %v, closed %v", s, got, want)
+				}
+			}
+			for s := 2; s <= 6; s++ {
+				got := Pstr(nm, model, StairCoverage([]int{1, s - 1}))
+				want := PstrStair1Sm1Closed(nm, s, model)
+				if !almostEqual(got, want, 1e-6) {
+					t.Errorf("e=(1,%d): enumerator %v, closed %v", s-1, got, want)
+				}
+			}
+			for s := 4; s <= 8; s++ {
+				got := Pstr(nm, model, StairCoverage([]int{2, s - 2}))
+				want := PstrStair2Sm2Closed(nm, s, model)
+				if !almostEqual(got, want, 1e-6) {
+					t.Errorf("e=(2,%d): enumerator %v, closed %v", s-2, got, want)
+				}
+			}
+			for s := 3; s <= 6; s++ {
+				got := Pstr(nm, model, StairCoverage([]int{1, 1, s - 2}))
+				want := PstrStair11Sm2Closed(nm, s, model)
+				if !almostEqual(got, want, 1e-6) {
+					t.Errorf("e=(1,1,%d): enumerator %v, closed %v", s-2, got, want)
+				}
+			}
+			for s := 1; s <= 5; s++ {
+				e := make([]int, s)
+				for i := range e {
+					e[i] = 1
+				}
+				got := Pstr(nm, model, StairCoverage(e))
+				want := PstrStairAllOnesClosed(nm, s, model)
+				if !almostEqual(got, want, 1e-6) {
+					t.Errorf("e=ones(%d): enumerator %v, closed %v", s, got, want)
+				}
+			}
+			if got, want := Pstr(nm, model, SDCoverage(1)), PstrSD1Closed(nm, model); !almostEqual(got, want, 1e-6) {
+				t.Errorf("SD1: enumerator %v, closed %v", got, want)
+			}
+			if got, want := Pstr(nm, model, SDCoverage(2)), PstrSD2Closed(nm, model); !almostEqual(got, want, 1e-6) {
+				t.Errorf("SD2: enumerator %v, closed %v", got, want)
+			}
+			if got, want := Pstr(nm, model, SDCoverage(3)), PstrSD3Closed(nm, model); !almostEqual(got, want, 1e-6) {
+				t.Errorf("SD3: enumerator %v, closed %v", got, want)
+			}
+		})
+	}
+}
+
+// TestFig17Shapes checks the qualitative claims of Figure 17
+// (independent sector failures).
+func TestFig17Shapes(t *testing.T) {
+	p := DefaultParams()
+
+	// At Pbit = 1e-14, STAIR/SD s=1 beat RS by more than two orders of
+	// magnitude.
+	model := independentModel(1e-14, p)
+	rs := SystemMTTDL(p, CodeSpec{Kind: "rs"}, model)
+	stair1 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1}}, model)
+	if stair1 < 100*rs {
+		t.Errorf("s=1 improvement only %.1fx (want >100x): rs=%v stair=%v", stair1/rs, rs, stair1)
+	}
+
+	// STAIR e=(1) and SD s=1 are the same code (§2).
+	sd1 := SystemMTTDL(p, CodeSpec{Kind: "sd", S: 1}, model)
+	if !almostEqual(stair1, sd1, 1e-9) {
+		t.Errorf("STAIR e=(1) %v != SD s=1 %v", stair1, sd1)
+	}
+
+	// Fig 17(b): among s=3 configurations, e=(1,2) is the most reliable
+	// under independent failures at high Pbit.
+	hi := independentModel(1e-11, p)
+	e12 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, 2}}, hi)
+	e3 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{3}}, hi)
+	e111 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, 1, 1}}, hi)
+	if !(e12 > e3 && e12 > e111) {
+		t.Errorf("e=(1,2)=%v should beat e=(3)=%v and e=(1,1,1)=%v", e12, e3, e111)
+	}
+
+	// Reliability is non-increasing in Pbit and strictly falls before
+	// the Markov model saturates at Parr = 1 (where MTTDL_arr bottoms
+	// out near 1/(nλ) — the flat right end of Figure 17's curves).
+	prev := math.Inf(1)
+	for _, pbit := range []float64{1e-14, 1e-13, 1e-12, 1e-11, 1e-10} {
+		v := SystemMTTDL(p, CodeSpec{Kind: "rs"}, independentModel(pbit, p))
+		if v > prev*(1+1e-12) {
+			t.Errorf("RS MTTDL increased with Pbit: %v -> %v", prev, v)
+		}
+		prev = v
+	}
+	atLow := SystemMTTDL(p, CodeSpec{Kind: "rs"}, independentModel(1e-14, p))
+	atMid := SystemMTTDL(p, CodeSpec{Kind: "rs"}, independentModel(1e-12, p))
+	if atMid >= atLow {
+		t.Errorf("RS MTTDL should fall between 1e-14 (%v) and 1e-12 (%v)", atLow, atMid)
+	}
+}
+
+// TestFig18Shapes checks the correlated-burst claims (b1=0.98, α=1.79).
+func TestFig18Shapes(t *testing.T) {
+	p := DefaultParams()
+	model := correlatedModel(t, 1e-14, 0.98, 1.79, p)
+
+	// STAIR/SD s=1 beat RS by more than one order of magnitude.
+	rs := SystemMTTDL(p, CodeSpec{Kind: "rs"}, model)
+	stair1 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1}}, model)
+	if stair1 < 10*rs {
+		t.Errorf("s=1 improvement only %.1fx (want >10x)", stair1/rs)
+	}
+
+	// STAIR e=(e0..em'-1) has almost the same reliability as SD with
+	// s=e_max: compare e=(1,2) vs SD s=2 and e=(3) vs SD s=3.
+	e12 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, 2}}, model)
+	sd2 := SystemMTTDL(p, CodeSpec{Kind: "sd", S: 2}, model)
+	if !almostEqual(e12, sd2, 0.15) {
+		t.Errorf("e=(1,2)=%v should be close to SD s=2=%v", e12, sd2)
+	}
+	e3 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{3}}, model)
+	sd3 := SystemMTTDL(p, CodeSpec{Kind: "sd", S: 3}, model)
+	if !almostEqual(e3, sd3, 0.15) {
+		t.Errorf("e=(3)=%v should be close to SD s=3=%v", e3, sd3)
+	}
+
+	// Among equal-s configurations, e=(s) is the most reliable under
+	// bursts.
+	e111 := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, 1, 1}}, model)
+	if !(e3 >= e12 && e12 >= e111) {
+		t.Errorf("burst ordering violated: e=(3)=%v e=(1,2)=%v e=(1,1,1)=%v", e3, e12, e111)
+	}
+}
+
+// TestFig19Shapes checks the burst-length sensitivity claims.
+func TestFig19Shapes(t *testing.T) {
+	p := DefaultParams()
+
+	// Very bursty failures (b1=0.9, α=1): e=(s) hugely outperforms
+	// e=(1,s−1) for larger s.
+	bursty := correlatedModel(t, 1e-12, 0.9, 1.0, p)
+	for _, s := range []int{4, 8, 12} {
+		es := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{s}}, bursty)
+		e1s := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, s - 1}}, bursty)
+		if es <= e1s {
+			t.Errorf("bursty s=%d: e=(s)=%v should beat e=(1,s-1)=%v", s, es, e1s)
+		}
+	}
+
+	// Nearly-independent failures (b1=0.9999, α=4): e=(1,s−1) can win
+	// at high Pbit (the paper's observation for Pbit = 1e-10).
+	benign := correlatedModel(t, 1e-10, 0.9999, 4.0, p)
+	s := 8
+	es := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{s}}, benign)
+	e1s := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{1, s - 1}}, benign)
+	if e1s <= es {
+		t.Errorf("benign: e=(1,%d)=%v should beat e=(%d)=%v at Pbit=1e-10", s-1, e1s, s, es)
+	}
+
+	// Reliability of e=(s) grows with s under bursts.
+	prev := 0.0
+	for s := 1; s <= 12; s++ {
+		v := SystemMTTDL(p, CodeSpec{Kind: "stair", E: []int{s}}, bursty)
+		if v <= prev {
+			t.Errorf("bursty: MTTDL(e=(%d))=%v did not grow (prev %v)", s, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestBurstDistProperties validates the (b1, α) distribution machinery.
+func TestBurstDistProperties(t *testing.T) {
+	d, err := failures.NewBurstDist(0.98, 1.79, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.P(1); got != 0.98 {
+		t.Errorf("P(1) = %v, want 0.98", got)
+	}
+	total := 0.0
+	for i := 1; i <= 16; i++ {
+		total += d.P(i)
+	}
+	if !almostEqual(total, 1, 1e-12) {
+		t.Errorf("probabilities sum to %v", total)
+	}
+	if got := d.CDF(16); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("CDF(16) = %v", got)
+	}
+	// Mean burst length close to 1 sector, as the paper cites (B ≈ 1.03).
+	if d.Mean() < 1.0 || d.Mean() > 1.1 {
+		t.Errorf("mean burst length %v outside [1, 1.1]", d.Mean())
+	}
+	// Smaller α ⇒ heavier tail ⇒ larger mean.
+	heavy, _ := failures.NewBurstDist(0.9, 1.0, 16)
+	if heavy.Mean() <= d.Mean() {
+		t.Errorf("heavier tail should have larger mean: %v vs %v", heavy.Mean(), d.Mean())
+	}
+	// Invalid parameters rejected.
+	if _, err := failures.NewBurstDist(-0.1, 1, 16); err == nil {
+		t.Error("negative b1 accepted")
+	}
+	if _, err := failures.NewBurstDist(0.9, 0, 16); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := failures.NewBurstDist(0.9, 1, 0); err == nil {
+		t.Error("zero maxLen accepted")
+	}
+}
+
+// TestPchkNormalization: chunk models should be (approximately)
+// normalised; the correlated model is the paper's first-order
+// approximation so it only sums near 1.
+func TestPchkNormalization(t *testing.T) {
+	p := DefaultParams()
+	ind := independentModel(1e-10, p)
+	total := 0.0
+	for i := 0; i <= ind.R(); i++ {
+		total += ind.Pchk(i)
+	}
+	if !almostEqual(total, 1, 1e-9) {
+		t.Errorf("independent model sums to %v", total)
+	}
+	cor := correlatedModel(t, 1e-10, 0.98, 1.79, p)
+	total = 0.0
+	for i := 0; i <= cor.R(); i++ {
+		total += cor.Pchk(i)
+	}
+	if math.Abs(total-1) > 1e-3 {
+		t.Errorf("correlated model sums to %v (should be ≈1)", total)
+	}
+}
+
+// TestMonteCarloPstrIndependent cross-checks the enumerator against a
+// simulation of the independent model with an exaggerated Psec.
+func TestMonteCarloPstrIndependent(t *testing.T) {
+	p := DefaultParams()
+	model := Independent{Psec: 0.01, Rval: p.R}
+	covers := StairCoverage([]int{1, 2})
+	want := Pstr(p.N-p.M, model, covers)
+
+	rng := newTestRand(99)
+	const trials = 200000
+	bad := 0
+	for trial := 0; trial < trials; trial++ {
+		var counts []int
+		for chunk := 0; chunk < p.N-p.M; chunk++ {
+			c := 0
+			for s := 0; s < p.R; s++ {
+				if rng.Float64() < model.Psec {
+					c++
+				}
+			}
+			if c > 0 {
+				counts = append(counts, c)
+			}
+		}
+		sortInts(counts)
+		if !covers(counts) {
+			bad++
+		}
+	}
+	got := float64(bad) / trials
+	if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/trials)+1e-6 {
+		t.Errorf("Monte Carlo Pstr %v vs analytic %v", got, want)
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestCodeSpecStrings(t *testing.T) {
+	if (CodeSpec{Kind: "rs"}).String() != "RS" {
+		t.Error("rs string")
+	}
+	if (CodeSpec{Kind: "stair", E: []int{1, 2}}).String() == "" {
+		t.Error("stair string")
+	}
+	if (CodeSpec{Kind: "sd", S: 2}).String() == "" {
+		t.Error("sd string")
+	}
+	if (CodeSpec{Kind: "idr", S: 2}).String() == "" {
+		t.Error("idr string")
+	}
+}

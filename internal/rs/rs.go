@@ -1,0 +1,285 @@
+// Package rs implements systematic maximum-distance-separable (MDS)
+// erasure codes over GF(2^w): Cauchy Reed-Solomon codes (the paper's
+// default building block, §3) and Vandermonde-derived Reed-Solomon codes.
+//
+// An (eta, kappa) code transforms kappa data symbols into an eta-symbol
+// codeword whose first kappa symbols are the data itself (systematic) and
+// whose any kappa symbols suffice to recover the codeword (MDS). STAIR
+// codes instantiate two of these: Crow = (n+m', n−m) applied to rows and
+// Ccol = (r+e_max, r) applied to columns.
+package rs
+
+import (
+	"fmt"
+
+	"stair/internal/gf"
+	"stair/internal/matrix"
+)
+
+// Kind selects the generator-matrix construction.
+type Kind int
+
+const (
+	// Cauchy builds the parity block from a Cauchy matrix (the paper's
+	// choice: Cauchy Reed-Solomon codes have no restriction on code
+	// length or fault tolerance beyond eta ≤ 2^w).
+	Cauchy Kind = iota
+	// Vandermonde builds the generator by column-reducing a Vandermonde
+	// matrix (classic Plank systematic Reed-Solomon construction).
+	Vandermonde
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Cauchy:
+		return "cauchy"
+	case Vandermonde:
+		return "vandermonde"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Code is a systematic (eta, kappa) MDS code. Codewords are indexed
+// 0..eta-1; positions 0..kappa-1 are data, kappa..eta-1 are parity.
+// A Code is immutable and safe for concurrent use.
+type Code struct {
+	f     *gf.Field
+	eta   int
+	kappa int
+	kind  Kind
+	// gen is the eta×kappa generator: codeword = gen · data (column
+	// vector), with the top kappa×kappa block the identity.
+	gen *matrix.Matrix
+}
+
+// New constructs an (eta, kappa) systematic MDS code of the given kind.
+func New(f *gf.Field, eta, kappa int, kind Kind) (*Code, error) {
+	if kappa < 1 {
+		return nil, fmt.Errorf("rs: kappa=%d must be ≥ 1", kappa)
+	}
+	if eta < kappa {
+		return nil, fmt.Errorf("rs: eta=%d must be ≥ kappa=%d", eta, kappa)
+	}
+	if eta > f.Size() {
+		return nil, fmt.Errorf("rs: eta=%d exceeds field size 2^%d=%d; use a wider field", eta, f.W(), f.Size())
+	}
+	c := &Code{f: f, eta: eta, kappa: kappa, kind: kind}
+	switch kind {
+	case Cauchy:
+		if eta == kappa {
+			c.gen = matrix.Identity(f, kappa)
+			break
+		}
+		xs := make([]uint32, eta-kappa)
+		ys := make([]uint32, kappa)
+		for i := range xs {
+			xs[i] = uint32(kappa + i)
+		}
+		for j := range ys {
+			ys[j] = uint32(j)
+		}
+		// parity block A[i][j] = 1/(xs[i] + ys[j]); rows are parity
+		// positions, columns are data positions.
+		a, err := matrix.Cauchy(f, ys, xs) // |xs|×|ys| = rows over parity positions
+		if err != nil {
+			return nil, fmt.Errorf("rs: building Cauchy parity block: %w", err)
+		}
+		c.gen = stack(matrix.Identity(f, kappa), a)
+	case Vandermonde:
+		g, err := matrix.SystematicFromVandermonde(f, eta, kappa)
+		if err != nil {
+			return nil, fmt.Errorf("rs: building Vandermonde generator: %w", err)
+		}
+		c.gen = g
+	default:
+		return nil, fmt.Errorf("rs: unknown kind %v", kind)
+	}
+	return c, nil
+}
+
+// NewCauchy is shorthand for New(f, eta, kappa, Cauchy).
+func NewCauchy(f *gf.Field, eta, kappa int) (*Code, error) {
+	return New(f, eta, kappa, Cauchy)
+}
+
+// NewVandermonde is shorthand for New(f, eta, kappa, Vandermonde).
+func NewVandermonde(f *gf.Field, eta, kappa int) (*Code, error) {
+	return New(f, eta, kappa, Vandermonde)
+}
+
+// stack returns the vertical concatenation [top; bottom].
+func stack(top, bottom *matrix.Matrix) *matrix.Matrix {
+	if top.Cols() != bottom.Cols() {
+		panic("rs: stack column mismatch")
+	}
+	m := matrix.New(top.Field(), top.Rows()+bottom.Rows(), top.Cols())
+	for i := 0; i < top.Rows(); i++ {
+		for j := 0; j < top.Cols(); j++ {
+			m.Set(i, j, top.At(i, j))
+		}
+	}
+	for i := 0; i < bottom.Rows(); i++ {
+		for j := 0; j < bottom.Cols(); j++ {
+			m.Set(top.Rows()+i, j, bottom.At(i, j))
+		}
+	}
+	return m
+}
+
+// Field returns the underlying Galois field.
+func (c *Code) Field() *gf.Field { return c.f }
+
+// Eta returns the codeword length.
+func (c *Code) Eta() int { return c.eta }
+
+// Kappa returns the number of data symbols.
+func (c *Code) Kappa() int { return c.kappa }
+
+// Kind returns the generator construction used.
+func (c *Code) Kind() Kind { return c.kind }
+
+// Generator returns a copy of the eta×kappa generator matrix.
+func (c *Code) Generator() *matrix.Matrix { return c.gen.Clone() }
+
+// Coeff returns the generator coefficient of codeword position pos with
+// respect to data symbol j.
+func (c *Code) Coeff(pos, j int) uint32 { return c.gen.At(pos, j) }
+
+// EncodeSymbols returns the eta−kappa parity symbols for the given kappa
+// data symbols.
+func (c *Code) EncodeSymbols(data []uint32) ([]uint32, error) {
+	if len(data) != c.kappa {
+		return nil, fmt.Errorf("rs: got %d data symbols, want %d", len(data), c.kappa)
+	}
+	parity := make([]uint32, c.eta-c.kappa)
+	for p := range parity {
+		var acc uint32
+		for j, d := range data {
+			if a := c.gen.At(c.kappa+p, j); a != 0 && d != 0 {
+				acc ^= c.f.Mul(a, d)
+			}
+		}
+		parity[p] = acc
+	}
+	return parity, nil
+}
+
+// EncodeRegions computes parity regions from data regions. data must hold
+// kappa equal-length regions; parity must hold eta−kappa regions of the
+// same length, which are overwritten.
+func (c *Code) EncodeRegions(data, parity [][]byte) error {
+	if len(data) != c.kappa {
+		return fmt.Errorf("rs: got %d data regions, want %d", len(data), c.kappa)
+	}
+	if len(parity) != c.eta-c.kappa {
+		return fmt.Errorf("rs: got %d parity regions, want %d", len(parity), c.eta-c.kappa)
+	}
+	for p, out := range parity {
+		gf.Zero(out)
+		for j, in := range data {
+			if a := c.gen.At(c.kappa+p, j); a != 0 {
+				c.f.MultXOR(out, in, a)
+			}
+		}
+	}
+	return nil
+}
+
+// SolveCoeffs computes the linear map that reconstructs the codeword
+// positions in want from the positions in have. Exactly the first kappa
+// entries of have are used (an error is returned if fewer are supplied).
+// The result K is a len(want)×kappa matrix:
+//
+//	value[want[i]] = Σ_j K[i][j] · value[have[j]]   for j < kappa.
+//
+// This is the primitive both STAIR decoding and STAIR's upstairs /
+// downstairs encoding are built from: "a row with ≥ n−m available symbols
+// determines all its symbols" (paper §4.2).
+func (c *Code) SolveCoeffs(have, want []int) (*matrix.Matrix, error) {
+	if len(have) < c.kappa {
+		return nil, fmt.Errorf("rs: need %d known positions, have %d", c.kappa, len(have))
+	}
+	use := have[:c.kappa]
+	for _, p := range append(append([]int{}, use...), want...) {
+		if p < 0 || p >= c.eta {
+			return nil, fmt.Errorf("rs: position %d out of range [0,%d)", p, c.eta)
+		}
+	}
+	gh := c.gen.SelectRows(use)
+	ghInv, err := gh.Invert()
+	if err != nil {
+		// Cannot happen for an MDS code with kappa distinct positions,
+		// but the caller may have passed duplicates.
+		return nil, fmt.Errorf("rs: positions %v do not determine the codeword: %w", use, err)
+	}
+	gw := c.gen.SelectRows(want)
+	return gw.Mul(ghInv), nil
+}
+
+// Reconstruct fills in the missing symbols of a codeword in place.
+// codeword has length eta; present[i] reports whether codeword[i] is
+// valid. At least kappa positions must be present.
+func (c *Code) Reconstruct(codeword []uint32, present []bool) error {
+	if len(codeword) != c.eta || len(present) != c.eta {
+		return fmt.Errorf("rs: codeword/present length must be %d", c.eta)
+	}
+	var have, want []int
+	for i, ok := range present {
+		if ok {
+			have = append(have, i)
+		} else {
+			want = append(want, i)
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	k, err := c.SolveCoeffs(have, want)
+	if err != nil {
+		return err
+	}
+	for i, w := range want {
+		var acc uint32
+		for j := 0; j < c.kappa; j++ {
+			if a := k.At(i, j); a != 0 {
+				acc ^= c.f.Mul(a, codeword[have[j]])
+			}
+		}
+		codeword[w] = acc
+	}
+	return nil
+}
+
+// ReconstructRegions fills in missing regions of a codeword of regions.
+// regions[i] must all share one length; present[i] marks validity. Missing
+// regions are overwritten in place.
+func (c *Code) ReconstructRegions(regions [][]byte, present []bool) error {
+	if len(regions) != c.eta || len(present) != c.eta {
+		return fmt.Errorf("rs: regions/present length must be %d", c.eta)
+	}
+	var have, want []int
+	for i, ok := range present {
+		if ok {
+			have = append(have, i)
+		} else {
+			want = append(want, i)
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	k, err := c.SolveCoeffs(have, want)
+	if err != nil {
+		return err
+	}
+	for i, w := range want {
+		gf.Zero(regions[w])
+		for j := 0; j < c.kappa; j++ {
+			if a := k.At(i, j); a != 0 {
+				c.f.MultXOR(regions[w], regions[have[j]], a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package workload generates deterministic test and benchmark workloads:
+// random stripe payloads and update streams. Centralising the seeding
+// keeps experiments reproducible across the harness, benchmarks and
+// examples.
+package workload
+
+import (
+	"math/rand"
+
+	"stair/internal/core"
+)
+
+// FillStripe writes seeded random bytes into every data cell of a STAIR
+// stripe. Symbols are masked to the field width for w=4 fields.
+func FillStripe(c *core.Code, st *core.Stripe, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	mask4 := c.Field().W() == 4
+	for _, cell := range c.DataCells() {
+		s := st.Sector(cell.Col, cell.Row)
+		rng.Read(s)
+		if mask4 {
+			for i := range s {
+				s[i] &= 0x0f
+			}
+		}
+	}
+}
+
+// FillCells writes seeded random bytes into the given cells of a raw
+// [][]byte stripe (col*r+row indexed), for the SD/IDR comparators.
+func FillCells(cells [][]byte, r int, dataCells []struct{ Col, Row int }, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, cell := range dataCells {
+		rng.Read(cells[cell.Col*r+cell.Row])
+	}
+}
+
+// Update is one element of an update stream.
+type Update struct {
+	Cell core.Cell
+	Data []byte
+}
+
+// UpdateStream returns count single-sector updates over uniformly random
+// data cells of the code — the small-write workload of §6.3.
+func UpdateStream(c *core.Code, sectorSize, count int, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	cells := c.DataCells()
+	out := make([]Update, count)
+	for i := range out {
+		data := make([]byte, sectorSize)
+		rng.Read(data)
+		if c.Field().W() == 4 {
+			for j := range data {
+				data[j] &= 0x0f
+			}
+		}
+		out[i] = Update{Cell: cells[rng.Intn(len(cells))], Data: data}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"stair/internal/core"
+)
+
+func TestFillStripeDeterministic(t *testing.T) {
+	c, err := core.New(core.Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.NewStripe(32)
+	b, _ := c.NewStripe(32)
+	FillStripe(c, a, 5)
+	FillStripe(c, b, 5)
+	for i := range a.Cells {
+		if !bytes.Equal(a.Cells[i], b.Cells[i]) {
+			t.Fatal("same seed produced different stripes")
+		}
+	}
+	d, _ := c.NewStripe(32)
+	FillStripe(c, d, 6)
+	same := true
+	for i := range a.Cells {
+		if !bytes.Equal(a.Cells[i], d.Cells[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stripes")
+	}
+}
+
+func TestFillStripeLeavesParityZero(t *testing.T) {
+	c, err := core.New(core.Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.NewStripe(16)
+	FillStripe(c, st, 1)
+	for _, pc := range c.ParityCells() {
+		s := st.Sector(pc.Col, pc.Row)
+		for _, b := range s {
+			if b != 0 {
+				t.Fatalf("parity cell %v touched by FillStripe", pc)
+			}
+		}
+	}
+}
+
+func TestFillStripeW4Masked(t *testing.T) {
+	c, err := core.New(core.Config{N: 6, R: 4, M: 1, E: []int{1}, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.NewStripe(64)
+	FillStripe(c, st, 2)
+	for _, cell := range c.DataCells() {
+		for _, b := range st.Sector(cell.Col, cell.Row) {
+			if b > 0x0f {
+				t.Fatal("w=4 data not masked to nibble range")
+			}
+		}
+	}
+}
+
+func TestUpdateStream(t *testing.T) {
+	c, err := core.New(core.Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := UpdateStream(c, 32, 50, 7)
+	if len(ups) != 50 {
+		t.Fatalf("got %d updates", len(ups))
+	}
+	st, _ := c.NewStripe(32)
+	FillStripe(c, st, 1)
+	if err := c.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range ups {
+		if len(u.Data) != 32 {
+			t.Fatalf("update %d has %d bytes", i, len(u.Data))
+		}
+		if cls, err := c.Class(u.Cell); err != nil || cls != core.ClassData {
+			t.Fatalf("update %d targets non-data cell %v", i, u.Cell)
+		}
+		if err := c.Update(st, u.Cell, u.Data); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	ok, err := c.Verify(st)
+	if err != nil || !ok {
+		t.Fatalf("stripe fails verification after update stream: ok=%v err=%v", ok, err)
+	}
+}

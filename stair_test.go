@@ -1,0 +1,117 @@
+package stair_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stair"
+)
+
+// TestPublicAPIRoundtrip exercises the package through its public face
+// only, the way a downstream user would.
+func TestPublicAPIRoundtrip(t *testing.T) {
+	code, err := stair.New(stair.Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := code.NewStripe(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range code.DataCells() {
+		rng.Read(st.Sector(c.Col, c.Row))
+	}
+	if err := code.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Clone()
+
+	lost := []stair.Cell{
+		{Col: 6, Row: 0}, {Col: 6, Row: 1}, {Col: 6, Row: 2}, {Col: 6, Row: 3},
+		{Col: 7, Row: 0}, {Col: 7, Row: 1}, {Col: 7, Row: 2}, {Col: 7, Row: 3},
+		{Col: 0, Row: 3}, {Col: 1, Row: 0}, {Col: 2, Row: 1}, {Col: 2, Row: 2},
+	}
+	for _, c := range lost {
+		for i := range st.Sector(c.Col, c.Row) {
+			st.Sector(c.Col, c.Row)[i] = 0
+		}
+	}
+	if err := code.Repair(st, lost); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Cells {
+		if !bytes.Equal(st.Cells[i], want.Cells[i]) {
+			t.Fatalf("cell %d differs after repair", i)
+		}
+	}
+}
+
+func TestPublicErrUnrecoverable(t *testing.T) {
+	code, err := stair.New(stair.Config{N: 6, R: 4, M: 1, E: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := code.NewStripe(64)
+	var lost []stair.Cell
+	for col := 0; col < 2; col++ {
+		for row := 0; row < 4; row++ {
+			lost = append(lost, stair.Cell{Col: col, Row: row})
+		}
+	}
+	err = code.Repair(st, lost)
+	if !errors.Is(err, stair.ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if got := stair.StorageEfficiency(8, 16, 1, 0); got != 0.875 {
+		t.Errorf("StorageEfficiency = %v", got)
+	}
+	if got := stair.SpaceSavingDevices([]int{1, 4}, 8); got != 2-5.0/8 {
+		t.Errorf("SpaceSavingDevices = %v", got)
+	}
+}
+
+func TestPublicMethodsAndCosts(t *testing.T) {
+	code, err := stair.New(stair.Config{N: 8, R: 16, M: 2, E: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Method() != stair.MethodDownstairs {
+		t.Errorf("m'=1 should choose downstairs, got %v", code.Method())
+	}
+	if code.Cost(stair.MethodUpstairs) <= code.Cost(stair.MethodDownstairs) {
+		t.Error("cost ordering unexpected for m'=1")
+	}
+	if code.Cost(stair.MethodStandard) <= code.Cost(stair.MethodDownstairs) {
+		t.Error("standard should be the most expensive here")
+	}
+}
+
+func TestPublicUpdate(t *testing.T) {
+	code, err := stair.New(stair.Config{N: 6, R: 4, M: 1, E: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := code.NewStripe(128)
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range code.DataCells() {
+		rng.Read(st.Sector(c.Col, c.Row))
+	}
+	if err := code.Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	rng.Read(buf)
+	if err := code.Update(st, stair.Cell{Col: 0, Row: 0}, buf); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := code.Verify(st)
+	if err != nil || !ok {
+		t.Fatalf("Verify after Update: ok=%v err=%v", ok, err)
+	}
+}
