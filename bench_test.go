@@ -14,6 +14,7 @@ import (
 	"stair/internal/failures"
 	"stair/internal/reliability"
 	"stair/internal/sd"
+	"stair/internal/store"
 )
 
 const benchStripeBytes = 1 << 20
@@ -265,5 +266,114 @@ func BenchmarkDecodeScheduleBuild(b *testing.B) {
 		if _, err := c.RepairCost(l); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Store-level benchmarks (internal/store): the paths a deployment
+// actually drives, healthy vs degraded. cmd/stairbench -experiment store
+// emits the same scenarios as BENCH_store.json.
+
+func benchStore(b *testing.B, stripes int) *store.Store {
+	b.Helper()
+	c := benchCode(b, core.Config{N: 8, R: 16, M: 2, E: []int{1, 1, 2}})
+	sector := benchStripeBytes / (c.N() * c.R())
+	sector -= sector % c.Field().SymbolBytes()
+	s, err := store.Open(store.Config{Code: c, SectorSize: sector, Stripes: stripes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	buf := make([]byte, sector)
+	rng := rand.New(rand.NewSource(9))
+	for blk := 0; blk < s.Blocks(); blk++ {
+		rng.Read(buf)
+		if err := s.WriteBlock(blk, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkStoreWriteSeq: sequential volume fill — batched parallel
+// full-stripe encodes plus device writes.
+func BenchmarkStoreWriteSeq(b *testing.B) {
+	s := benchStore(b, 4)
+	buf := make([]byte, s.BlockSize())
+	rand.New(rand.NewSource(10)).Read(buf)
+	b.SetBytes(int64(s.Blocks() * s.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for blk := 0; blk < s.Blocks(); blk++ {
+			if err := s.WriteBlock(blk, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreSubStripeWrite: a single-block overwrite flushed through
+// the §5.2 incremental-parity read–modify–write path.
+func BenchmarkStoreSubStripeWrite(b *testing.B) {
+	s := benchStore(b, 4)
+	buf := make([]byte, s.BlockSize())
+	rand.New(rand.NewSource(11)).Read(buf)
+	b.SetBytes(int64(s.BlockSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteBlock(i%s.Blocks(), buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRead: healthy vs degraded block reads (1 and m failed
+// devices) — the degraded cases pay an on-the-fly stripe repair.
+func BenchmarkStoreRead(b *testing.B) {
+	for _, fails := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("failed=%d", fails), func(b *testing.B) {
+			s := benchStore(b, 4)
+			for dev := 0; dev < fails; dev++ {
+				if err := s.FailDevice(dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(s.BlockSize()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ReadBlock(i % s.Blocks()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreScrubRepair: one scrub pass plus repair convergence over
+// a volume with one latent error per stripe.
+func BenchmarkStoreScrubRepair(b *testing.B) {
+	s := benchStore(b, 4)
+	_, stripes, r, _ := s.Geometry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for stripe := 0; stripe < stripes; stripe++ {
+			if err := s.InjectSectorError(stripe%3, stripe*r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := s.Scrub(); err != nil {
+			b.Fatal(err)
+		}
+		s.Quiesce()
 	}
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+func init() {
+	register("store", "block-store throughput, healthy vs degraded (writes BENCH_store.json)", runStore)
+}
+
+// storeBenchConfig pins the measured volume so the JSON is reproducible
+// run to run (throughput varies with the machine; the shape does not).
+type storeBenchConfig struct {
+	N          int   `json:"n"`
+	R          int   `json:"r"`
+	M          int   `json:"m"`
+	E          []int `json:"e"`
+	SectorSize int   `json:"sector_size"`
+	Stripes    int   `json:"stripes"`
+	UserBytes  int   `json:"user_bytes"`
+}
+
+type storeBenchResult struct {
+	// Op names the scenario, e.g. "read-degraded-2dev".
+	Op string `json:"op"`
+	// MiBps is user-data throughput in MiB/s (raw stripe bytes for the
+	// scrub scenario).
+	MiBps float64 `json:"mib_per_s"`
+	// Note documents what the scenario exercises.
+	Note string `json:"note,omitempty"`
+}
+
+type storeBenchReport struct {
+	Config  storeBenchConfig   `json:"config"`
+	Results []storeBenchResult `json:"results"`
+}
+
+// runStore measures the internal/store data paths end to end — batched
+// full-stripe writes, sub-stripe incremental updates, healthy reads,
+// degraded reads under 1 and m device failures, and a scrub sweep — and
+// emits the table plus a machine-readable BENCH_store.json.
+func runStore(o options) error {
+	const (
+		n, r, m = 8, 16, 2
+		stripes = 8
+	)
+	e := []int{1, 1, 2}
+	code, err := core.New(core.Config{N: n, R: r, M: m, E: e})
+	if err != nil {
+		return err
+	}
+	sector := sectorSizeFor(o.stripeMiB<<20, n, r, code.Field().SymbolBytes())
+
+	open := func() (*store.Store, error) {
+		return store.Open(store.Config{Code: code, SectorSize: sector, Stripes: stripes})
+	}
+	fill := func(s *store.Store) error {
+		buf := make([]byte, sector)
+		rng := rand.New(rand.NewSource(1))
+		for b := 0; b < s.Blocks(); b++ {
+			rng.Read(buf)
+			if err := s.WriteBlock(b, buf); err != nil {
+				return err
+			}
+		}
+		return s.Flush()
+	}
+	readAll := func(s *store.Store) error {
+		for b := 0; b < s.Blocks(); b++ {
+			if _, err := s.ReadBlock(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	s, err := open()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	userBytes := s.Blocks() * sector
+	rawBytes := n * r * stripes * sector
+	cfg := storeBenchConfig{N: n, R: r, M: m, E: e, SectorSize: sector, Stripes: stripes, UserBytes: userBytes}
+	var results []storeBenchResult
+	add := func(op, note string, bytes int, fn func() error) error {
+		mibps, err := timeOp(bytes, fn)
+		if err != nil {
+			return fmt.Errorf("%s: %w", op, err)
+		}
+		results = append(results, storeBenchResult{Op: op, MiBps: mibps, Note: note})
+		return nil
+	}
+
+	if err := add("write-seq", "sequential fill: batched parallel full-stripe encodes", userBytes,
+		func() error { return fill(s) }); err != nil {
+		return err
+	}
+	if err := add("read-healthy", "sequential read, no failures", userBytes,
+		func() error { return readAll(s) }); err != nil {
+		return err
+	}
+	// Sub-stripe updates: one block per stripe, flushed individually
+	// through the §5.2 incremental parity path.
+	perStripe := s.Blocks() / stripes
+	if err := add("write-substripe", "single-block read–modify–write with incremental parity", stripes*sector,
+		func() error {
+			buf := make([]byte, sector)
+			rng := rand.New(rand.NewSource(2))
+			for stripe := 0; stripe < stripes; stripe++ {
+				rng.Read(buf)
+				if err := s.WriteBlock(stripe*perStripe+stripe%perStripe, buf); err != nil {
+					return err
+				}
+				if err := s.Flush(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	if err := add("scrub", "full read sweep of every stripe (raw bytes)", rawBytes,
+		func() error { _, err := s.Scrub(); return err }); err != nil {
+		return err
+	}
+	s.Quiesce()
+
+	// Degraded scenarios on fresh stores so damage does not accumulate.
+	for _, fails := range []int{1, m} {
+		ds, err := open()
+		if err != nil {
+			return err
+		}
+		if err := fill(ds); err != nil {
+			ds.Close()
+			return err
+		}
+		for dev := 0; dev < fails; dev++ {
+			if err := ds.FailDevice(dev); err != nil {
+				ds.Close()
+				return err
+			}
+		}
+		op := fmt.Sprintf("read-degraded-%ddev", fails)
+		note := fmt.Sprintf("sequential read with %d failed device(s): on-the-fly upstairs repair", fails)
+		if err := add(op, note, userBytes, func() error { return readAll(ds) }); err != nil {
+			ds.Close()
+			return err
+		}
+		ds.Close()
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "op\tMiB/s\tnote\n")
+	for _, res := range results {
+		fmt.Fprintf(w, "%s\t%.1f\t%s\n", res.Op, res.MiBps, res.Note)
+	}
+	w.Flush()
+
+	report := storeBenchReport{Config: cfg, Results: results}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile("BENCH_store.json", raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_store.json")
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEnd drives the CLI commands through a full lifecycle:
+// create → put → get → fail-device → degraded get → corrupt → scrub →
+// replace/rebuild → get.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	vol := filepath.Join(dir, "vol")
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+
+	data := make([]byte, 30000)
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "2", "-e", "1,2", "-stripes", "8", "-sector", "512"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := cmdCreate([]string{"-dir", vol}); err == nil {
+		t.Fatal("create over an existing volume accepted")
+	}
+	if err := cmdPut([]string{"-dir", vol, "-in", in}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	get := func(stage string) {
+		t.Helper()
+		if err := cmdGet([]string{"-dir", vol, "-out", out, "-bytes", "30000"}); err != nil {
+			t.Fatalf("get %s: %v", stage, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("get %s: data corrupt", stage)
+		}
+	}
+	get("fresh")
+
+	// Two device failures plus in-coverage latent errors: reads must
+	// stay correct (served degraded), scrub must heal the survivors.
+	if err := cmdFailDevice([]string{"-dir", vol, "-device", "1"}); err != nil {
+		t.Fatalf("fail-device: %v", err)
+	}
+	if err := cmdFailDevice([]string{"-dir", vol, "-device", "4"}); err != nil {
+		t.Fatalf("fail-device: %v", err)
+	}
+	if err := cmdCorrupt([]string{"-dir", vol, "-device", "0", "-burst", "5:2"}); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if err := cmdCorrupt([]string{"-dir", vol, "-device", "3", "-sector", "9"}); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	get("degraded")
+	if err := cmdScrub([]string{"-dir", vol}); err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	get("after scrub")
+
+	// Replace and rebuild the dead devices, then verify full health.
+	for _, dev := range []string{"1", "4"} {
+		if err := cmdReplace([]string{"-dir", vol, "-device", dev}); err != nil {
+			t.Fatalf("replace %s: %v", dev, err)
+		}
+	}
+	if err := cmdStats([]string{"-dir", vol}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	get("after rebuild")
+
+	// Persistent stats recorded the degraded reads and repairs.
+	meta, err := loadMeta(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Stats.DegradedReads == 0 {
+		t.Error("persisted stats show no degraded reads")
+	}
+	if meta.Stats.RepairedSectors == 0 {
+		t.Error("persisted stats show no repairs")
+	}
+	if meta.Stats.UnrecoverableStripes != 0 {
+		t.Errorf("persisted stats show %d unrecoverable stripes within coverage", meta.Stats.UnrecoverableStripes)
+	}
+}
+
+// TestBeyondCoverage: with m+1 devices down, get must fail loudly and
+// the stats must record unrecoverable stripes — never corrupt output.
+func TestBeyondCoverage(t *testing.T) {
+	dir := t.TempDir()
+	vol := filepath.Join(dir, "vol")
+	in := filepath.Join(dir, "in.bin")
+
+	data := make([]byte, 8000)
+	rand.New(rand.NewSource(6)).Read(data)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "1", "-e", "1", "-stripes", "4", "-sector", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPut([]string{"-dir", vol, "-in", in}); err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"0", "1"} {
+		if err := cmdFailDevice([]string{"-dir", vol, "-device", dev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := cmdGet([]string{"-dir", vol, "-out", filepath.Join(dir, "out.bin"), "-bytes", "8000"})
+	if err == nil {
+		t.Fatal("get beyond coverage succeeded")
+	}
+	if !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("get error %q does not name the unrecoverable pattern", err)
+	}
+	meta, err := loadMeta(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Stats.UnrecoverableStripes == 0 {
+		t.Error("persisted stats show no unrecoverable stripes")
+	}
+}
+
+func TestParseE(t *testing.T) {
+	e, err := parseE("1, 2,3")
+	if err != nil || len(e) != 3 || e[2] != 3 {
+		t.Errorf("parseE: %v %v", e, err)
+	}
+	if _, err := parseE("1,x"); err == nil {
+		t.Error("bad element accepted")
+	}
+	if e, err := parseE(""); err != nil || e != nil {
+		t.Error("empty e should be nil")
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+// volumeMeta is the on-disk volume descriptor (dir/volume.json):
+// geometry plus stats accumulated across process lifetimes.
+type volumeMeta struct {
+	N          int         `json:"n"`
+	R          int         `json:"r"`
+	M          int         `json:"m"`
+	E          []int       `json:"e"`
+	SectorSize int         `json:"sector_size"`
+	Stripes    int         `json:"stripes"`
+	Stats      store.Stats `json:"stats"`
+}
+
+func loadMeta(dir string) (*volumeMeta, error) {
+	raw, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("no volume at %s (run 'stairstore create'): %w", dir, err)
+	}
+	var meta volumeMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("corrupt volume descriptor %s: %w", metaPath(dir), err)
+	}
+	return &meta, nil
+}
+
+func (m *volumeMeta) save(dir string) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := metaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, metaPath(dir))
+}
+
+// openVolume opens the store over the volume's file devices.
+func openVolume(dir string) (*store.Store, *volumeMeta, error) {
+	meta, err := loadMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	code, err := core.New(core.Config{N: meta.N, R: meta.R, M: meta.M, E: meta.E})
+	if err != nil {
+		return nil, nil, err
+	}
+	devs := make([]store.Device, meta.N)
+	for i := range devs {
+		d, err := store.OpenFileDevice(devicePath(dir, i), meta.Stripes*meta.R, meta.SectorSize)
+		if err != nil {
+			for _, prev := range devs[:i] {
+				prev.Close()
+			}
+			return nil, nil, err
+		}
+		devs[i] = d
+	}
+	s, err := store.Open(store.Config{
+		Code:       code,
+		SectorSize: meta.SectorSize,
+		Stripes:    meta.Stripes,
+		Devices:    devs,
+	})
+	if err != nil {
+		for _, d := range devs {
+			d.Close()
+		}
+		return nil, nil, err
+	}
+	return s, meta, nil
+}
+
+// closeVolume closes the store and folds this invocation's counters into
+// the persistent totals.
+func closeVolume(dir string, s *store.Store, meta *volumeMeta) error {
+	closeErr := s.Close()
+	meta.Stats = meta.Stats.Add(s.Stats())
+	if err := meta.save(dir); err != nil {
+		return err
+	}
+	return closeErr
+}

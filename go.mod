@@ -1,0 +1,3 @@
+module stair
+
+go 1.24

@@ -1,0 +1,79 @@
+package raid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stair/internal/failures"
+)
+
+// FaultTarget is the fault-injection surface shared by the array
+// simulator and higher-level storage systems (internal/store implements
+// it too): n devices of stripes×r sectors that can wholly fail or
+// suffer latent sector errors. The drivers below replay the paper's
+// failure processes (§7.1.2, §7.2.2) against any target, so integration
+// tests exercise the same patterns across layers.
+type FaultTarget interface {
+	// Geometry returns (devices, stripes, sectors per chunk, sector
+	// size in bytes).
+	Geometry() (n, stripes, r, sectorSize int)
+	// FailDevice marks one device wholly failed.
+	FailDevice(dev int) error
+	// InjectBurst corrupts a run of consecutive sectors on one device,
+	// clipped at the device end.
+	InjectBurst(dev, start, length int) error
+	// FailedDevices lists wholly failed devices.
+	FailedDevices() []int
+}
+
+// InjectRandomBurstsOn draws latent-sector-error bursts on every live
+// device of the target per the (b1, α) distribution, with per-sector
+// burst-start probability pStart (§7.2.2). It returns the number of
+// sectors lost.
+func InjectRandomBurstsOn(t FaultTarget, rng *rand.Rand, pStart float64, dist *failures.BurstDist) (int, error) {
+	n, stripes, r, _ := t.Geometry()
+	down := map[int]bool{}
+	for _, dev := range t.FailedDevices() {
+		down[dev] = true
+	}
+	sectors := stripes * r
+	lost := 0
+	for dev := 0; dev < n; dev++ {
+		if down[dev] {
+			continue
+		}
+		// ChunkFailures already clips bursts at the chunk end.
+		for _, b := range failures.ChunkFailures(rng, sectors, pStart, dist) {
+			if err := t.InjectBurst(dev, b.Start, b.Len); err != nil {
+				return lost, err
+			}
+			lost += b.Len
+		}
+	}
+	return lost, nil
+}
+
+// FailRandomDevicesOn draws whole-device failures on the target's live
+// devices as a Bernoulli event with probability p per device (§7.1.2's
+// discretised lifetime model), returning the devices it failed.
+func FailRandomDevicesOn(t FaultTarget, rng *rand.Rand, p float64) ([]int, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("raid: p=%v must be in [0,1]", p)
+	}
+	n, _, _, _ := t.Geometry()
+	down := map[int]bool{}
+	for _, dev := range t.FailedDevices() {
+		down[dev] = true
+	}
+	var out []int
+	for _, dev := range (failures.DeviceProcess{P: p}).Failed(rng, n) {
+		if down[dev] {
+			continue
+		}
+		if err := t.FailDevice(dev); err != nil {
+			return out, err
+		}
+		out = append(out, dev)
+	}
+	return out, nil
+}

@@ -222,21 +222,10 @@ func (a *Array) InjectBurst(dev, start, length int) error {
 
 // InjectRandomBursts draws bursts on every live device per the (b1, α)
 // distribution with per-sector start probability pStart, returning how
-// many sectors were lost.
+// many sectors were lost. It is InjectRandomBurstsOn applied to the
+// array itself.
 func (a *Array) InjectRandomBursts(rng *rand.Rand, pStart float64, dist *failures.BurstDist) (int, error) {
-	lost := 0
-	for dev, d := range a.devices {
-		if d.failed {
-			continue
-		}
-		for _, b := range failures.ChunkFailures(rng, len(d.sectors), pStart, dist) {
-			if err := a.InjectBurst(dev, b.Start, b.Len); err != nil {
-				return lost, err
-			}
-			lost += b.Len
-		}
-	}
-	return lost, nil
+	return InjectRandomBurstsOn(a, rng, pStart, dist)
 }
 
 // lostCellsOf collects the lost cells of one stripe.

@@ -1,0 +1,457 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Sector-level device errors. The store treats any read error as a lost
+// sector and serves the request through the degraded-read path; these two
+// are what the built-in backends return.
+var (
+	// ErrDeviceFailed reports I/O against a device marked wholly failed.
+	ErrDeviceFailed = errors.New("store: device failed")
+	// ErrBadSector reports a latent sector error: the device's internal
+	// ECC rejected the sector (the paper's fail-stop sector model, §2).
+	ErrBadSector = errors.New("store: bad sector")
+)
+
+// Device is a sector-addressed storage backend: Sectors() fixed-size
+// sectors of SectorSize() bytes each. Implementations must be safe for
+// concurrent use (the store's scrubber and repair worker run in
+// background goroutines, and fault injection can race with reads).
+type Device interface {
+	// Sectors returns the device capacity in sectors.
+	Sectors() int
+	// SectorSize returns the sector payload size in bytes.
+	SectorSize() int
+	// ReadSector fills buf (SectorSize bytes) with sector idx, or
+	// returns an error identifying the sector as lost.
+	ReadSector(idx int, buf []byte) error
+	// WriteSector stores data (SectorSize bytes) at sector idx. A
+	// successful write heals a previously bad sector.
+	WriteSector(idx int, data []byte) error
+	// Close releases backing resources.
+	Close() error
+}
+
+// FaultDevice extends Device with the fault-injection hooks the store's
+// failure handling and the tests drive.
+type FaultDevice interface {
+	Device
+	// Fail marks the whole device failed: every read and write errors
+	// with ErrDeviceFailed until Replace. The failure mark is durable
+	// (for persistent backends) before the payload is destroyed.
+	Fail() error
+	// Failed reports whether the device is wholly failed.
+	Failed() bool
+	// Replace swaps in a fresh, zeroed device in place of a failed one.
+	// Every sector comes back *bad* (unwritten), so reads keep erroring
+	// until the rebuild path writes reconstructed content back — a
+	// replacement disk holds no data yet.
+	Replace() error
+	// InjectSectorError marks one sector as a latent sector error and
+	// destroys its payload.
+	InjectSectorError(idx int) error
+	// BadSectors returns the number of latent sector errors present.
+	BadSectors() int
+}
+
+// faultState is the failure metadata shared by the built-in backends.
+// Its mutex also guards the embedding device's payload, so fault
+// injection can never race a payload copy into torn data.
+type faultState struct {
+	mu     sync.Mutex
+	failed bool
+	bad    []bool
+	nbad   int
+}
+
+func newFaultState(sectors int) *faultState {
+	return &faultState{bad: make([]bool, sectors)}
+}
+
+// checkReadLocked reports whether sector idx is readable. Callers hold mu.
+func (f *faultState) checkReadLocked(idx int) error {
+	if f.failed {
+		return ErrDeviceFailed
+	}
+	if f.bad[idx] {
+		return fmt.Errorf("%w: sector %d", ErrBadSector, idx)
+	}
+	return nil
+}
+
+// healLocked clears a bad mark before a write, reporting whether it did.
+// Callers hold mu.
+func (f *faultState) healLocked(idx int) bool {
+	if f.bad[idx] {
+		f.bad[idx] = false
+		f.nbad--
+		return true
+	}
+	return false
+}
+
+// replaceLocked resets to a fresh device where every sector is unwritten
+// (bad). Callers hold mu.
+func (f *faultState) replaceLocked() {
+	f.failed = false
+	for i := range f.bad {
+		f.bad[i] = true
+	}
+	f.nbad = len(f.bad)
+}
+
+// injectLocked marks one sector bad. Callers hold mu.
+func (f *faultState) injectLocked(idx int) error {
+	if idx < 0 || idx >= len(f.bad) {
+		return fmt.Errorf("store: sector %d out of range [0,%d)", idx, len(f.bad))
+	}
+	if !f.bad[idx] {
+		f.bad[idx] = true
+		f.nbad++
+	}
+	return nil
+}
+
+func (f *faultState) isFailed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+func (f *faultState) badCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nbad
+}
+
+// badListLocked lists bad sectors ascending. Callers hold mu.
+func (f *faultState) badListLocked() []int {
+	var out []int
+	for i, b := range f.bad {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MemDevice is an in-memory Device with fault injection, the default
+// backend for tests, benchmarks and the simulator adapters.
+type MemDevice struct {
+	sectors    int
+	sectorSize int
+	data       []byte
+	*faultState
+}
+
+// NewMemDevice allocates a zeroed in-memory device.
+func NewMemDevice(sectors, sectorSize int) *MemDevice {
+	return &MemDevice{
+		sectors:    sectors,
+		sectorSize: sectorSize,
+		data:       make([]byte, sectors*sectorSize),
+		faultState: newFaultState(sectors),
+	}
+}
+
+// Sectors returns the device capacity in sectors.
+func (d *MemDevice) Sectors() int { return d.sectors }
+
+// SectorSize returns the sector payload size.
+func (d *MemDevice) SectorSize() int { return d.sectorSize }
+
+func (d *MemDevice) checkIdx(idx int) error {
+	if idx < 0 || idx >= d.sectors {
+		return fmt.Errorf("store: sector %d out of range [0,%d)", idx, d.sectors)
+	}
+	return nil
+}
+
+// ReadSector fills buf with sector idx.
+func (d *MemDevice) ReadSector(idx int, buf []byte) error {
+	if err := d.checkIdx(idx); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkReadLocked(idx); err != nil {
+		return err
+	}
+	copy(buf, d.data[idx*d.sectorSize:(idx+1)*d.sectorSize])
+	return nil
+}
+
+// WriteSector stores data at sector idx, healing a bad sector.
+func (d *MemDevice) WriteSector(idx int, data []byte) error {
+	if err := d.checkIdx(idx); err != nil {
+		return err
+	}
+	if len(data) != d.sectorSize {
+		return fmt.Errorf("store: write of %d bytes, want %d", len(data), d.sectorSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	d.healLocked(idx)
+	copy(d.data[idx*d.sectorSize:], data)
+	return nil
+}
+
+// Fail marks the device wholly failed and destroys its contents.
+func (d *MemDevice) Fail() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+	for i := range d.data {
+		d.data[i] = 0
+	}
+	return nil
+}
+
+// Failed reports whole-device failure.
+func (d *MemDevice) Failed() bool { return d.isFailed() }
+
+// Replace swaps in a fresh zeroed device; every sector starts bad.
+func (d *MemDevice) Replace() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.replaceLocked()
+	for i := range d.data {
+		d.data[i] = 0
+	}
+	return nil
+}
+
+// InjectSectorError marks one sector lost and zeroes its payload.
+func (d *MemDevice) InjectSectorError(idx int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.injectLocked(idx); err != nil {
+		return err
+	}
+	for i := idx * d.sectorSize; i < (idx+1)*d.sectorSize; i++ {
+		d.data[i] = 0
+	}
+	return nil
+}
+
+// BadSectors returns the latent-sector-error count.
+func (d *MemDevice) BadSectors() int { return d.badCount() }
+
+// Close is a no-op for the in-memory backend.
+func (d *MemDevice) Close() error { return nil }
+
+// FileDevice is a file-per-device backend: one flat file of
+// sectors × sectorSize bytes, plus a JSON sidecar (<path>.faults)
+// persisting failure metadata so injected faults survive across process
+// boundaries (the cmd/stairstore CLI relies on this).
+type FileDevice struct {
+	path       string
+	f          *os.File
+	sectors    int
+	sectorSize int
+	*faultState
+}
+
+type faultSidecar struct {
+	Failed bool  `json:"failed"`
+	Bad    []int `json:"bad,omitempty"`
+}
+
+// OpenFileDevice opens (creating and sizing if absent) a file-backed
+// device and loads its fault sidecar.
+func OpenFileDevice(path string, sectors, sectorSize int) (*FileDevice, error) {
+	if sectors < 1 || sectorSize < 1 {
+		return nil, fmt.Errorf("store: device geometry %d×%d must be positive", sectors, sectorSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(sectors) * int64(sectorSize)
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() != size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	d := &FileDevice{path: path, f: f, sectors: sectors, sectorSize: sectorSize, faultState: newFaultState(sectors)}
+	if err := d.loadSidecar(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *FileDevice) sidecarPath() string { return d.path + ".faults" }
+
+func (d *FileDevice) loadSidecar() error {
+	raw, err := os.ReadFile(d.sidecarPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var sc faultSidecar
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return fmt.Errorf("store: fault sidecar %s: %w", d.sidecarPath(), err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = sc.Failed
+	for _, idx := range sc.Bad {
+		if idx >= 0 && idx < d.sectors && !d.bad[idx] {
+			d.bad[idx] = true
+			d.nbad++
+		}
+	}
+	return nil
+}
+
+// saveSidecarLocked persists fault metadata atomically (write + rename).
+// With no faults present the sidecar is removed. Callers hold mu.
+func (d *FileDevice) saveSidecarLocked() error {
+	sc := faultSidecar{Failed: d.failed, Bad: d.badListLocked()}
+	sort.Ints(sc.Bad)
+	if !sc.Failed && len(sc.Bad) == 0 {
+		err := os.Remove(d.sidecarPath())
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		return err
+	}
+	tmp := d.sidecarPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, d.sidecarPath())
+}
+
+// Sectors returns the device capacity in sectors.
+func (d *FileDevice) Sectors() int { return d.sectors }
+
+// SectorSize returns the sector payload size.
+func (d *FileDevice) SectorSize() int { return d.sectorSize }
+
+func (d *FileDevice) checkIdx(idx int) error {
+	if idx < 0 || idx >= d.sectors {
+		return fmt.Errorf("store: sector %d out of range [0,%d)", idx, d.sectors)
+	}
+	return nil
+}
+
+// ReadSector fills buf with sector idx from the backing file.
+func (d *FileDevice) ReadSector(idx int, buf []byte) error {
+	if err := d.checkIdx(idx); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkReadLocked(idx); err != nil {
+		return err
+	}
+	_, err := d.f.ReadAt(buf[:d.sectorSize], int64(idx)*int64(d.sectorSize))
+	return err
+}
+
+// WriteSector stores data at sector idx, healing (and persisting the
+// healing of) a bad sector.
+func (d *FileDevice) WriteSector(idx int, data []byte) error {
+	if err := d.checkIdx(idx); err != nil {
+		return err
+	}
+	if len(data) != d.sectorSize {
+		return fmt.Errorf("store: write of %d bytes, want %d", len(data), d.sectorSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if _, err := d.f.WriteAt(data, int64(idx)*int64(d.sectorSize)); err != nil {
+		return err
+	}
+	if d.healLocked(idx) {
+		return d.saveSidecarLocked()
+	}
+	return nil
+}
+
+// zeroFileLocked rewrites the backing file as all zeros. Callers hold mu.
+func (d *FileDevice) zeroFileLocked() error {
+	if err := d.f.Truncate(0); err != nil {
+		return err
+	}
+	return d.f.Truncate(int64(d.sectors) * int64(d.sectorSize))
+}
+
+// Fail marks the device wholly failed — durably, before destroying the
+// payload, so a crash in between cannot leave a zeroed device that
+// looks healthy on the next open.
+func (d *FileDevice) Fail() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	wasFailed := d.failed
+	d.failed = true
+	if err := d.saveSidecarLocked(); err != nil {
+		d.failed = wasFailed
+		return err
+	}
+	return d.zeroFileLocked()
+}
+
+// Failed reports whole-device failure.
+func (d *FileDevice) Failed() bool { return d.isFailed() }
+
+// Replace swaps in a fresh zeroed file; every sector starts bad. The
+// all-bad mark is persisted before the old payload is destroyed.
+func (d *FileDevice) Replace() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.replaceLocked()
+	if err := d.saveSidecarLocked(); err != nil {
+		return err
+	}
+	return d.zeroFileLocked()
+}
+
+// InjectSectorError marks one sector lost — durably, before zeroing its
+// payload.
+func (d *FileDevice) InjectSectorError(idx int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.injectLocked(idx); err != nil {
+		return err
+	}
+	if err := d.saveSidecarLocked(); err != nil {
+		return err
+	}
+	zero := make([]byte, d.sectorSize)
+	_, err := d.f.WriteAt(zero, int64(idx)*int64(d.sectorSize))
+	return err
+}
+
+// BadSectors returns the latent-sector-error count.
+func (d *FileDevice) BadSectors() int { return d.badCount() }
+
+// Close closes the backing file.
+func (d *FileDevice) Close() error { return d.f.Close() }

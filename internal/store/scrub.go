@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScrubReport summarises one scrub pass.
+type ScrubReport struct {
+	// StripesChecked counts stripes swept.
+	StripesChecked int
+	// StripesDamaged counts stripes found holding lost sectors.
+	StripesDamaged int
+	// StripesQueued counts stripes newly handed to the repair queue
+	// (damaged stripes already queued, unrecoverable, or dropped by the
+	// bounded queue are not re-counted here).
+	StripesQueued int
+	// SectorsLost counts lost sectors seen across damaged stripes.
+	SectorsLost int
+}
+
+// Scrub sweeps every stripe once, synchronously: it reads each sector
+// (latent sector errors announce themselves at access time under the
+// fail-stop sector model), counts damage, and feeds damaged stripes to
+// the bounded repair queue. Use Quiesce to wait for the resulting
+// repairs to converge.
+func (s *Store) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	buf := make([]byte, s.sectorSize)
+	for stripe := 0; stripe < s.stripes; stripe++ {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return rep, ErrClosed
+		}
+		lost := 0
+		for col := 0; col < s.n; col++ {
+			for row := 0; row < s.r; row++ {
+				if err := s.devs[col].ReadSector(s.devSector(stripe, row), buf); err != nil {
+					lost++
+				}
+			}
+		}
+		rep.StripesChecked++
+		s.c.scrubbedStripes.Add(1)
+		if lost > 0 {
+			rep.StripesDamaged++
+			rep.SectorsLost += lost
+			s.c.scrubHits.Add(1)
+			wasPending := s.pending[stripe] || s.unrecoverable[stripe]
+			s.enqueueRepairLocked(stripe)
+			if !wasPending && s.pending[stripe] {
+				rep.StripesQueued++
+			}
+		}
+		// Release the lock between stripes so reads, writes and repairs
+		// interleave with a sweep over a large volume.
+		s.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// StartScrubber starts a background goroutine running a full Scrub pass
+// every interval until StopScrubber or Close. Only one scrubber can run
+// at a time.
+func (s *Store) StartScrubber(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("store: scrub interval %v must be positive", interval)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.scrubStop != nil {
+		return fmt.Errorf("store: scrubber already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.scrubStop, s.scrubDone = stop, done
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := s.Scrub(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// StopScrubber stops the background scrubber, if running, and waits for
+// an in-flight pass to finish (repairs it queued keep draining; use
+// Quiesce to wait for those).
+func (s *Store) StopScrubber() {
+	s.mu.Lock()
+	stop, done := s.scrubStop, s.scrubDone
+	s.scrubStop, s.scrubDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

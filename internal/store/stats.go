@@ -1,0 +1,78 @@
+package store
+
+import "sync/atomic"
+
+// Stats is a snapshot of the store's operation counters.
+type Stats struct {
+	// Reads counts successful block reads, including degraded ones.
+	Reads uint64
+	// DegradedReads counts reads served by on-the-fly reconstruction
+	// (the §4.2–4.3 upstairs decoding path) rather than a direct
+	// device read.
+	DegradedReads uint64
+	// Writes counts block writes accepted into the stripe buffer.
+	Writes uint64
+	// FullStripeFlushes counts stripes flushed through the parallel
+	// full-stripe encode path.
+	FullStripeFlushes uint64
+	// SubStripeFlushes counts stripes flushed through the §5.2
+	// incremental-parity-update path (read–modify–write).
+	SubStripeFlushes uint64
+	// ScrubbedStripes counts stripes swept by the scrubber.
+	ScrubbedStripes uint64
+	// ScrubHits counts scrubbed stripes found holding lost sectors.
+	ScrubHits uint64
+	// RepairedStripes and RepairedSectors count background repairs
+	// that wrote reconstructed content back to devices.
+	RepairedStripes uint64
+	RepairedSectors uint64
+	// RepairDrops counts repair requests dropped because the bounded
+	// repair queue was full (a later scrub pass re-queues them).
+	RepairDrops uint64
+	// UnrecoverableStripes counts stripes whose failure pattern fell
+	// outside the code's coverage (distinct stripes, not attempts).
+	UnrecoverableStripes uint64
+}
+
+// counters is the live atomic form of Stats.
+type counters struct {
+	reads, degradedReads, writes      atomic.Uint64
+	fullFlushes, subFlushes           atomic.Uint64
+	scrubbedStripes, scrubHits        atomic.Uint64
+	repairedStripes, repairedSectors  atomic.Uint64
+	repairDrops, unrecoverableStripes atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:                c.reads.Load(),
+		DegradedReads:        c.degradedReads.Load(),
+		Writes:               c.writes.Load(),
+		FullStripeFlushes:    c.fullFlushes.Load(),
+		SubStripeFlushes:     c.subFlushes.Load(),
+		ScrubbedStripes:      c.scrubbedStripes.Load(),
+		ScrubHits:            c.scrubHits.Load(),
+		RepairedStripes:      c.repairedStripes.Load(),
+		RepairedSectors:      c.repairedSectors.Load(),
+		RepairDrops:          c.repairDrops.Load(),
+		UnrecoverableStripes: c.unrecoverableStripes.Load(),
+	}
+}
+
+// Add returns the field-wise sum of two snapshots (used by callers that
+// accumulate stats across store lifetimes, e.g. cmd/stairstore).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:                s.Reads + o.Reads,
+		DegradedReads:        s.DegradedReads + o.DegradedReads,
+		Writes:               s.Writes + o.Writes,
+		FullStripeFlushes:    s.FullStripeFlushes + o.FullStripeFlushes,
+		SubStripeFlushes:     s.SubStripeFlushes + o.SubStripeFlushes,
+		ScrubbedStripes:      s.ScrubbedStripes + o.ScrubbedStripes,
+		ScrubHits:            s.ScrubHits + o.ScrubHits,
+		RepairedStripes:      s.RepairedStripes + o.RepairedStripes,
+		RepairedSectors:      s.RepairedSectors + o.RepairedSectors,
+		RepairDrops:          s.RepairDrops + o.RepairDrops,
+		UnrecoverableStripes: s.UnrecoverableStripes + o.UnrecoverableStripes,
+	}
+}

@@ -1,0 +1,678 @@
+// Package store is a sector-addressed block store that maps a logical
+// volume onto STAIR stripes over a pluggable device backend — the
+// storage-system layer the paper's motivation describes (§1–2), built on
+// the internal/core codec.
+//
+// The store owns the stripe lifecycle around the codec:
+//
+//   - the write path batches block writes in per-stripe buffers; a fully
+//     dirty stripe is flushed through a parallel full-stripe encode
+//     (internal/core's multi-core path, §6.2.1), while a partially dirty
+//     stripe takes a read–modify–write using the §5.2 uneven parity
+//     relations, rewriting only the parity sectors that actually depend
+//     on the changed cells;
+//   - the read path transparently serves degraded reads: when a device
+//     is failed or a sector read errors, the lost cells are rebuilt on
+//     the fly via the upstairs decoding fast path (§4.2–4.3) and the
+//     stripe is queued for background repair;
+//   - a background scrubber sweeps stripes, detects latent sector errors
+//     and feeds a bounded repair queue drained by a repair worker, which
+//     writes reconstructed sectors back to writable devices.
+//
+// Failure patterns outside the code's coverage surface as
+// ErrUnrecoverable (and an UnrecoverableStripes counter) rather than
+// corrupt data. Devices follow the fail-stop sector model the paper
+// assumes: latent sector errors are detected (by drive-internal ECC) at
+// access time, so scrubbing is a read sweep, not a checksum audit.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"stair/internal/core"
+)
+
+// ErrUnrecoverable aliases the codec's error for failure patterns outside
+// the configured coverage; store errors wrap it.
+var ErrUnrecoverable = core.ErrUnrecoverable
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Config describes a Store.
+type Config struct {
+	// Code is the compiled STAIR code protecting every stripe. Only
+	// Inside placement is supported: the store has no out-of-band
+	// location for global parity sectors.
+	Code *core.Code
+	// SectorSize is the device sector (= logical block) size in bytes;
+	// it must be a positive multiple of the code's symbol width.
+	SectorSize int
+	// Stripes is the number of stripes in the volume.
+	Stripes int
+	// Devices supplies the Code.N() backing devices, each with
+	// Stripes×Code.R() sectors. Nil allocates in-memory devices.
+	Devices []Device
+	// Workers bounds the per-stripe encode/repair parallelism
+	// (internal/core's region splitting); 0 selects GOMAXPROCS.
+	Workers int
+	// MaxDirtyStripes bounds the write buffer: exceeding it flushes the
+	// fullest buffered stripe. 0 selects 8.
+	MaxDirtyStripes int
+	// RepairQueue bounds the background repair queue; requests beyond
+	// it are dropped (and re-found by a later scrub pass). 0 selects 64.
+	RepairQueue int
+}
+
+// stripeBuf accumulates dirty data blocks of one stripe, indexed by data
+// cell ordinal (the code's DataCells order). stuck marks a buffer whose
+// flush failed (e.g. its stripe is unrecoverably degraded): eviction
+// skips it so the same error is not re-reported on every unrelated
+// write, but explicit Flush (and the filling-to-full fast path) still
+// retry it.
+type stripeBuf struct {
+	data  [][]byte
+	count int
+	stuck bool
+}
+
+// Store is a STAIR-protected block store. Public methods are safe for
+// concurrent use.
+type Store struct {
+	code       *core.Code
+	devs       []Device
+	n, r       int
+	stripes    int
+	sectorSize int
+	workers    int
+	maxDirty   int
+
+	dataCells []core.Cell
+	perStripe int
+
+	mu            sync.Mutex
+	idle          *sync.Cond // signaled when a repair request completes
+	dirty         map[int]*stripeBuf
+	pending       map[int]bool // stripes queued or being repaired
+	unrecoverable map[int]bool
+	closed        bool
+
+	repairCh  chan int
+	scrubStop chan struct{} // closes to stop the background scrubber
+	scrubDone chan struct{} // closed by the scrubber goroutine on exit
+	wg        sync.WaitGroup
+
+	c counters
+}
+
+// Open builds a store over cfg. When cfg.Devices is nil it allocates
+// in-memory devices; Close closes whatever devices the store uses.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Code == nil {
+		return nil, fmt.Errorf("store: nil code")
+	}
+	if cfg.Code.Config().Placement != core.Inside {
+		return nil, fmt.Errorf("store: only Inside global-parity placement is supported")
+	}
+	if cfg.Stripes < 1 {
+		return nil, fmt.Errorf("store: Stripes=%d must be ≥ 1", cfg.Stripes)
+	}
+	if cfg.SectorSize <= 0 || cfg.SectorSize%cfg.Code.Field().SymbolBytes() != 0 {
+		return nil, fmt.Errorf("store: SectorSize=%d must be a positive multiple of %d",
+			cfg.SectorSize, cfg.Code.Field().SymbolBytes())
+	}
+	n, r := cfg.Code.N(), cfg.Code.R()
+	devs := cfg.Devices
+	if devs == nil {
+		devs = make([]Device, n)
+		for i := range devs {
+			devs[i] = NewMemDevice(cfg.Stripes*r, cfg.SectorSize)
+		}
+	}
+	if len(devs) != n {
+		return nil, fmt.Errorf("store: %d devices, want n=%d", len(devs), n)
+	}
+	for i, d := range devs {
+		if d.Sectors() != cfg.Stripes*r || d.SectorSize() != cfg.SectorSize {
+			return nil, fmt.Errorf("store: device %d geometry %d×%d, want %d×%d",
+				i, d.Sectors(), d.SectorSize(), cfg.Stripes*r, cfg.SectorSize)
+		}
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("store: Workers=%d must be ≥ 0", cfg.Workers)
+	}
+	maxDirty := cfg.MaxDirtyStripes
+	if maxDirty == 0 {
+		maxDirty = 8
+	}
+	queue := cfg.RepairQueue
+	if queue == 0 {
+		queue = 64
+	}
+	s := &Store{
+		code:       cfg.Code,
+		devs:       devs,
+		n:          n,
+		r:          r,
+		stripes:    cfg.Stripes,
+		sectorSize: cfg.SectorSize,
+		workers:    workers,
+		maxDirty:   maxDirty,
+		dataCells:  cfg.Code.DataCells(),
+		dirty:      map[int]*stripeBuf{},
+		pending:    map[int]bool{},
+
+		unrecoverable: map[int]bool{},
+		repairCh:      make(chan int, queue),
+	}
+	s.perStripe = len(s.dataCells)
+	s.idle = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.repairLoop()
+	return s, nil
+}
+
+// BlockSize returns the logical block size (one sector).
+func (s *Store) BlockSize() int { return s.sectorSize }
+
+// Blocks returns the volume capacity in logical blocks.
+func (s *Store) Blocks() int { return s.stripes * s.perStripe }
+
+// Geometry returns (devices, stripes, sectors per chunk, sector size) —
+// the same shape as raid.Array.Geometry, so the raid fault drivers can
+// target a store.
+func (s *Store) Geometry() (n, stripes, r, sectorSize int) {
+	return s.n, s.stripes, s.r, s.sectorSize
+}
+
+// Code returns the protecting code.
+func (s *Store) Code() *core.Code { return s.code }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats { return s.c.snapshot() }
+
+// blockOf maps a logical block to its stripe and data cell.
+func (s *Store) blockOf(b int) (stripe, ord int, cell core.Cell, err error) {
+	if b < 0 || b >= s.Blocks() {
+		return 0, 0, core.Cell{}, fmt.Errorf("store: block %d out of range [0,%d)", b, s.Blocks())
+	}
+	stripe, ord = b/s.perStripe, b%s.perStripe
+	return stripe, ord, s.dataCells[ord], nil
+}
+
+// devSector maps (stripe, row) to the device sector index.
+func (s *Store) devSector(stripe, row int) int { return stripe*s.r + row }
+
+// WriteBlock buffers one block write. The write lands on devices when
+// its stripe buffer fills (full-stripe encode), when the buffer bound
+// evicts it, or at Flush/Close (incremental parity read–modify–write).
+func (s *Store) WriteBlock(b int, data []byte) error {
+	if len(data) != s.sectorSize {
+		return fmt.Errorf("store: write of %d bytes, want block size %d", len(data), s.sectorSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	stripe, ord, _, err := s.blockOf(b)
+	if err != nil {
+		return err
+	}
+	buf := s.dirty[stripe]
+	if buf == nil {
+		buf = &stripeBuf{data: make([][]byte, s.perStripe)}
+		s.dirty[stripe] = buf
+	}
+	if buf.data[ord] == nil {
+		buf.count++
+		buf.data[ord] = make([]byte, s.sectorSize)
+	}
+	copy(buf.data[ord], data)
+	s.c.writes.Add(1)
+	if buf.count == s.perStripe {
+		return s.flushStripeLocked(stripe)
+	}
+	if len(s.dirty) > s.maxDirty {
+		victim := s.fullestDirtyLocked(stripe)
+		if victim < 0 {
+			return nil // every other buffer is stuck; nothing to evict
+		}
+		if err := s.flushStripeLocked(victim); err != nil {
+			// The requested write IS buffered; only the eviction failed.
+			return fmt.Errorf("store: block %d buffered, but evicting stripe %d failed: %w", b, victim, err)
+		}
+	}
+	return nil
+}
+
+// fullestDirtyLocked picks the buffered stripe with the most dirty
+// blocks, excluding the one just written to (it is the hottest) and any
+// stuck buffers. Returns -1 when nothing is evictable.
+func (s *Store) fullestDirtyLocked(except int) int {
+	best, bestCount := -1, -1
+	for stripe, buf := range s.dirty {
+		if stripe == except || buf.stuck {
+			continue
+		}
+		if buf.count > bestCount || (buf.count == bestCount && stripe < best) {
+			best, bestCount = stripe, buf.count
+		}
+	}
+	return best
+}
+
+// Flush writes every buffered stripe to the devices.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	stripes := make([]int, 0, len(s.dirty))
+	for stripe := range s.dirty {
+		stripes = append(stripes, stripe)
+	}
+	sort.Ints(stripes)
+	var first error
+	for _, stripe := range stripes {
+		if err := s.flushStripeLocked(stripe); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flushStripeLocked lands one buffered stripe on the devices. A fully
+// dirty stripe is encoded from scratch in parallel; a partial one goes
+// through read–modify–write with §5.2 incremental parity updates. On
+// error the buffer is retained so the flush can be retried (e.g. after
+// a device replacement and rebuild).
+func (s *Store) flushStripeLocked(stripe int) (err error) {
+	buf := s.dirty[stripe]
+	if buf == nil {
+		return nil
+	}
+	defer func() {
+		if err != nil {
+			buf.stuck = true
+		}
+	}()
+	if buf.count == s.perStripe {
+		st, err := s.code.NewStripe(s.sectorSize)
+		if err != nil {
+			return err
+		}
+		for ord, cell := range s.dataCells {
+			copy(st.Sector(cell.Col, cell.Row), buf.data[ord])
+		}
+		if err := s.code.EncodeParallel(st, core.MethodAuto, s.workers); err != nil {
+			return err
+		}
+		delete(s.dirty, stripe)
+		// A full rewrite resurrects a previously unrecoverable stripe.
+		delete(s.unrecoverable, stripe)
+		s.c.fullFlushes.Add(1)
+		for col := 0; col < s.n; col++ {
+			for row := 0; row < s.r; row++ {
+				s.writeCellLocked(stripe, col, row, st.Sector(col, row))
+			}
+		}
+		return nil
+	}
+
+	st, lost := s.loadStripeLocked(stripe)
+	if len(lost) > 0 {
+		if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
+			if errors.Is(err, ErrUnrecoverable) {
+				s.markUnrecoverableLocked(stripe)
+			}
+			return fmt.Errorf("store: flushing stripe %d: %w", stripe, err)
+		}
+	}
+	touched := map[core.Cell]bool{}
+	for ord, data := range buf.data {
+		if data == nil {
+			continue
+		}
+		cell := s.dataCells[ord]
+		deps, err := s.code.ParityDependencies(cell)
+		if err != nil {
+			return err
+		}
+		if err := s.code.Update(st, cell, data); err != nil {
+			return err
+		}
+		touched[cell] = true
+		for _, p := range deps {
+			touched[p] = true
+		}
+	}
+	delete(s.dirty, stripe)
+	s.c.subFlushes.Add(1)
+	// Write back the dirty data cells and affected parity, plus any
+	// cells just repaired (healing their bad sectors in passing).
+	for _, cell := range lost {
+		touched[cell] = true
+	}
+	cells := make([]core.Cell, 0, len(touched))
+	for cell := range touched {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Col != cells[j].Col {
+			return cells[i].Col < cells[j].Col
+		}
+		return cells[i].Row < cells[j].Row
+	})
+	for _, cell := range cells {
+		s.writeCellLocked(stripe, cell.Col, cell.Row, st.Sector(cell.Col, cell.Row))
+	}
+	return nil
+}
+
+// writeCellLocked writes one stripe cell to its device. Writes to failed
+// devices are dropped — the stripe stays degraded there until the device
+// is replaced and rebuilt, which is exactly what the code tolerates.
+func (s *Store) writeCellLocked(stripe, col, row int, data []byte) {
+	_ = s.devs[col].WriteSector(s.devSector(stripe, row), data)
+}
+
+// loadStripeLocked reads one stripe off the devices; unreadable cells
+// come back zeroed and listed in lost.
+func (s *Store) loadStripeLocked(stripe int) (*core.Stripe, []core.Cell) {
+	st, _ := s.code.NewStripe(s.sectorSize)
+	var lost []core.Cell
+	for col := 0; col < s.n; col++ {
+		for row := 0; row < s.r; row++ {
+			if err := s.devs[col].ReadSector(s.devSector(stripe, row), st.Sector(col, row)); err != nil {
+				lost = append(lost, core.Cell{Col: col, Row: row})
+			}
+		}
+	}
+	return st, lost
+}
+
+// ReadBlock returns one logical block. Buffered (not yet flushed) writes
+// are served from the stripe buffer; an unreadable sector is rebuilt on
+// the fly through the degraded-read path and its stripe queued for
+// background repair.
+func (s *Store) ReadBlock(b int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	stripe, ord, cell, err := s.blockOf(b)
+	if err != nil {
+		return nil, err
+	}
+	if buf := s.dirty[stripe]; buf != nil && buf.data[ord] != nil {
+		s.c.reads.Add(1)
+		return append([]byte(nil), buf.data[ord]...), nil
+	}
+	out := make([]byte, s.sectorSize)
+	if err := s.devs[cell.Col].ReadSector(s.devSector(stripe, cell.Row), out); err == nil {
+		s.c.reads.Add(1)
+		return out, nil
+	}
+	// Degraded read: rebuild the lost cells of the whole stripe via the
+	// upstairs fast path and serve the request from the reconstruction.
+	st, lost := s.loadStripeLocked(stripe)
+	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
+		if errors.Is(err, ErrUnrecoverable) {
+			s.markUnrecoverableLocked(stripe)
+		}
+		return nil, fmt.Errorf("store: degraded read of block %d (stripe %d, %d lost cells): %w",
+			b, stripe, len(lost), err)
+	}
+	s.c.reads.Add(1)
+	s.c.degradedReads.Add(1)
+	s.enqueueRepairLocked(stripe)
+	return append([]byte(nil), st.Sector(cell.Col, cell.Row)...), nil
+}
+
+func (s *Store) markUnrecoverableLocked(stripe int) {
+	if !s.unrecoverable[stripe] {
+		s.unrecoverable[stripe] = true
+		s.c.unrecoverableStripes.Add(1)
+	}
+}
+
+// UnrecoverableStripes lists stripes observed (by reads, flushes, or the
+// repair worker) to hold failure patterns outside the code's coverage.
+func (s *Store) UnrecoverableStripes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.unrecoverable))
+	for stripe := range s.unrecoverable {
+		out = append(out, stripe)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// enqueueRepairLocked queues a stripe for background repair; a full
+// queue drops the request (a later scrub pass re-finds the stripe).
+func (s *Store) enqueueRepairLocked(stripe int) {
+	if s.closed || s.pending[stripe] || s.unrecoverable[stripe] {
+		return
+	}
+	select {
+	case s.repairCh <- stripe:
+		s.pending[stripe] = true
+	default:
+		s.c.repairDrops.Add(1)
+	}
+}
+
+// repairLoop drains the repair queue.
+func (s *Store) repairLoop() {
+	defer s.wg.Done()
+	for stripe := range s.repairCh {
+		s.mu.Lock()
+		s.repairStripeLocked(stripe)
+		delete(s.pending, stripe)
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// repairStripeLocked reconstructs a stripe's lost cells and writes them
+// back to every device that will take the write. Lost cells on a wholly
+// failed device are skipped — reconstruction would have nowhere to land —
+// so the stripe stays (recoverably) degraded until the device is
+// replaced.
+func (s *Store) repairStripeLocked(stripe int) {
+	if s.unrecoverable[stripe] {
+		return
+	}
+	st, lost := s.loadStripeLocked(stripe)
+	if len(lost) == 0 {
+		return
+	}
+	writable := make([]core.Cell, 0, len(lost))
+	for _, cell := range lost {
+		if fd, ok := s.devs[cell.Col].(FaultDevice); ok && fd.Failed() {
+			continue
+		}
+		writable = append(writable, cell)
+	}
+	if len(writable) == 0 {
+		return
+	}
+	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
+		if errors.Is(err, ErrUnrecoverable) {
+			s.markUnrecoverableLocked(stripe)
+		}
+		return
+	}
+	repaired := 0
+	for _, cell := range writable {
+		if s.devs[cell.Col].WriteSector(s.devSector(stripe, cell.Row), st.Sector(cell.Col, cell.Row)) == nil {
+			repaired++
+		}
+	}
+	if repaired > 0 {
+		s.c.repairedStripes.Add(1)
+		s.c.repairedSectors.Add(uint64(repaired))
+	}
+}
+
+// Quiesce blocks until the repair queue is empty and the repair worker
+// idle — the point where a scrub-triggered repair wave has converged.
+func (s *Store) Quiesce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) > 0 && !s.closed {
+		s.idle.Wait()
+	}
+}
+
+// FailDevice marks a device wholly failed (fault injection). Reads of
+// its sectors are served degraded from then on.
+func (s *Store) FailDevice(dev int) error {
+	fd, err := s.faultDevice(dev)
+	if err != nil {
+		return err
+	}
+	return fd.Fail()
+}
+
+// ReplaceDevice swaps a failed device for a fresh one whose sectors are
+// all unwritten. Rebuild (or scrub passes feeding the repair queue)
+// restores its content. Replacement changes every stripe's failure
+// pattern, so cached unrecoverable marks are dropped and re-evaluated on
+// the next access.
+func (s *Store) ReplaceDevice(dev int) error {
+	fd, err := s.faultDevice(dev)
+	if err != nil {
+		return err
+	}
+	if err := fd.Replace(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.unrecoverable = map[int]bool{}
+	s.mu.Unlock()
+	return nil
+}
+
+// RebuildDevice synchronously reconstructs every stripe touching the
+// given (replaced) device, bypassing the bounded queue.
+func (s *Store) RebuildDevice(dev int) error {
+	if _, err := s.faultDevice(dev); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for stripe := 0; stripe < s.stripes; stripe++ {
+		s.repairStripeLocked(stripe)
+	}
+	return nil
+}
+
+// InjectSectorError injects a latent sector error at one device sector
+// (index stripe×R + row, matching raid.Array's layout).
+func (s *Store) InjectSectorError(dev, sector int) error {
+	fd, err := s.faultDevice(dev)
+	if err != nil {
+		return err
+	}
+	return fd.InjectSectorError(sector)
+}
+
+// InjectBurst injects a run of consecutive latent sector errors on one
+// device, clipped at the device end — the §7.2.2 failure mode. It has
+// raid.Array.InjectBurst's signature so raid's fault drivers apply.
+func (s *Store) InjectBurst(dev, start, length int) error {
+	fd, err := s.faultDevice(dev)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < length; i++ {
+		idx := start + i
+		if idx >= fd.Sectors() {
+			break
+		}
+		if err := fd.InjectSectorError(idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailedDevices lists wholly failed devices.
+func (s *Store) FailedDevices() []int {
+	var out []int
+	for i, d := range s.devs {
+		if fd, ok := d.(FaultDevice); ok && fd.Failed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalBadSectors counts latent sector errors across live devices.
+func (s *Store) TotalBadSectors() int {
+	total := 0
+	for _, d := range s.devs {
+		if fd, ok := d.(FaultDevice); ok && !fd.Failed() {
+			total += fd.BadSectors()
+		}
+	}
+	return total
+}
+
+func (s *Store) faultDevice(dev int) (FaultDevice, error) {
+	if dev < 0 || dev >= len(s.devs) {
+		return nil, fmt.Errorf("store: device %d out of range [0,%d)", dev, len(s.devs))
+	}
+	fd, ok := s.devs[dev].(FaultDevice)
+	if !ok {
+		return nil, fmt.Errorf("store: device %d (%T) does not support fault injection", dev, s.devs[dev])
+	}
+	return fd, nil
+}
+
+// Close flushes buffered writes, stops the scrubber and repair worker,
+// and closes the devices.
+func (s *Store) Close() error {
+	s.StopScrubber()
+	flushErr := s.Flush()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.repairCh)
+	s.idle.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	// The repair loop exits after draining; clear stale bookkeeping.
+	s.mu.Lock()
+	s.pending = map[int]bool{}
+	s.mu.Unlock()
+	var firstErr error
+	if flushErr != nil && !errors.Is(flushErr, ErrClosed) {
+		firstErr = flushErr
+	}
+	for _, d := range s.devs {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
