@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"text/tabwriter"
 
 	"stair/internal/core"
@@ -17,14 +19,26 @@ func init() {
 
 // storeBenchConfig pins the measured volume so the JSON is reproducible
 // run to run (throughput varies with the machine; the shape does not).
+// The concurrency fields record how the sharded store was tuned — the
+// *-concurrent scenarios compare LockShards=1 (the old global-mutex
+// regime) against this configuration.
 type storeBenchConfig struct {
-	N          int   `json:"n"`
-	R          int   `json:"r"`
-	M          int   `json:"m"`
-	E          []int `json:"e"`
-	SectorSize int   `json:"sector_size"`
-	Stripes    int   `json:"stripes"`
-	UserBytes  int   `json:"user_bytes"`
+	N             int   `json:"n"`
+	R             int   `json:"r"`
+	M             int   `json:"m"`
+	E             []int `json:"e"`
+	SectorSize    int   `json:"sector_size"`
+	Stripes       int   `json:"stripes"`
+	UserBytes     int   `json:"user_bytes"`
+	RepairWorkers int   `json:"repair_workers"`
+	LockShards    int   `json:"lock_shards"`
+	DegradedCache int   `json:"degraded_cache"`
+	LoadWorkers   int   `json:"load_workers"`
+	// GoMaxProcs records the host parallelism the run had: the
+	// *-concurrent entries can only scale past the 1-shard baseline
+	// when this exceeds 1 (on a single core, sharding buys concurrency
+	// but the CPU bounds wall-clock throughput).
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 type storeBenchResult struct {
@@ -48,8 +62,11 @@ type storeBenchReport struct {
 // emits the table plus a machine-readable BENCH_store.json.
 func runStore(o options) error {
 	const (
-		n, r, m = 8, 16, 2
-		stripes = 8
+		n, r, m       = 8, 16, 2
+		stripes       = 8
+		repairWorkers = 2
+		lockShards    = 32
+		degradedCache = 8
 	)
 	e := []int{1, 1, 2}
 	code, err := core.New(core.Config{N: n, R: r, M: m, E: e})
@@ -57,10 +74,25 @@ func runStore(o options) error {
 		return err
 	}
 	sector := sectorSizeFor(o.stripeMiB<<20, n, r, code.Field().SymbolBytes())
-
-	open := func() (*store.Store, error) {
-		return store.Open(store.Config{Code: code, SectorSize: sector, Stripes: stripes})
+	// At least 4 workers even on small hosts, so the concurrent
+	// scenarios always exercise the sharded locks; wall-clock scaling
+	// over the 1-shard baseline shows up with spare cores.
+	loadWorkers := runtime.GOMAXPROCS(0)
+	if loadWorkers < 4 {
+		loadWorkers = 4
 	}
+	if loadWorkers > stripes {
+		loadWorkers = stripes
+	}
+
+	openShards := func(shards int) (*store.Store, error) {
+		return store.Open(store.Config{
+			Code: code, SectorSize: sector, Stripes: stripes,
+			RepairWorkers: repairWorkers, LockShards: shards,
+			DegradedCache: degradedCache, MaxDirtyStripes: stripes,
+		})
+	}
+	open := func() (*store.Store, error) { return openShards(lockShards) }
 	fill := func(s *store.Store) error {
 		buf := make([]byte, sector)
 		rng := rand.New(rand.NewSource(1))
@@ -88,7 +120,12 @@ func runStore(o options) error {
 	defer s.Close()
 	userBytes := s.Blocks() * sector
 	rawBytes := n * r * stripes * sector
-	cfg := storeBenchConfig{N: n, R: r, M: m, E: e, SectorSize: sector, Stripes: stripes, UserBytes: userBytes}
+	cfg := storeBenchConfig{
+		N: n, R: r, M: m, E: e, SectorSize: sector, Stripes: stripes, UserBytes: userBytes,
+		RepairWorkers: repairWorkers, LockShards: lockShards,
+		DegradedCache: degradedCache, LoadWorkers: loadWorkers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	var results []storeBenchResult
 	add := func(op, note string, bytes int, fn func() error) error {
 		mibps, err := timeOp(bytes, fn)
@@ -150,12 +187,95 @@ func runStore(o options) error {
 			}
 		}
 		op := fmt.Sprintf("read-degraded-%ddev", fails)
-		note := fmt.Sprintf("sequential read with %d failed device(s): on-the-fly upstairs repair", fails)
+		note := fmt.Sprintf("sequential read with %d failed device(s): upstairs repair + degraded-stripe cache", fails)
 		if err := add(op, note, userBytes, func() error { return readAll(ds) }); err != nil {
 			ds.Close()
 			return err
 		}
 		ds.Close()
+	}
+
+	// Concurrent load over disjoint stripe ranges: the same operation on
+	// a 1-shard store (every stripe behind one lock — the old
+	// global-mutex regime) and on the sharded store, so the JSON records
+	// the scaling the striped lock table buys.
+	split := func(workers int, fn func(stripe int) error) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		per := stripes / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if w == workers-1 {
+				hi = stripes
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for stripe := lo; stripe < hi; stripe++ {
+					if err := fn(stripe); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	for _, bench := range []struct {
+		suffix string
+		shards int
+	}{
+		{"-1shard", 1},
+		{"", lockShards},
+	} {
+		cs, err := openShards(bench.shards)
+		if err != nil {
+			return err
+		}
+		if err := fill(cs); err != nil {
+			cs.Close()
+			return err
+		}
+		perStripe := cs.Blocks() / stripes
+		regime := fmt.Sprintf("%d workers, disjoint stripes, %d lock shard(s), GOMAXPROCS=%d",
+			loadWorkers, bench.shards, runtime.GOMAXPROCS(0))
+		if err := add("write-concurrent"+bench.suffix, regime+": parallel full-stripe encodes", userBytes,
+			func() error {
+				buf := make([]byte, sector)
+				rand.New(rand.NewSource(3)).Read(buf)
+				return split(loadWorkers, func(stripe int) error {
+					for ord := 0; ord < perStripe; ord++ {
+						if err := cs.WriteBlock(stripe*perStripe+ord, buf); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}); err != nil {
+			cs.Close()
+			return err
+		}
+		if err := cs.Flush(); err != nil {
+			cs.Close()
+			return err
+		}
+		if err := add("read-concurrent"+bench.suffix, regime+": healthy reads", userBytes,
+			func() error {
+				return split(loadWorkers, func(stripe int) error {
+					for ord := 0; ord < perStripe; ord++ {
+						if _, err := cs.ReadBlock(stripe*perStripe + ord); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			}); err != nil {
+			cs.Close()
+			return err
+		}
+		cs.Close()
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -3,7 +3,7 @@
 // fault injection, degraded reads, scrub/repair and persistent
 // operation counters.
 //
-//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096
+//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096 [-repair-workers 4 -shards 32 -cache 8]
 //	stairstore put         -dir vol -in data.bin [-block 0]
 //	stairstore get         -dir vol -out copy.bin [-block 0] [-count 8] [-bytes 30000]
 //	stairstore fail-device -dir vol -device 3
@@ -95,6 +95,9 @@ func cmdCreate(args []string) (err error) {
 		e       = fs.String("e", "1,1,2", "sector-failure coverage vector")
 		stripes = fs.Int("stripes", 64, "stripes in the volume")
 		sector  = fs.Int("sector", 4096, "sector (logical block) size in bytes")
+		repair  = fs.Int("repair-workers", 0, "background repair worker pool size (0 = store default)")
+		shards  = fs.Int("shards", 0, "lock shards for parallel stripe operations (0 = store default)")
+		cache   = fs.Int("cache", 0, "degraded-stripe cache size in stripes (0 = store default, <0 disables)")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -104,7 +107,10 @@ func cmdCreate(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	meta := volumeMeta{N: *n, R: *r, M: *m, E: ev, SectorSize: *sector, Stripes: *stripes}
+	meta := volumeMeta{
+		N: *n, R: *r, M: *m, E: ev, SectorSize: *sector, Stripes: *stripes,
+		RepairWorkers: *repair, LockShards: *shards, DegradedCache: *cache,
+	}
 	if _, err := core.New(core.Config{N: *n, R: *r, M: *m, E: ev}); err != nil {
 		return err
 	}
@@ -421,8 +427,8 @@ func cmdStats(args []string) (err error) {
 	fmt.Printf("health:   failed devices %v, %d bad sectors, %d unrecoverable stripes\n",
 		s.FailedDevices(), s.TotalBadSectors(), len(s.UnrecoverableStripes()))
 	t := meta.Stats.Add(s.Stats())
-	fmt.Printf("lifetime: reads=%d (degraded=%d) writes=%d flushes=%d/%d (full/sub)\n",
-		t.Reads, t.DegradedReads, t.Writes, t.FullStripeFlushes, t.SubStripeFlushes)
+	fmt.Printf("lifetime: reads=%d (degraded=%d, cache hits=%d) writes=%d flushes=%d/%d (full/sub)\n",
+		t.Reads, t.DegradedReads, t.DegradedCacheHits, t.Writes, t.FullStripeFlushes, t.SubStripeFlushes)
 	fmt.Printf("          scrubbed=%d hits=%d repaired=%d sectors (%d stripes) drops=%d unrecoverable=%d\n",
 		t.ScrubbedStripes, t.ScrubHits, t.RepairedSectors, t.RepairedStripes, t.RepairDrops, t.UnrecoverableStripes)
 	return nil

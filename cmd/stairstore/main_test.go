@@ -24,7 +24,8 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "2", "-e", "1,2", "-stripes", "8", "-sector", "512"}); err != nil {
+	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "2", "-e", "1,2", "-stripes", "8", "-sector", "512",
+		"-repair-workers", "2", "-shards", "8", "-cache", "4"}); err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	if err := cmdCreate([]string{"-dir", vol}); err == nil {

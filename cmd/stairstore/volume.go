@@ -10,15 +10,22 @@ import (
 )
 
 // volumeMeta is the on-disk volume descriptor (dir/volume.json):
-// geometry plus stats accumulated across process lifetimes.
+// geometry, concurrency tuning, plus stats accumulated across process
+// lifetimes. The tuning fields are optional (0 picks the store's
+// defaults), so descriptors written before they existed keep working.
 type volumeMeta struct {
-	N          int         `json:"n"`
-	R          int         `json:"r"`
-	M          int         `json:"m"`
-	E          []int       `json:"e"`
-	SectorSize int         `json:"sector_size"`
-	Stripes    int         `json:"stripes"`
-	Stats      store.Stats `json:"stats"`
+	N          int   `json:"n"`
+	R          int   `json:"r"`
+	M          int   `json:"m"`
+	E          []int `json:"e"`
+	SectorSize int   `json:"sector_size"`
+	Stripes    int   `json:"stripes"`
+	// RepairWorkers, LockShards and DegradedCache mirror the
+	// store.Config fields of the same names.
+	RepairWorkers int         `json:"repair_workers,omitempty"`
+	LockShards    int         `json:"lock_shards,omitempty"`
+	DegradedCache int         `json:"degraded_cache,omitempty"`
+	Stats         store.Stats `json:"stats"`
 }
 
 func loadMeta(dir string) (*volumeMeta, error) {
@@ -67,10 +74,13 @@ func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 		devs[i] = d
 	}
 	s, err := store.Open(store.Config{
-		Code:       code,
-		SectorSize: meta.SectorSize,
-		Stripes:    meta.Stripes,
-		Devices:    devs,
+		Code:          code,
+		SectorSize:    meta.SectorSize,
+		Stripes:       meta.Stripes,
+		Devices:       devs,
+		RepairWorkers: meta.RepairWorkers,
+		LockShards:    meta.LockShards,
+		DegradedCache: meta.DegradedCache,
 	})
 	if err != nil {
 		for _, d := range devs {

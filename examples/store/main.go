@@ -27,7 +27,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := store.Open(store.Config{Code: code, SectorSize: 1024, Stripes: 32})
+	// Stripes are independent recovery units, so the store runs them in
+	// parallel: a sharded lock table, a pool of repair workers, and a
+	// cache of reconstructed still-degraded stripes.
+	s, err := store.Open(store.Config{
+		Code: code, SectorSize: 1024, Stripes: 32,
+		RepairWorkers: 4, LockShards: 16, DegradedCache: 8,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,8 +103,8 @@ func main() {
 	s.InjectBurst(0, 11, 2)
 	verify(s, blocks)
 	st = s.Stats()
-	fmt.Printf("every block correct; %d degraded reads total, %d unrecoverable stripes\n\n",
-		st.DegradedReads, st.UnrecoverableStripes)
+	fmt.Printf("every block correct; %d degraded reads total (%d served from the stripe cache), %d unrecoverable stripes\n\n",
+		st.DegradedReads, st.DegradedCacheHits, st.UnrecoverableStripes)
 
 	// Replace one dead device and rebuild it sector by sector.
 	if err := s.ReplaceDevice(2); err != nil {

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"stair/internal/core"
+)
+
+// TestConcurrentStripeOperations is the sharded-lock stress test (run
+// under -race in CI): workers hammer disjoint stripe ranges with writes
+// and read-back verification while a background scrubber, explicit
+// scrub passes and a pool of repair workers heal injected latent sector
+// errors. Stripes are independent units of encoding and recovery, so
+// none of this traffic may lose an update or skew the counters.
+func TestConcurrentStripeOperations(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	const (
+		stripes = 16
+		workers = 8
+		rounds  = 6
+	)
+	s, err := Open(Config{
+		Code:            code,
+		SectorSize:      64,
+		Stripes:         stripes,
+		RepairWorkers:   4,
+		LockShards:      8,
+		MaxDirtyStripes: 4, // small bound forces cross-shard evictions
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// One latent sector error per stripe keeps repair traffic flowing
+	// underneath the foreground load.
+	for stripe := 0; stripe < stripes; stripe++ {
+		if err := s.InjectSectorError(stripe%s.n, s.devSector(stripe, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.StartScrubber(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// payload stamps a block's content with the round that wrote it, so
+	// a read-back detects lost updates.
+	payload := func(b, round int) []byte {
+		return blockData(b*(rounds+1)+round, s.BlockSize())
+	}
+	stripesPerWorker := stripes / workers
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * stripesPerWorker * s.perStripe
+			hi := lo + stripesPerWorker*s.perStripe
+			for round := 1; round <= rounds; round++ {
+				for b := lo; b < hi; b++ {
+					if err := s.WriteBlock(b, payload(b, round)); err != nil {
+						errCh <- fmt.Errorf("worker %d round %d: write block %d: %w", w, round, b, err)
+						return
+					}
+				}
+				for b := lo; b < hi; b++ {
+					got, err := s.ReadBlock(b)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d round %d: read block %d: %w", w, round, b, err)
+						return
+					}
+					if !bytes.Equal(got, payload(b, round)) {
+						errCh <- fmt.Errorf("worker %d round %d: block %d lost its update", w, round, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Synchronous scrub passes compete with the background scrubber and
+	// the foreground load for the same shard locks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := s.Scrub(); err != nil {
+				errCh <- fmt.Errorf("concurrent scrub: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	s.StopScrubber()
+
+	// Converge the repair wave, then verify content, parity and stats.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.TotalBadSectors() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("repairs did not converge; %d bad sectors left", s.TotalBadSectors())
+		}
+		if _, err := s.Scrub(); err != nil {
+			t.Fatal(err)
+		}
+		s.Quiesce()
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	finalReads := 0
+	for b := 0; b < s.Blocks(); b++ {
+		got, err := s.ReadBlock(b)
+		if err != nil {
+			t.Fatalf("final read of block %d: %v", b, err)
+		}
+		finalReads++
+		if !bytes.Equal(got, payload(b, rounds)) {
+			t.Fatalf("block %d does not hold its final round", b)
+		}
+	}
+	checkStripesConsistent(t, s)
+
+	st := s.Stats()
+	wantWrites := uint64(s.Blocks()) * (rounds + 1) // fill + every round
+	if st.Writes != wantWrites {
+		t.Errorf("Writes=%d, want exactly %d (no lost or double-counted writes)", st.Writes, wantWrites)
+	}
+	wantReads := uint64(s.Blocks())*rounds + uint64(finalReads)
+	if st.Reads != wantReads {
+		t.Errorf("Reads=%d, want exactly %d", st.Reads, wantReads)
+	}
+	if st.UnrecoverableStripes != 0 {
+		t.Errorf("UnrecoverableStripes=%d under coverage-internal damage", st.UnrecoverableStripes)
+	}
+	if got := len(s.UnrecoverableStripes()); got != 0 {
+		t.Errorf("%d stripes marked unrecoverable", got)
+	}
+}
+
+// TestConcurrentDegradedReadsSameStripe: many readers of one degraded
+// stripe share the cached reconstruction — the decode runs a handful of
+// times, not once per read.
+func TestConcurrentDegradedReadsSameStripe(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 2, RepairWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	if err := s.FailDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	var deadBlock int = -1
+	for b := 0; b < s.perStripe; b++ {
+		if s.dataCells[b].Col == 2 {
+			deadBlock = b
+			break
+		}
+	}
+	if deadBlock < 0 {
+		t.Fatal("no data cell on device 2")
+	}
+	const readers, reads = 8, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < reads; j++ {
+				got, err := s.ReadBlock(deadBlock)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, blockData(deadBlock, s.BlockSize())) {
+					errCh <- fmt.Errorf("degraded read returned wrong data")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.DegradedReads != readers*reads {
+		t.Errorf("DegradedReads=%d, want %d", st.DegradedReads, readers*reads)
+	}
+	if st.DegradedCacheHits < readers*reads-1 {
+		t.Errorf("DegradedCacheHits=%d, want ≥ %d (reads serialise on the shard lock, so only the first decodes)",
+			st.DegradedCacheHits, readers*reads-1)
+	}
+}

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stair/internal/core"
+)
+
+// TestScrubberRestartAfterFailedPass: a background scrubber whose pass
+// fails must release the scrubber slot on exit. PR 1 left
+// s.scrubStop/s.scrubDone set, so StartScrubber reported "scrubber
+// already running" forever after any failed pass.
+func TestScrubberRestartAfterFailedPass(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	s.testScrubErr = func() error {
+		if failOnce.CompareAndSwap(true, false) {
+			return errors.New("injected scrub failure")
+		}
+		return nil
+	}
+	if err := s.StartScrubber(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The first pass errors and kills the scrubber goroutine; the slot
+	// must come free so a fresh scrubber can start.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := s.StartScrubber(time.Millisecond)
+		if err == nil {
+			break
+		}
+		if !strings.Contains(err.Error(), "already running") {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrubber slot never released after a failed pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.StopScrubber()
+}
+
+// TestReplaceDeviceReconcilesUnrecoverableCounter: ReplaceDevice clears
+// the unrecoverable marks, and the Stats counter must follow — PR 1
+// reset only the map, so stripes re-marked after the replacement were
+// double-counted.
+func TestReplaceDeviceReconcilesUnrecoverableCounter(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// m+1 failed devices put every stripe outside coverage.
+	for _, dev := range []int{0, 1, 2} {
+		if err := s.FailDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	markAll := func() {
+		for b := 0; b < s.Blocks(); b++ {
+			s.ReadBlock(b) // reads on dead devices mark their stripes
+		}
+	}
+	markAll()
+	if got := s.Stats().UnrecoverableStripes; got != uint64(s.stripes) {
+		t.Fatalf("UnrecoverableStripes=%d after 3 device failures, want %d", got, s.stripes)
+	}
+	for _, dev := range []int{0, 1, 2} {
+		if err := s.ReplaceDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().UnrecoverableStripes; got != 0 {
+		t.Fatalf("UnrecoverableStripes=%d after ReplaceDevice cleared the marks, want 0", got)
+	}
+	// Without a rebuild the replacements hold only unwritten sectors:
+	// three whole chunks per stripe are still lost, so reads re-mark
+	// every stripe. The counter must match the marks, not accumulate.
+	markAll()
+	st := s.Stats()
+	if got := len(s.UnrecoverableStripes()); got != s.stripes {
+		t.Fatalf("%d stripes marked after re-read, want %d", got, s.stripes)
+	}
+	if st.UnrecoverableStripes != uint64(s.stripes) {
+		t.Fatalf("UnrecoverableStripes=%d double-counts re-marked stripes, want %d",
+			st.UnrecoverableStripes, s.stripes)
+	}
+}
+
+// flakyDevice wraps MemDevice with transiently failing writes, to drive
+// the partial-repair path: reconstruction succeeds but a write-back
+// does not.
+type flakyDevice struct {
+	*MemDevice
+	failWrites atomic.Int32 // fail this many upcoming WriteSector calls
+}
+
+func (d *flakyDevice) WriteSector(idx int, data []byte) error {
+	if d.failWrites.Load() > 0 {
+		d.failWrites.Add(-1)
+		return errors.New("store: transient write failure")
+	}
+	return d.MemDevice.WriteSector(idx, data)
+}
+
+// TestPartialRepairRequeuedAndCountedOnce: a repair whose write-backs
+// partially fail must not count the stripe as repaired (PR 1 counted it
+// when *any* sector landed) and must re-enqueue it so the retry heals
+// the rest.
+func TestPartialRepairRequeuedAndCountedOnce(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	const (
+		stripes = 2
+		sector  = 128
+	)
+	flaky := &flakyDevice{MemDevice: NewMemDevice(stripes*code.R(), sector)}
+	devs := make([]Device, code.N())
+	for i := range devs {
+		devs[i] = NewMemDevice(stripes*code.R(), sector)
+	}
+	devs[2] = flaky
+	s, err := Open(Config{Code: code, SectorSize: sector, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// Two lost sectors on stripe 0, one of them on the flaky device;
+	// its first write-back attempt will fail.
+	if err := s.InjectSectorError(1, s.devSector(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectSectorError(2, s.devSector(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	flaky.failWrites.Store(1)
+	if _, err := s.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	s.Quiesce()
+	// Without the re-enqueue the flaky sector stays bad forever (until
+	// an unrelated scrub) while RepairedStripes already claimed success.
+	if got := s.TotalBadSectors(); got != 0 {
+		t.Fatalf("TotalBadSectors=%d after Quiesce, want 0 (partial repair not retried)", got)
+	}
+	st := s.Stats()
+	if st.RepairedStripes != 1 {
+		t.Errorf("RepairedStripes=%d, want 1 (only the fully-healed stripe counts)", st.RepairedStripes)
+	}
+	if st.RepairedSectors != 2 {
+		t.Errorf("RepairedSectors=%d, want 2", st.RepairedSectors)
+	}
+	checkAllBlocks(t, s)
+	checkStripesConsistent(t, s)
+}
+
+// TestDegradedReadCache: repeated reads of a still-degraded stripe are
+// served from the cached reconstruction instead of re-running the
+// upstairs decode per block, and writes invalidate the entry.
+func TestDegradedReadCache(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// A wholly failed device keeps its stripes degraded: repair has
+	// nowhere to write the lost cells back until a replacement.
+	if err := s.FailDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	var deadBlocks []int
+	for b := 0; b < s.perStripe; b++ {
+		if s.dataCells[b].Col == 1 {
+			deadBlocks = append(deadBlocks, b)
+		}
+	}
+	if len(deadBlocks) < 2 {
+		t.Fatalf("test needs ≥ 2 data cells on device 1, have %d", len(deadBlocks))
+	}
+	for _, b := range deadBlocks {
+		got, err := s.ReadBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blockData(b, s.BlockSize())) {
+			t.Fatalf("block %d corrupt through the cache path", b)
+		}
+	}
+	st := s.Stats()
+	if st.DegradedReads != uint64(len(deadBlocks)) {
+		t.Errorf("DegradedReads=%d, want %d", st.DegradedReads, len(deadBlocks))
+	}
+	// Only the first read pays the decode; the rest hit the cache.
+	if want := uint64(len(deadBlocks) - 1); st.DegradedCacheHits != want {
+		t.Errorf("DegradedCacheHits=%d, want %d", st.DegradedCacheHits, want)
+	}
+	if got := s.cache.size(); got != 1 {
+		t.Errorf("cache holds %d stripes, want 1", got)
+	}
+	// A write to the stripe invalidates the cached reconstruction; the
+	// next degraded read must reflect the new content.
+	victim := deadBlocks[0]
+	if err := s.WriteBlock(victim, blockData(victim+999, s.BlockSize())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.cache.size(); got != 0 {
+		t.Errorf("cache holds %d stripes after a flush of the cached stripe, want 0", got)
+	}
+	got, err := s.ReadBlock(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blockData(victim+999, s.BlockSize())) {
+		t.Fatal("cached stale reconstruction served after an overwrite")
+	}
+}
+
+// TestDegradedCacheDisabled: DegradedCache < 0 turns the cache off.
+func TestDegradedCacheDisabled(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 2, DegradedCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	if err := s.FailDevice(1); err != nil {
+		t.Fatal(err)
+	}
+	checkAllBlocks(t, s)
+	st := s.Stats()
+	if st.DegradedReads == 0 {
+		t.Fatal("no degraded reads with a failed device")
+	}
+	if st.DegradedCacheHits != 0 {
+		t.Errorf("DegradedCacheHits=%d with the cache disabled", st.DegradedCacheHits)
+	}
+}

@@ -23,14 +23,24 @@ type ScrubReport struct {
 // (latent sector errors announce themselves at access time under the
 // fail-stop sector model), counts damage, and feeds damaged stripes to
 // the bounded repair queue. Use Quiesce to wait for the resulting
-// repairs to converge.
+// repairs to converge. Each stripe is swept under its own shard lock,
+// so reads, writes and repairs on other stripes interleave with a
+// sweep over a large volume.
 func (s *Store) Scrub() (ScrubReport, error) {
 	var rep ScrubReport
+	if fn := s.testScrubErr; fn != nil {
+		if err := fn(); err != nil {
+			return rep, err
+		}
+	}
 	buf := make([]byte, s.sectorSize)
 	for stripe := 0; stripe < s.stripes; stripe++ {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		sh := s.shard(stripe)
+		sh.mu.Lock()
+		// Checked under the shard lock (as in ReadBlock): past Close's
+		// per-shard flush sweep the devices may already be closed.
+		if s.closed.Load() {
+			sh.mu.Unlock()
 			return rep, ErrClosed
 		}
 		lost := 0
@@ -47,15 +57,13 @@ func (s *Store) Scrub() (ScrubReport, error) {
 			rep.StripesDamaged++
 			rep.SectorsLost += lost
 			s.c.scrubHits.Add(1)
-			wasPending := s.pending[stripe] || s.unrecoverable[stripe]
-			s.enqueueRepairLocked(stripe)
-			if !wasPending && s.pending[stripe] {
+			wasPending := sh.pending[stripe] || sh.unrecoverable[stripe]
+			s.enqueueRepairLocked(sh, stripe)
+			if !wasPending && sh.pending[stripe] {
 				rep.StripesQueued++
 			}
 		}
-		// Release the lock between stripes so reads, writes and repairs
-		// interleave with a sweep over a large volume.
-		s.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return rep, nil
 }
@@ -67,9 +75,9 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("store: scrub interval %v must be positive", interval)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.scrubStop != nil {
@@ -82,11 +90,28 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 	go func() {
 		defer s.wg.Done()
 		defer close(done)
+		// Every exit path — including a pass failing, e.g. the store
+		// closing mid-sweep — must release the scrubber slot, or
+		// StartScrubber reports "already running" forever. StopScrubber
+		// may have taken the slot already (it nils the fields before
+		// closing stop), so only clear when it is still ours.
+		defer func() {
+			s.stateMu.Lock()
+			if s.scrubDone == done {
+				s.scrubStop, s.scrubDone = nil, nil
+			}
+			s.stateMu.Unlock()
+		}()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-stop:
+				return
+			case <-s.quit:
+				// Close shuts the store down without knowing about a
+				// scrubber started concurrently with it; exit promptly
+				// rather than making wg.Wait sit out a full interval.
 				return
 			case <-ticker.C:
 				if _, err := s.Scrub(); err != nil {
@@ -102,10 +127,10 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 // an in-flight pass to finish (repairs it queued keep draining; use
 // Quiesce to wait for those).
 func (s *Store) StopScrubber() {
-	s.mu.Lock()
+	s.stateMu.Lock()
 	stop, done := s.scrubStop, s.scrubDone
 	s.scrubStop, s.scrubDone = nil, nil
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-done

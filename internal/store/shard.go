@@ -1,0 +1,60 @@
+package store
+
+import "sync"
+
+// defaultLockShards is the lock-table width when Config.LockShards is 0.
+// Wide enough that a GOMAXPROCS-sized worker set rarely collides, small
+// enough that the per-shard maps stay negligible.
+const defaultLockShards = 32
+
+// lockShard owns the store-side state of every stripe that hashes to
+// it: the stripe write buffers, the repair-pending flags and the
+// unrecoverable marks. Holding a shard's mutex also serialises device
+// I/O for its stripes, so a stripe-level read–modify–write can never
+// interleave with another writer, repairer or scrubber of the same
+// stripe — while operations on stripes in different shards proceed
+// concurrently. This is the paper's stripe-independence property
+// (stripes are self-contained units of encoding and recovery) turned
+// into a locking discipline.
+//
+// Lock ordering: at most one shard mutex is held at a time. Cross-shard
+// work (Flush, eviction, the fullest-dirty scan) locks shards strictly
+// one after another, and the store's stateMu (scrubber lifecycle,
+// Quiesce) is never taken while a shard mutex is held.
+type lockShard struct {
+	mu            sync.Mutex
+	dirty         map[int]*stripeBuf
+	pending       map[int]bool // stripes queued or being repaired
+	unrecoverable map[int]bool
+}
+
+// shardCount rounds the configured shard count up to a power of two so
+// the stripe→shard map is a single mask; with a power-of-two table,
+// adjacent stripes land in different shards, which is exactly what
+// sequential and range-partitioned workloads want.
+func shardCount(cfg int) int {
+	if cfg == 0 {
+		cfg = defaultLockShards
+	}
+	n := 1
+	for n < cfg {
+		n <<= 1
+	}
+	return n
+}
+
+// newShards allocates an initialised shard table.
+func newShards(n int) []lockShard {
+	shards := make([]lockShard, n)
+	for i := range shards {
+		shards[i].dirty = map[int]*stripeBuf{}
+		shards[i].pending = map[int]bool{}
+		shards[i].unrecoverable = map[int]bool{}
+	}
+	return shards
+}
+
+// shard returns the lock shard owning a stripe.
+func (s *Store) shard(stripe int) *lockShard {
+	return &s.shards[stripe&s.shardMask]
+}

@@ -29,9 +29,16 @@ type Stats struct {
 	// RepairDrops counts repair requests dropped because the bounded
 	// repair queue was full (a later scrub pass re-queues them).
 	RepairDrops uint64
-	// UnrecoverableStripes counts stripes whose failure pattern fell
-	// outside the code's coverage (distinct stripes, not attempts).
+	// UnrecoverableStripes counts stripes currently marked as holding
+	// failure patterns outside the code's coverage. It mirrors the
+	// unrecoverable bookkeeping exactly: a device replacement or a
+	// full-stripe rewrite that clears a mark decrements it, so a stripe
+	// re-marked later is never double-counted.
 	UnrecoverableStripes uint64
+	// DegradedCacheHits counts degraded reads served from the cache of
+	// reconstructed still-degraded stripes instead of re-running the
+	// upstairs decode.
+	DegradedCacheHits uint64
 }
 
 // counters is the live atomic form of Stats.
@@ -56,11 +63,16 @@ func (c *counters) snapshot() Stats {
 		RepairedSectors:      c.repairedSectors.Load(),
 		RepairDrops:          c.repairDrops.Load(),
 		UnrecoverableStripes: c.unrecoverableStripes.Load(),
+		// DegradedCacheHits lives in the cache itself; Store.Stats
+		// fills it in.
 	}
 }
 
-// Add returns the field-wise sum of two snapshots (used by callers that
-// accumulate stats across store lifetimes, e.g. cmd/stairstore).
+// Add combines two snapshots (used by callers that accumulate stats
+// across store lifetimes, e.g. cmd/stairstore). Monotone counters sum;
+// UnrecoverableStripes is a gauge of currently-marked stripes, so the
+// aggregate takes the high-water mark — summing it would re-count the
+// same still-unrecoverable stripe once per lifetime.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
 		Reads:                s.Reads + o.Reads,
@@ -73,6 +85,7 @@ func (s Stats) Add(o Stats) Stats {
 		RepairedStripes:      s.RepairedStripes + o.RepairedStripes,
 		RepairedSectors:      s.RepairedSectors + o.RepairedSectors,
 		RepairDrops:          s.RepairDrops + o.RepairDrops,
-		UnrecoverableStripes: s.UnrecoverableStripes + o.UnrecoverableStripes,
+		UnrecoverableStripes: max(s.UnrecoverableStripes, o.UnrecoverableStripes),
+		DegradedCacheHits:    s.DegradedCacheHits + o.DegradedCacheHits,
 	}
 }

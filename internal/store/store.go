@@ -13,11 +13,18 @@
 //     on the changed cells;
 //   - the read path transparently serves degraded reads: when a device
 //     is failed or a sector read errors, the lost cells are rebuilt on
-//     the fly via the upstairs decoding fast path (§4.2–4.3) and the
-//     stripe is queued for background repair;
+//     the fly via the upstairs decoding fast path (§4.2–4.3), cached
+//     while the stripe stays degraded, and the stripe is queued for
+//     background repair;
 //   - a background scrubber sweeps stripes, detects latent sector errors
-//     and feeds a bounded repair queue drained by a repair worker, which
-//     writes reconstructed sectors back to writable devices.
+//     and feeds a bounded repair queue drained by a pool of repair
+//     workers, which write reconstructed sectors back to writable
+//     devices.
+//
+// Stripes are independent units of encoding and recovery, and the store
+// exploits that: per-stripe state lives in a striped lock table
+// (lockShard), so reads, writes, scrub steps and repairs on different
+// stripes proceed concurrently rather than serialising on one mutex.
 //
 // Failure patterns outside the code's coverage surface as
 // ErrUnrecoverable (and an UnrecoverableStripes counter) rather than
@@ -32,6 +39,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stair/internal/core"
 )
@@ -66,6 +74,20 @@ type Config struct {
 	// RepairQueue bounds the background repair queue; requests beyond
 	// it are dropped (and re-found by a later scrub pass). 0 selects 64.
 	RepairQueue int
+	// RepairWorkers sizes the pool draining the repair queue; workers
+	// repair distinct stripes concurrently (each under its stripe's
+	// shard lock). 0 selects 1.
+	RepairWorkers int
+	// LockShards sizes the striped lock table: stripes hash to shards,
+	// and operations on stripes in different shards run in parallel.
+	// 0 selects 32; the value is rounded up to a power of two.
+	LockShards int
+	// DegradedCache bounds the LRU cache of reconstructed degraded
+	// stripes, in stripes: repeated reads of a still-degraded stripe
+	// are served from the cached reconstruction instead of re-running
+	// the upstairs decode per block. 0 selects 8; negative disables
+	// the cache.
+	DegradedCache int
 }
 
 // stripeBuf accumulates dirty data blocks of one stripe, indexed by data
@@ -94,17 +116,36 @@ type Store struct {
 	dataCells []core.Cell
 	perStripe int
 
-	mu            sync.Mutex
-	idle          *sync.Cond // signaled when a repair request completes
-	dirty         map[int]*stripeBuf
-	pending       map[int]bool // stripes queued or being repaired
-	unrecoverable map[int]bool
-	closed        bool
+	// shards stripe ownership: every per-stripe mutation happens under
+	// the owning shard's mutex. shardMask is len(shards)-1.
+	shards    []lockShard
+	shardMask int
 
-	repairCh  chan int
+	// dirtyCount and pendingCount are cross-shard aggregates (buffered
+	// stripes, queued-or-running repairs) kept atomically so the hot
+	// paths never need a global lock.
+	dirtyCount   atomic.Int64
+	pendingCount atomic.Int64
+	closed       atomic.Bool
+
+	// stateMu guards the scrubber lifecycle and Close/Quiesce
+	// coordination only; it is never held together with a shard mutex.
+	stateMu   sync.Mutex
+	idle      *sync.Cond    // signaled when a repair request completes
 	scrubStop chan struct{} // closes to stop the background scrubber
 	scrubDone chan struct{} // closed by the scrubber goroutine on exit
-	wg        sync.WaitGroup
+
+	cache *stripeCache // nil when disabled
+
+	repairCh chan repairReq
+	quit     chan struct{} // closes to stop the repair workers
+	wg       sync.WaitGroup
+
+	// testScrubErr, when set (by in-package tests, before any scrubber
+	// starts), can fail a Scrub pass on demand — the only way to
+	// exercise the scrubber's error exit, which has no organic trigger
+	// on the built-in backends.
+	testScrubErr func() error
 
 	c counters
 }
@@ -157,6 +198,21 @@ func Open(cfg Config) (*Store, error) {
 	if queue == 0 {
 		queue = 64
 	}
+	repairWorkers := cfg.RepairWorkers
+	if repairWorkers == 0 {
+		repairWorkers = 1
+	}
+	if repairWorkers < 1 {
+		return nil, fmt.Errorf("store: RepairWorkers=%d must be ≥ 0", cfg.RepairWorkers)
+	}
+	if cfg.LockShards < 0 {
+		return nil, fmt.Errorf("store: LockShards=%d must be ≥ 0", cfg.LockShards)
+	}
+	cacheStripes := cfg.DegradedCache
+	if cacheStripes == 0 {
+		cacheStripes = defaultDegradedCache
+	}
+	nshards := shardCount(cfg.LockShards)
 	s := &Store{
 		code:       cfg.Code,
 		devs:       devs,
@@ -167,16 +223,18 @@ func Open(cfg Config) (*Store, error) {
 		workers:    workers,
 		maxDirty:   maxDirty,
 		dataCells:  cfg.Code.DataCells(),
-		dirty:      map[int]*stripeBuf{},
-		pending:    map[int]bool{},
-
-		unrecoverable: map[int]bool{},
-		repairCh:      make(chan int, queue),
+		shards:     newShards(nshards),
+		shardMask:  nshards - 1,
+		cache:      newStripeCache(cacheStripes),
+		repairCh:   make(chan repairReq, queue),
+		quit:       make(chan struct{}),
 	}
 	s.perStripe = len(s.dataCells)
-	s.idle = sync.NewCond(&s.mu)
-	s.wg.Add(1)
-	go s.repairLoop()
+	s.idle = sync.NewCond(&s.stateMu)
+	s.wg.Add(repairWorkers)
+	for i := 0; i < repairWorkers; i++ {
+		go s.repairLoop()
+	}
 	return s, nil
 }
 
@@ -197,7 +255,15 @@ func (s *Store) Geometry() (n, stripes, r, sectorSize int) {
 func (s *Store) Code() *core.Code { return s.code }
 
 // Stats returns a snapshot of the operation counters.
-func (s *Store) Stats() Stats { return s.c.snapshot() }
+func (s *Store) Stats() Stats {
+	st := s.c.snapshot()
+	if s.cache != nil {
+		s.cache.mu.Lock()
+		st.DegradedCacheHits = s.cache.hits
+		s.cache.mu.Unlock()
+	}
+	return st
+}
 
 // blockOf maps a logical block to its stripe and data cell.
 func (s *Store) blockOf(b int) (stripe, ord int, cell core.Cell, err error) {
@@ -218,19 +284,28 @@ func (s *Store) WriteBlock(b int, data []byte) error {
 	if len(data) != s.sectorSize {
 		return fmt.Errorf("store: write of %d bytes, want block size %d", len(data), s.sectorSize)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	stripe, ord, _, err := s.blockOf(b)
 	if err != nil {
 		return err
 	}
-	buf := s.dirty[stripe]
+	sh := s.shard(stripe)
+	sh.mu.Lock()
+	// Re-check under the shard lock: Close sets closed before its final
+	// flush locks each shard, so a writer that got past the unlocked
+	// check cannot buffer data the flush has already passed over (it
+	// would be acknowledged and then silently lost).
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	buf := sh.dirty[stripe]
 	if buf == nil {
 		buf = &stripeBuf{data: make([][]byte, s.perStripe)}
-		s.dirty[stripe] = buf
+		sh.dirty[stripe] = buf
+		s.dirtyCount.Add(1)
 	}
 	if buf.data[ord] == nil {
 		buf.count++
@@ -239,14 +314,21 @@ func (s *Store) WriteBlock(b int, data []byte) error {
 	copy(buf.data[ord], data)
 	s.c.writes.Add(1)
 	if buf.count == s.perStripe {
-		return s.flushStripeLocked(stripe)
+		err := s.flushStripeLocked(sh, stripe)
+		sh.mu.Unlock()
+		return err
 	}
-	if len(s.dirty) > s.maxDirty {
-		victim := s.fullestDirtyLocked(stripe)
+	sh.mu.Unlock()
+	if s.dirtyCount.Load() > int64(s.maxDirty) {
+		victim := s.fullestDirty(stripe)
 		if victim < 0 {
 			return nil // every other buffer is stuck; nothing to evict
 		}
-		if err := s.flushStripeLocked(victim); err != nil {
+		vsh := s.shard(victim)
+		vsh.mu.Lock()
+		err := s.flushStripeLocked(vsh, victim)
+		vsh.mu.Unlock()
+		if err != nil {
 			// The requested write IS buffered; only the eviction failed.
 			return fmt.Errorf("store: block %d buffered, but evicting stripe %d failed: %w", b, victim, err)
 		}
@@ -254,50 +336,72 @@ func (s *Store) WriteBlock(b int, data []byte) error {
 	return nil
 }
 
-// fullestDirtyLocked picks the buffered stripe with the most dirty
-// blocks, excluding the one just written to (it is the hottest) and any
-// stuck buffers. Returns -1 when nothing is evictable.
-func (s *Store) fullestDirtyLocked(except int) int {
+// fullestDirty picks the buffered stripe with the most dirty blocks,
+// excluding the one just written to (it is the hottest) and any stuck
+// buffers. It scans shard by shard, never holding more than one shard
+// mutex; the result is advisory — a concurrent flush of the victim is
+// harmless, flushStripeLocked no-ops on a missing buffer. Returns -1
+// when nothing is evictable.
+func (s *Store) fullestDirty(except int) int {
 	best, bestCount := -1, -1
-	for stripe, buf := range s.dirty {
-		if stripe == except || buf.stuck {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for stripe, buf := range sh.dirty {
+			if stripe == except || buf.stuck {
+				continue
+			}
+			if buf.count > bestCount || (buf.count == bestCount && stripe < best) {
+				best, bestCount = stripe, buf.count
+			}
 		}
-		if buf.count > bestCount || (buf.count == bestCount && stripe < best) {
-			best, bestCount = stripe, buf.count
-		}
+		sh.mu.Unlock()
 	}
 	return best
 }
 
 // Flush writes every buffered stripe to the devices.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	stripes := make([]int, 0, len(s.dirty))
-	for stripe := range s.dirty {
-		stripes = append(stripes, stripe)
+	return s.flushAll()
+}
+
+// flushAll lands every buffered stripe, shard by shard (Close uses it
+// after marking the store closed, so it does not re-check closed).
+func (s *Store) flushAll() error {
+	var stripes []int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for stripe := range sh.dirty {
+			stripes = append(stripes, stripe)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Ints(stripes)
 	var first error
 	for _, stripe := range stripes {
-		if err := s.flushStripeLocked(stripe); err != nil && first == nil {
+		sh := s.shard(stripe)
+		sh.mu.Lock()
+		err := s.flushStripeLocked(sh, stripe)
+		sh.mu.Unlock()
+		if err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// flushStripeLocked lands one buffered stripe on the devices. A fully
-// dirty stripe is encoded from scratch in parallel; a partial one goes
-// through read–modify–write with §5.2 incremental parity updates. On
-// error the buffer is retained so the flush can be retried (e.g. after
-// a device replacement and rebuild).
-func (s *Store) flushStripeLocked(stripe int) (err error) {
-	buf := s.dirty[stripe]
+// flushStripeLocked lands one buffered stripe on the devices; the caller
+// holds the stripe's shard mutex. A fully dirty stripe is encoded from
+// scratch in parallel; a partial one goes through read–modify–write with
+// §5.2 incremental parity updates. On error the buffer is retained so
+// the flush can be retried (e.g. after a device replacement and
+// rebuild).
+func (s *Store) flushStripeLocked(sh *lockShard, stripe int) (err error) {
+	buf := sh.dirty[stripe]
 	if buf == nil {
 		return nil
 	}
@@ -317,23 +421,25 @@ func (s *Store) flushStripeLocked(stripe int) (err error) {
 		if err := s.code.EncodeParallel(st, core.MethodAuto, s.workers); err != nil {
 			return err
 		}
-		delete(s.dirty, stripe)
+		delete(sh.dirty, stripe)
+		s.dirtyCount.Add(-1)
 		// A full rewrite resurrects a previously unrecoverable stripe.
-		delete(s.unrecoverable, stripe)
+		s.clearUnrecoverableLocked(sh, stripe)
 		s.c.fullFlushes.Add(1)
 		for col := 0; col < s.n; col++ {
 			for row := 0; row < s.r; row++ {
-				s.writeCellLocked(stripe, col, row, st.Sector(col, row))
+				s.writeCell(stripe, col, row, st.Sector(col, row))
 			}
 		}
+		s.cache.invalidate(stripe)
 		return nil
 	}
 
-	st, lost := s.loadStripeLocked(stripe)
+	st, lost := s.loadStripe(stripe)
 	if len(lost) > 0 {
 		if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
 			if errors.Is(err, ErrUnrecoverable) {
-				s.markUnrecoverableLocked(stripe)
+				s.markUnrecoverableLocked(sh, stripe)
 			}
 			return fmt.Errorf("store: flushing stripe %d: %w", stripe, err)
 		}
@@ -356,7 +462,8 @@ func (s *Store) flushStripeLocked(stripe int) (err error) {
 			touched[p] = true
 		}
 	}
-	delete(s.dirty, stripe)
+	delete(sh.dirty, stripe)
+	s.dirtyCount.Add(-1)
 	s.c.subFlushes.Add(1)
 	// Write back the dirty data cells and affected parity, plus any
 	// cells just repaired (healing their bad sectors in passing).
@@ -374,21 +481,23 @@ func (s *Store) flushStripeLocked(stripe int) (err error) {
 		return cells[i].Row < cells[j].Row
 	})
 	for _, cell := range cells {
-		s.writeCellLocked(stripe, cell.Col, cell.Row, st.Sector(cell.Col, cell.Row))
+		s.writeCell(stripe, cell.Col, cell.Row, st.Sector(cell.Col, cell.Row))
 	}
+	s.cache.invalidate(stripe)
 	return nil
 }
 
-// writeCellLocked writes one stripe cell to its device. Writes to failed
+// writeCell writes one stripe cell to its device. Writes to failed
 // devices are dropped — the stripe stays degraded there until the device
 // is replaced and rebuilt, which is exactly what the code tolerates.
-func (s *Store) writeCellLocked(stripe, col, row int, data []byte) {
+func (s *Store) writeCell(stripe, col, row int, data []byte) {
 	_ = s.devs[col].WriteSector(s.devSector(stripe, row), data)
 }
 
-// loadStripeLocked reads one stripe off the devices; unreadable cells
-// come back zeroed and listed in lost.
-func (s *Store) loadStripeLocked(stripe int) (*core.Stripe, []core.Cell) {
+// loadStripe reads one stripe off the devices; unreadable cells come
+// back zeroed and listed in lost. The caller holds the stripe's shard
+// mutex, so the snapshot cannot interleave with a same-stripe writer.
+func (s *Store) loadStripe(stripe int) (*core.Stripe, []core.Cell) {
 	st, _ := s.code.NewStripe(s.sectorSize)
 	var lost []core.Cell
 	for col := 0; col < s.n; col++ {
@@ -403,19 +512,26 @@ func (s *Store) loadStripeLocked(stripe int) (*core.Stripe, []core.Cell) {
 
 // ReadBlock returns one logical block. Buffered (not yet flushed) writes
 // are served from the stripe buffer; an unreadable sector is rebuilt on
-// the fly through the degraded-read path and its stripe queued for
+// the fly through the degraded-read path — consulting the cache of
+// still-degraded reconstructions first — and its stripe queued for
 // background repair.
 func (s *Store) ReadBlock(b int) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	stripe, ord, cell, err := s.blockOf(b)
 	if err != nil {
 		return nil, err
 	}
-	if buf := s.dirty[stripe]; buf != nil && buf.data[ord] != nil {
+	sh := s.shard(stripe)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Re-check under the shard lock (see WriteBlock): past this point
+	// the devices may already be closed.
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if buf := sh.dirty[stripe]; buf != nil && buf.data[ord] != nil {
 		s.c.reads.Add(1)
 		return append([]byte(nil), buf.data[ord]...), nil
 	}
@@ -424,81 +540,44 @@ func (s *Store) ReadBlock(b int) ([]byte, error) {
 		s.c.reads.Add(1)
 		return out, nil
 	}
-	// Degraded read: rebuild the lost cells of the whole stripe via the
-	// upstairs fast path and serve the request from the reconstruction.
-	st, lost := s.loadStripeLocked(stripe)
+	// Degraded read. A still-degraded stripe read before keeps its
+	// reconstruction cached, so neighbours on the same stripe skip the
+	// per-block decode. No repair is re-queued on a hit: the insert
+	// below already queued one if it could make progress, and a request
+	// dropped by the bounded queue is re-found by the next scrub pass —
+	// re-queuing per read would only churn full-stripe loads that end
+	// at repairStripeLocked's nothing-writable check.
+	if data := s.cache.block(stripe, cell); data != nil {
+		s.c.reads.Add(1)
+		s.c.degradedReads.Add(1)
+		return data, nil
+	}
+	// Rebuild the lost cells of the whole stripe via the upstairs fast
+	// path and serve the request from the reconstruction.
+	epoch := s.cache.snapshotEpoch()
+	st, lost := s.loadStripe(stripe)
 	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
 		if errors.Is(err, ErrUnrecoverable) {
-			s.markUnrecoverableLocked(stripe)
+			s.markUnrecoverableLocked(sh, stripe)
 		}
 		return nil, fmt.Errorf("store: degraded read of block %d (stripe %d, %d lost cells): %w",
 			b, stripe, len(lost), err)
 	}
 	s.c.reads.Add(1)
 	s.c.degradedReads.Add(1)
-	s.enqueueRepairLocked(stripe)
+	s.cache.putAt(stripe, st, epoch)
+	// Queue a repair only when it can land somewhere: lost cells
+	// confined to wholly failed devices wait for a replacement instead
+	// of spinning the workers.
+	if len(s.writableLost(lost)) > 0 {
+		s.enqueueRepairLocked(sh, stripe)
+	}
 	return append([]byte(nil), st.Sector(cell.Col, cell.Row)...), nil
 }
 
-func (s *Store) markUnrecoverableLocked(stripe int) {
-	if !s.unrecoverable[stripe] {
-		s.unrecoverable[stripe] = true
-		s.c.unrecoverableStripes.Add(1)
-	}
-}
-
-// UnrecoverableStripes lists stripes observed (by reads, flushes, or the
-// repair worker) to hold failure patterns outside the code's coverage.
-func (s *Store) UnrecoverableStripes() []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]int, 0, len(s.unrecoverable))
-	for stripe := range s.unrecoverable {
-		out = append(out, stripe)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// enqueueRepairLocked queues a stripe for background repair; a full
-// queue drops the request (a later scrub pass re-finds the stripe).
-func (s *Store) enqueueRepairLocked(stripe int) {
-	if s.closed || s.pending[stripe] || s.unrecoverable[stripe] {
-		return
-	}
-	select {
-	case s.repairCh <- stripe:
-		s.pending[stripe] = true
-	default:
-		s.c.repairDrops.Add(1)
-	}
-}
-
-// repairLoop drains the repair queue.
-func (s *Store) repairLoop() {
-	defer s.wg.Done()
-	for stripe := range s.repairCh {
-		s.mu.Lock()
-		s.repairStripeLocked(stripe)
-		delete(s.pending, stripe)
-		s.idle.Broadcast()
-		s.mu.Unlock()
-	}
-}
-
-// repairStripeLocked reconstructs a stripe's lost cells and writes them
-// back to every device that will take the write. Lost cells on a wholly
-// failed device are skipped — reconstruction would have nowhere to land —
-// so the stripe stays (recoverably) degraded until the device is
-// replaced.
-func (s *Store) repairStripeLocked(stripe int) {
-	if s.unrecoverable[stripe] {
-		return
-	}
-	st, lost := s.loadStripeLocked(stripe)
-	if len(lost) == 0 {
-		return
-	}
+// writableLost filters lost cells down to those on devices that will
+// take a reconstruction write-back (i.e. not wholly failed).
+func (s *Store) writableLost(lost []core.Cell) []core.Cell {
 	writable := make([]core.Cell, 0, len(lost))
 	for _, cell := range lost {
 		if fd, ok := s.devs[cell.Col].(FaultDevice); ok && fd.Failed() {
@@ -506,52 +585,198 @@ func (s *Store) repairStripeLocked(stripe int) {
 		}
 		writable = append(writable, cell)
 	}
-	if len(writable) == 0 {
-		return
-	}
-	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
-		if errors.Is(err, ErrUnrecoverable) {
-			s.markUnrecoverableLocked(stripe)
-		}
-		return
-	}
-	repaired := 0
-	for _, cell := range writable {
-		if s.devs[cell.Col].WriteSector(s.devSector(stripe, cell.Row), st.Sector(cell.Col, cell.Row)) == nil {
-			repaired++
-		}
-	}
-	if repaired > 0 {
-		s.c.repairedStripes.Add(1)
-		s.c.repairedSectors.Add(uint64(repaired))
+	return writable
+}
+
+// markUnrecoverableLocked records a stripe whose failure pattern fell
+// outside coverage; the caller holds the stripe's shard mutex. The
+// counter tracks map cardinality exactly, so Stats always reports the
+// number of stripes currently marked.
+func (s *Store) markUnrecoverableLocked(sh *lockShard, stripe int) {
+	if !sh.unrecoverable[stripe] {
+		sh.unrecoverable[stripe] = true
+		s.c.unrecoverableStripes.Add(1)
 	}
 }
 
-// Quiesce blocks until the repair queue is empty and the repair worker
-// idle — the point where a scrub-triggered repair wave has converged.
+// clearUnrecoverableLocked drops a stripe's unrecoverable mark and
+// decrements the counter in lockstep (PR 1 cleared the map but left the
+// counter cumulative, double-counting stripes re-marked after a device
+// replacement).
+func (s *Store) clearUnrecoverableLocked(sh *lockShard, stripe int) {
+	if sh.unrecoverable[stripe] {
+		delete(sh.unrecoverable, stripe)
+		s.c.unrecoverableStripes.Add(^uint64(0))
+	}
+}
+
+// UnrecoverableStripes lists stripes observed (by reads, flushes, or the
+// repair workers) to hold failure patterns outside the code's coverage.
+func (s *Store) UnrecoverableStripes() []int {
+	var out []int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for stripe := range sh.unrecoverable {
+			out = append(out, stripe)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Ints(out)
+	return out
+}
+
+// repairReq is one queued repair request; attempt counts retries after
+// partial write-back failures.
+type repairReq struct {
+	stripe  int
+	attempt int
+}
+
+// maxRepairAttempts bounds immediate retries of a stripe whose repair
+// write-backs keep failing: a persistently unwritable (but not
+// fail-stop) device must not spin the worker pool — past the cap the
+// request is dropped like a queue overflow and a later scrub pass
+// re-finds the stripe.
+const maxRepairAttempts = 3
+
+// enqueueRepairLocked queues a stripe for background repair; the caller
+// holds the stripe's shard mutex. A full queue drops the request (a
+// later scrub pass re-finds the stripe). The repair channel is never
+// closed — shutdown is signalled on quit — so a racing enqueue after
+// Close can at worst park a request in a channel nobody drains.
+func (s *Store) enqueueRepairLocked(sh *lockShard, stripe int) {
+	s.enqueueAttemptLocked(sh, repairReq{stripe: stripe})
+}
+
+func (s *Store) enqueueAttemptLocked(sh *lockShard, req repairReq) {
+	if s.closed.Load() || sh.pending[req.stripe] || sh.unrecoverable[req.stripe] {
+		return
+	}
+	if req.attempt >= maxRepairAttempts {
+		s.c.repairDrops.Add(1)
+		return
+	}
+	select {
+	case s.repairCh <- req:
+		sh.pending[req.stripe] = true
+		s.pendingCount.Add(1)
+	default:
+		s.c.repairDrops.Add(1)
+	}
+}
+
+// repairLoop is one repair worker: it drains the repair queue until
+// Close. Workers proceed in parallel on stripes in different shards.
+func (s *Store) repairLoop() {
+	defer s.wg.Done()
+	for {
+		var req repairReq
+		select {
+		case <-s.quit:
+			return
+		case req = <-s.repairCh:
+		}
+		sh := s.shard(req.stripe)
+		sh.mu.Lock()
+		requeue := s.repairStripeLocked(sh, req.stripe)
+		delete(sh.pending, req.stripe)
+		if requeue {
+			// Re-enqueue before dropping this request's pending count so
+			// Quiesce never observes a spurious idle window.
+			s.enqueueAttemptLocked(sh, repairReq{stripe: req.stripe, attempt: req.attempt + 1})
+		}
+		sh.mu.Unlock()
+		s.pendingCount.Add(-1)
+		s.stateMu.Lock()
+		s.idle.Broadcast()
+		s.stateMu.Unlock()
+	}
+}
+
+// repairStripeLocked reconstructs a stripe's lost cells and writes them
+// back to every device that will take the write; the caller holds the
+// stripe's shard mutex. Lost cells on a wholly failed device are skipped
+// — reconstruction would have nowhere to land — so the stripe stays
+// (recoverably) degraded until the device is replaced. A stripe counts
+// as repaired only when every lost cell landed; a partial write-back
+// (some writes failed transiently) reports requeue so the worker retries
+// instead of silently leaving the stripe degraded.
+func (s *Store) repairStripeLocked(sh *lockShard, stripe int) (requeue bool) {
+	if sh.unrecoverable[stripe] {
+		return false
+	}
+	st, lost := s.loadStripe(stripe)
+	if len(lost) == 0 {
+		return false
+	}
+	writable := s.writableLost(lost)
+	if len(writable) == 0 {
+		return false
+	}
+	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
+		if errors.Is(err, ErrUnrecoverable) {
+			s.markUnrecoverableLocked(sh, stripe)
+		}
+		return false
+	}
+	wrote, failed := 0, 0
+	for _, cell := range writable {
+		if s.devs[cell.Col].WriteSector(s.devSector(stripe, cell.Row), st.Sector(cell.Col, cell.Row)) == nil {
+			wrote++
+		} else {
+			failed++
+		}
+	}
+	if wrote > 0 {
+		s.c.repairedSectors.Add(uint64(wrote))
+	}
+	if failed == 0 && len(writable) == len(lost) {
+		// Fully healed: every lost cell is back on a device. Direct
+		// reads work again, so the cached reconstruction is dead weight.
+		s.c.repairedStripes.Add(1)
+		s.cache.invalidate(stripe)
+		return false
+	}
+	// Still degraded. Cells skipped on failed devices have nothing to
+	// retry until a replacement arrives, but failed write-backs are
+	// worth another attempt.
+	return failed > 0
+}
+
+// Quiesce blocks until the repair queue is empty and every repair
+// worker idle — the point where a scrub-triggered repair wave has
+// converged.
 func (s *Store) Quiesce() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.pending) > 0 && !s.closed {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	for s.pendingCount.Load() > 0 && !s.closed.Load() {
 		s.idle.Wait()
 	}
 }
 
 // FailDevice marks a device wholly failed (fault injection). Reads of
-// its sectors are served degraded from then on.
+// its sectors are served degraded from then on. Cached reconstructions
+// are dropped: the failure pattern of every stripe just changed, and a
+// read must re-evaluate coverage rather than serve pre-failure state.
 func (s *Store) FailDevice(dev int) error {
 	fd, err := s.faultDevice(dev)
 	if err != nil {
 		return err
 	}
-	return fd.Fail()
+	if err := fd.Fail(); err != nil {
+		return err
+	}
+	s.cache.purge()
+	return nil
 }
 
 // ReplaceDevice swaps a failed device for a fresh one whose sectors are
 // all unwritten. Rebuild (or scrub passes feeding the repair queue)
 // restores its content. Replacement changes every stripe's failure
-// pattern, so cached unrecoverable marks are dropped and re-evaluated on
-// the next access.
+// pattern, so cached unrecoverable marks (and the counter mirroring
+// them) are dropped and re-evaluated on the next access, and cached
+// reconstructions are purged.
 func (s *Store) ReplaceDevice(dev int) error {
 	fd, err := s.faultDevice(dev)
 	if err != nil {
@@ -560,37 +785,55 @@ func (s *Store) ReplaceDevice(dev int) error {
 	if err := fd.Replace(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.unrecoverable = map[int]bool{}
-	s.mu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for stripe := range sh.unrecoverable {
+			s.clearUnrecoverableLocked(sh, stripe)
+		}
+		sh.mu.Unlock()
+	}
+	s.cache.purge()
 	return nil
 }
 
 // RebuildDevice synchronously reconstructs every stripe touching the
-// given (replaced) device, bypassing the bounded queue.
+// given (replaced) device, bypassing the bounded queue. Stripes whose
+// write-backs fail transiently are left to the scrubber.
 func (s *Store) RebuildDevice(dev int) error {
 	if _, err := s.faultDevice(dev); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
 	for stripe := 0; stripe < s.stripes; stripe++ {
-		s.repairStripeLocked(stripe)
+		sh := s.shard(stripe)
+		sh.mu.Lock()
+		// Checked under the shard lock (as in ReadBlock): past Close's
+		// per-shard flush sweep the devices may already be closed.
+		if s.closed.Load() {
+			sh.mu.Unlock()
+			return ErrClosed
+		}
+		s.repairStripeLocked(sh, stripe)
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // InjectSectorError injects a latent sector error at one device sector
-// (index stripe×R + row, matching raid.Array's layout).
+// (index stripe×R + row, matching raid.Array's layout). The stripe's
+// cached reconstruction is dropped: the injection changes its failure
+// pattern, and a read must re-evaluate coverage rather than serve
+// pre-injection state.
 func (s *Store) InjectSectorError(dev, sector int) error {
 	fd, err := s.faultDevice(dev)
 	if err != nil {
 		return err
 	}
-	return fd.InjectSectorError(sector)
+	if err := fd.InjectSectorError(sector); err != nil {
+		return err
+	}
+	s.cache.invalidateRacing(sector / s.r)
+	return nil
 }
 
 // InjectBurst injects a run of consecutive latent sector errors on one
@@ -609,6 +852,9 @@ func (s *Store) InjectBurst(dev, start, length int) error {
 		if err := fd.InjectSectorError(idx); err != nil {
 			return err
 		}
+		// As in InjectSectorError: the touched stripe's failure pattern
+		// changed, so its cached reconstruction must not be served.
+		s.cache.invalidateRacing(idx / s.r)
 	}
 	return nil
 }
@@ -646,29 +892,38 @@ func (s *Store) faultDevice(dev int) (FaultDevice, error) {
 	return fd, nil
 }
 
-// Close flushes buffered writes, stops the scrubber and repair worker,
-// and closes the devices.
+// Close flushes buffered writes, drains the outstanding background
+// repairs, stops the scrubber and repair workers, and closes the
+// devices. New reads and writes are refused before the final flush, so
+// nothing can slip into the buffer and be lost; repairs already queued
+// (e.g. by a final scrub pass) complete before the workers shut down,
+// so a close does not strand a volume degraded that a queued repair
+// would have healed.
 func (s *Store) Close() error {
 	s.StopScrubber()
-	flushErr := s.Flush()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.stateMu.Lock()
+	if s.closed.Load() {
+		s.stateMu.Unlock()
 		return ErrClosed
 	}
-	s.closed = true
-	close(s.repairCh)
-	s.idle.Broadcast()
-	s.mu.Unlock()
-	s.wg.Wait()
-	// The repair loop exits after draining; clear stale bookkeeping.
-	s.mu.Lock()
-	s.pending = map[int]bool{}
-	s.mu.Unlock()
-	var firstErr error
-	if flushErr != nil && !errors.Is(flushErr, ErrClosed) {
-		firstErr = flushErr
+	s.closed.Store(true)
+	s.stateMu.Unlock()
+	flushErr := s.flushAll()
+	// Nothing can enqueue past closed, so the pending count only drains
+	// from here; wait for the workers to finish what was queued.
+	s.stateMu.Lock()
+	for s.pendingCount.Load() > 0 {
+		s.idle.Wait()
 	}
+	s.stateMu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	// The drain left no pending repairs; one last broadcast wakes any
+	// Quiesce waiter so its loop re-checks closed.
+	s.stateMu.Lock()
+	s.idle.Broadcast()
+	s.stateMu.Unlock()
+	firstErr := flushErr
 	for _, d := range s.devs {
 		if err := d.Close(); err != nil && firstErr == nil {
 			firstErr = err

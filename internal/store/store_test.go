@@ -56,10 +56,11 @@ func checkAllBlocks(t testing.TB, s *Store) {
 // as stored on the devices.
 func checkStripesConsistent(t testing.TB, s *Store) {
 	t.Helper()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for stripe := 0; stripe < s.stripes; stripe++ {
-		st, lost := s.loadStripeLocked(stripe)
+		sh := s.shard(stripe)
+		sh.mu.Lock()
+		st, lost := s.loadStripe(stripe)
+		sh.mu.Unlock()
 		if len(lost) > 0 {
 			t.Fatalf("stripe %d has %d lost cells", stripe, len(lost))
 		}
@@ -218,9 +219,7 @@ func TestDirtyBound(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.mu.Lock()
-	buffered := len(s.dirty)
-	s.mu.Unlock()
+	buffered := int(s.dirtyCount.Load())
 	if buffered > 3 {
 		t.Fatalf("%d stripes buffered, bound is 2 (+1 hot)", buffered)
 	}
@@ -237,6 +236,8 @@ func TestOpenValidation(t *testing.T) {
 		{Code: code, SectorSize: 128, Stripes: 0},
 		{Code: code, SectorSize: 128, Stripes: 1, Devices: []Device{NewMemDevice(4, 128)}},
 		{Code: code, SectorSize: 128, Stripes: 1, Workers: -1},
+		{Code: code, SectorSize: 128, Stripes: 1, RepairWorkers: -1},
+		{Code: code, SectorSize: 128, Stripes: 1, LockShards: -1},
 	} {
 		if _, err := Open(cfg); err == nil {
 			t.Errorf("Open(%+v) accepted an invalid config", cfg)
