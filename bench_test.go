@@ -6,6 +6,7 @@
 package stair_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -18,6 +19,9 @@ import (
 )
 
 const benchStripeBytes = 1 << 20
+
+// benchCtx is the context threaded through the store benchmarks.
+var benchCtx = context.Background()
 
 func benchCode(b *testing.B, cfg core.Config) *core.Code {
 	b.Helper()
@@ -287,11 +291,11 @@ func benchStore(b *testing.B, stripes int) *store.Store {
 	rng := rand.New(rand.NewSource(9))
 	for blk := 0; blk < s.Blocks(); blk++ {
 		rng.Read(buf)
-		if err := s.WriteBlock(blk, buf); err != nil {
+		if err := s.WriteBlock(benchCtx, blk, buf); err != nil {
 			b.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(benchCtx); err != nil {
 		b.Fatal(err)
 	}
 	return s
@@ -307,11 +311,11 @@ func BenchmarkStoreWriteSeq(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for blk := 0; blk < s.Blocks(); blk++ {
-			if err := s.WriteBlock(blk, buf); err != nil {
+			if err := s.WriteBlock(benchCtx, blk, buf); err != nil {
 				b.Fatal(err)
 			}
 		}
-		if err := s.Flush(); err != nil {
+		if err := s.Flush(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -326,10 +330,10 @@ func BenchmarkStoreSubStripeWrite(b *testing.B) {
 	b.SetBytes(int64(s.BlockSize()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.WriteBlock(i%s.Blocks(), buf); err != nil {
+		if err := s.WriteBlock(benchCtx, i%s.Blocks(), buf); err != nil {
 			b.Fatal(err)
 		}
-		if err := s.Flush(); err != nil {
+		if err := s.Flush(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -349,7 +353,7 @@ func BenchmarkStoreRead(b *testing.B) {
 			b.SetBytes(int64(s.BlockSize()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.ReadBlock(i % s.Blocks()); err != nil {
+				if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -368,7 +372,7 @@ func BenchmarkStoreReadConcurrent(b *testing.B) {
 		i := rand.Int()
 		for pb.Next() {
 			i++
-			if _, err := s.ReadBlock(i % s.Blocks()); err != nil {
+			if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
 				b.Error(err)
 				return
 			}
@@ -387,7 +391,7 @@ func BenchmarkStoreDegradedReadCached(b *testing.B) {
 	b.SetBytes(int64(s.BlockSize()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.ReadBlock(i % s.Blocks()); err != nil {
+		if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -407,7 +411,7 @@ func BenchmarkStoreScrubRepair(b *testing.B) {
 			}
 		}
 		b.StartTimer()
-		if _, err := s.Scrub(); err != nil {
+		if _, err := s.Scrub(benchCtx); err != nil {
 			b.Fatal(err)
 		}
 		s.Quiesce()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"stair/internal/core"
 	"stair/internal/store"
@@ -39,6 +41,14 @@ type storeBenchConfig struct {
 	// when this exceeds 1 (on a single core, sharding buys concurrency
 	// but the CPU bounds wall-clock throughput).
 	GoMaxProcs int `json:"gomaxprocs"`
+	// LatencyMS and LatencyStripes describe the *-latency-* scenarios:
+	// a store over LatencyDevice-wrapped memory devices charging
+	// LatencyMS per device *call*, measured vectored (one call per
+	// device per stripe) and through the PerSectorDevice adapter (one
+	// call per sector — what the pre-redesign API paid). The spread
+	// between the two is the vectored-I/O win on remote-like media.
+	LatencyMS      float64 `json:"latency_ms"`
+	LatencyStripes int     `json:"latency_stripes"`
 }
 
 type storeBenchResult struct {
@@ -61,6 +71,7 @@ type storeBenchReport struct {
 // degraded reads under 1 and m device failures, and a scrub sweep — and
 // emits the table plus a machine-readable BENCH_store.json.
 func runStore(o options) error {
+	ctx := context.Background()
 	const (
 		n, r, m       = 8, 16, 2
 		stripes       = 8
@@ -98,15 +109,15 @@ func runStore(o options) error {
 		rng := rand.New(rand.NewSource(1))
 		for b := 0; b < s.Blocks(); b++ {
 			rng.Read(buf)
-			if err := s.WriteBlock(b, buf); err != nil {
+			if err := s.WriteBlock(ctx, b, buf); err != nil {
 				return err
 			}
 		}
-		return s.Flush()
+		return s.Flush(ctx)
 	}
 	readAll := func(s *store.Store) error {
 		for b := 0; b < s.Blocks(); b++ {
-			if _, err := s.ReadBlock(b); err != nil {
+			if _, err := s.ReadBlock(ctx, b); err != nil {
 				return err
 			}
 		}
@@ -153,10 +164,10 @@ func runStore(o options) error {
 			rng := rand.New(rand.NewSource(2))
 			for stripe := 0; stripe < stripes; stripe++ {
 				rng.Read(buf)
-				if err := s.WriteBlock(stripe*perStripe+stripe%perStripe, buf); err != nil {
+				if err := s.WriteBlock(ctx, stripe*perStripe+stripe%perStripe, buf); err != nil {
 					return err
 				}
-				if err := s.Flush(); err != nil {
+				if err := s.Flush(ctx); err != nil {
 					return err
 				}
 			}
@@ -165,7 +176,7 @@ func runStore(o options) error {
 		return err
 	}
 	if err := add("scrub", "full read sweep of every stripe (raw bytes)", rawBytes,
-		func() error { _, err := s.Scrub(); return err }); err != nil {
+		func() error { _, err := s.Scrub(ctx); return err }); err != nil {
 		return err
 	}
 	s.Quiesce()
@@ -247,7 +258,7 @@ func runStore(o options) error {
 				rand.New(rand.NewSource(3)).Read(buf)
 				return split(loadWorkers, func(stripe int) error {
 					for ord := 0; ord < perStripe; ord++ {
-						if err := cs.WriteBlock(stripe*perStripe+ord, buf); err != nil {
+						if err := cs.WriteBlock(ctx, stripe*perStripe+ord, buf); err != nil {
 							return err
 						}
 					}
@@ -257,7 +268,7 @@ func runStore(o options) error {
 			cs.Close()
 			return err
 		}
-		if err := cs.Flush(); err != nil {
+		if err := cs.Flush(ctx); err != nil {
 			cs.Close()
 			return err
 		}
@@ -265,7 +276,7 @@ func runStore(o options) error {
 			func() error {
 				return split(loadWorkers, func(stripe int) error {
 					for ord := 0; ord < perStripe; ord++ {
-						if _, err := cs.ReadBlock(stripe*perStripe + ord); err != nil {
+						if _, err := cs.ReadBlock(ctx, stripe*perStripe+ord); err != nil {
 							return err
 						}
 					}
@@ -276,6 +287,90 @@ func runStore(o options) error {
 			return err
 		}
 		cs.Close()
+	}
+
+	// Per-backend comparison on simulated remote media: every device
+	// call costs latencyMS, so the scenarios measure calls, not bytes.
+	// The vectored store issues one call per device per stripe on the
+	// flush/load/scrub paths; the per-sector baseline (the old API's
+	// regime, reproduced by PerSectorDevice) issues one per sector and
+	// pays R× the round trips.
+	const (
+		latencyMS      = 1
+		latencyStripes = 4
+	)
+	cfg.LatencyMS, cfg.LatencyStripes = latencyMS, latencyStripes
+	openWrapped := func(wrap func(store.Device) store.Device) (*store.Store, error) {
+		devs := make([]store.Device, n)
+		for i := range devs {
+			devs[i] = wrap(store.NewMemDevice(latencyStripes*r, sector))
+		}
+		return store.Open(store.Config{
+			Code: code, SectorSize: sector, Stripes: latencyStripes, Devices: devs,
+			RepairWorkers: repairWorkers, LockShards: lockShards,
+			DegradedCache: degradedCache, MaxDirtyStripes: latencyStripes,
+		})
+	}
+	for _, backend := range []struct {
+		suffix string
+		wrap   func(store.Device) store.Device
+	}{
+		{"latency-vectored", func(d store.Device) store.Device {
+			return store.NewLatencyDevice(d, latencyMS*time.Millisecond, 0)
+		}},
+		{"latency-persector", func(d store.Device) store.Device {
+			return store.NewPerSectorDevice(store.NewLatencyDevice(d, latencyMS*time.Millisecond, 0))
+		}},
+	} {
+		ls, err := openWrapped(backend.wrap)
+		if err != nil {
+			return err
+		}
+		lsBytes := ls.Blocks() * sector
+		lsRaw := n * r * latencyStripes * sector
+		regime := fmt.Sprintf("%dms/call devices, %s", latencyMS, backend.suffix)
+		if err := add("write-seq-"+backend.suffix, regime+": full-stripe flushes", lsBytes,
+			func() error { return fill(ls) }); err != nil {
+			ls.Close()
+			return err
+		}
+		if err := add("scrub-"+backend.suffix, regime+": read sweep (raw bytes)", lsRaw,
+			func() error { _, err := ls.Scrub(ctx); return err }); err != nil {
+			ls.Close()
+			return err
+		}
+		// Degraded reads: one lost block per stripe, so the measured cost
+		// is the full-stripe load feeding the reconstruction — the path
+		// whose round-trip count the vectored API collapses from n×r to
+		// n. Re-failing the device inside the measured op purges the
+		// degraded cache, so every iteration (including timeOp's
+		// warm-up) re-pays those stripe loads.
+		perStripeBlocks := len(code.DataCells())
+		var deadBlocks []int
+		for stripe := 0; stripe < latencyStripes; stripe++ {
+			for ord := 0; ord < perStripeBlocks; ord++ {
+				if code.DataCells()[ord].Col == 0 {
+					deadBlocks = append(deadBlocks, stripe*perStripeBlocks+ord)
+					break
+				}
+			}
+		}
+		if err := add("read-degraded-"+backend.suffix, regime+": stripe loads for reconstruction", len(deadBlocks)*sector,
+			func() error {
+				if err := ls.FailDevice(0); err != nil {
+					return err
+				}
+				for _, b := range deadBlocks {
+					if _, err := ls.ReadBlock(ctx, b); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+			ls.Close()
+			return err
+		}
+		ls.Close()
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -22,11 +22,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -38,24 +40,29 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Every store operation runs under a signal-cancelled context: an
+	// interrupt aborts in-flight device I/O (including a blocked remote
+	// backend) instead of wedging the command.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "create":
-		err = cmdCreate(os.Args[2:])
+		err = cmdCreate(ctx, os.Args[2:])
 	case "put":
-		err = cmdPut(os.Args[2:])
+		err = cmdPut(ctx, os.Args[2:])
 	case "get":
-		err = cmdGet(os.Args[2:])
+		err = cmdGet(ctx, os.Args[2:])
 	case "fail-device":
-		err = cmdFailDevice(os.Args[2:])
+		err = cmdFailDevice(ctx, os.Args[2:])
 	case "corrupt":
-		err = cmdCorrupt(os.Args[2:])
+		err = cmdCorrupt(ctx, os.Args[2:])
 	case "replace":
-		err = cmdReplace(os.Args[2:])
+		err = cmdReplace(ctx, os.Args[2:])
 	case "scrub":
-		err = cmdScrub(os.Args[2:])
+		err = cmdScrub(ctx, os.Args[2:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(ctx, os.Args[2:])
 	default:
 		usage()
 	}
@@ -85,7 +92,7 @@ func parseE(s string) ([]int, error) {
 	return out, nil
 }
 
-func cmdCreate(args []string) (err error) {
+func cmdCreate(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("create", flag.ExitOnError)
 	var (
 		dir     = fs.String("dir", "", "volume directory (created)")
@@ -137,7 +144,7 @@ func cmdCreate(args []string) (err error) {
 	return nil
 }
 
-func cmdPut(args []string) (err error) {
+func cmdPut(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("put", flag.ExitOnError)
 	var (
 		dir   = fs.String("dir", "", "volume directory")
@@ -177,18 +184,18 @@ func cmdPut(args []string) (err error) {
 			buf[j] = 0
 		}
 		copy(buf, data[i*bs:])
-		if err := s.WriteBlock(*block+i, buf); err != nil {
+		if err := s.WriteBlock(ctx, *block+i, buf); err != nil {
 			return err
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d bytes to blocks [%d,%d)\n", len(data), *block, *block+nblocks)
 	return nil
 }
 
-func cmdGet(args []string) (err error) {
+func cmdGet(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("get", flag.ExitOnError)
 	var (
 		dir    = fs.String("dir", "", "volume directory")
@@ -226,7 +233,7 @@ func cmdGet(args []string) (err error) {
 	}
 	var data []byte
 	for i := 0; i < c; i++ {
-		blk, err := s.ReadBlock(*block + i)
+		blk, err := s.ReadBlock(ctx, *block+i)
 		if err != nil {
 			return fmt.Errorf("get: %w", err)
 		}
@@ -248,7 +255,7 @@ func cmdGet(args []string) (err error) {
 	return nil
 }
 
-func cmdFailDevice(args []string) (err error) {
+func cmdFailDevice(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("fail-device", flag.ExitOnError)
 	var (
 		dir = fs.String("dir", "", "volume directory")
@@ -274,7 +281,7 @@ func cmdFailDevice(args []string) (err error) {
 	return nil
 }
 
-func cmdCorrupt(args []string) (err error) {
+func cmdCorrupt(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("corrupt", flag.ExitOnError)
 	var (
 		dir    = fs.String("dir", "", "volume directory")
@@ -321,7 +328,7 @@ func cmdCorrupt(args []string) (err error) {
 	return nil
 }
 
-func cmdReplace(args []string) (err error) {
+func cmdReplace(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("replace", flag.ExitOnError)
 	var (
 		dir     = fs.String("dir", "", "volume directory")
@@ -345,7 +352,7 @@ func cmdReplace(args []string) (err error) {
 		return err
 	}
 	if *rebuild {
-		if err := s.RebuildDevice(*dev); err != nil {
+		if err := s.RebuildDevice(ctx, *dev); err != nil {
 			return err
 		}
 		st := s.Stats()
@@ -359,7 +366,7 @@ func cmdReplace(args []string) (err error) {
 	return nil
 }
 
-func cmdScrub(args []string) (err error) {
+func cmdScrub(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
 	var (
 		dir    = fs.String("dir", "", "volume directory")
@@ -380,7 +387,7 @@ func cmdScrub(args []string) (err error) {
 	}()
 	for pass := 1; pass <= *passes; pass++ {
 		before := s.TotalBadSectors()
-		rep, err := s.Scrub()
+		rep, err := s.Scrub(ctx)
 		if err != nil {
 			return err
 		}
@@ -404,7 +411,7 @@ func cmdScrub(args []string) (err error) {
 	return nil
 }
 
-func cmdStats(args []string) (err error) {
+func cmdStats(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("dir", "", "volume directory")
 	fs.Parse(args)

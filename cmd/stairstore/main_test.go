@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var bg = context.Background()
 
 // TestEndToEnd drives the CLI commands through a full lifecycle:
 // create → put → get → fail-device → degraded get → corrupt → scrub →
@@ -24,19 +27,19 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "2", "-e", "1,2", "-stripes", "8", "-sector", "512",
+	if err := cmdCreate(bg, []string{"-dir", vol, "-n", "6", "-r", "4", "-m", "2", "-e", "1,2", "-stripes", "8", "-sector", "512",
 		"-repair-workers", "2", "-shards", "8", "-cache", "4"}); err != nil {
 		t.Fatalf("create: %v", err)
 	}
-	if err := cmdCreate([]string{"-dir", vol}); err == nil {
+	if err := cmdCreate(bg, []string{"-dir", vol}); err == nil {
 		t.Fatal("create over an existing volume accepted")
 	}
-	if err := cmdPut([]string{"-dir", vol, "-in", in}); err != nil {
+	if err := cmdPut(bg, []string{"-dir", vol, "-in", in}); err != nil {
 		t.Fatalf("put: %v", err)
 	}
 	get := func(stage string) {
 		t.Helper()
-		if err := cmdGet([]string{"-dir", vol, "-out", out, "-bytes", "30000"}); err != nil {
+		if err := cmdGet(bg, []string{"-dir", vol, "-out", out, "-bytes", "30000"}); err != nil {
 			t.Fatalf("get %s: %v", stage, err)
 		}
 		got, err := os.ReadFile(out)
@@ -51,31 +54,31 @@ func TestEndToEnd(t *testing.T) {
 
 	// Two device failures plus in-coverage latent errors: reads must
 	// stay correct (served degraded), scrub must heal the survivors.
-	if err := cmdFailDevice([]string{"-dir", vol, "-device", "1"}); err != nil {
+	if err := cmdFailDevice(bg, []string{"-dir", vol, "-device", "1"}); err != nil {
 		t.Fatalf("fail-device: %v", err)
 	}
-	if err := cmdFailDevice([]string{"-dir", vol, "-device", "4"}); err != nil {
+	if err := cmdFailDevice(bg, []string{"-dir", vol, "-device", "4"}); err != nil {
 		t.Fatalf("fail-device: %v", err)
 	}
-	if err := cmdCorrupt([]string{"-dir", vol, "-device", "0", "-burst", "5:2"}); err != nil {
+	if err := cmdCorrupt(bg, []string{"-dir", vol, "-device", "0", "-burst", "5:2"}); err != nil {
 		t.Fatalf("corrupt: %v", err)
 	}
-	if err := cmdCorrupt([]string{"-dir", vol, "-device", "3", "-sector", "9"}); err != nil {
+	if err := cmdCorrupt(bg, []string{"-dir", vol, "-device", "3", "-sector", "9"}); err != nil {
 		t.Fatalf("corrupt: %v", err)
 	}
 	get("degraded")
-	if err := cmdScrub([]string{"-dir", vol}); err != nil {
+	if err := cmdScrub(bg, []string{"-dir", vol}); err != nil {
 		t.Fatalf("scrub: %v", err)
 	}
 	get("after scrub")
 
 	// Replace and rebuild the dead devices, then verify full health.
 	for _, dev := range []string{"1", "4"} {
-		if err := cmdReplace([]string{"-dir", vol, "-device", dev}); err != nil {
+		if err := cmdReplace(bg, []string{"-dir", vol, "-device", dev}); err != nil {
 			t.Fatalf("replace %s: %v", dev, err)
 		}
 	}
-	if err := cmdStats([]string{"-dir", vol}); err != nil {
+	if err := cmdStats(bg, []string{"-dir", vol}); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 	get("after rebuild")
@@ -108,18 +111,18 @@ func TestBeyondCoverage(t *testing.T) {
 	if err := os.WriteFile(in, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdCreate([]string{"-dir", vol, "-n", "6", "-r", "4", "-m", "1", "-e", "1", "-stripes", "4", "-sector", "512"}); err != nil {
+	if err := cmdCreate(bg, []string{"-dir", vol, "-n", "6", "-r", "4", "-m", "1", "-e", "1", "-stripes", "4", "-sector", "512"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdPut([]string{"-dir", vol, "-in", in}); err != nil {
+	if err := cmdPut(bg, []string{"-dir", vol, "-in", in}); err != nil {
 		t.Fatal(err)
 	}
 	for _, dev := range []string{"0", "1"} {
-		if err := cmdFailDevice([]string{"-dir", vol, "-device", dev}); err != nil {
+		if err := cmdFailDevice(bg, []string{"-dir", vol, "-device", dev}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	err := cmdGet([]string{"-dir", vol, "-out", filepath.Join(dir, "out.bin"), "-bytes", "8000"})
+	err := cmdGet(bg, []string{"-dir", vol, "-out", filepath.Join(dir, "out.bin"), "-bytes", "8000"})
 	if err == nil {
 		t.Fatal("get beyond coverage succeeded")
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A RAID-6-like code (m=2) that additionally rides out a 2-sector
 	// burst in one more chunk plus singles in two others, for 4 extra
 	// parity sectors instead of two whole devices.
@@ -49,11 +51,11 @@ func main() {
 	for b := range blocks {
 		blocks[b] = make([]byte, s.BlockSize())
 		rng.Read(blocks[b])
-		if err := s.WriteBlock(b, blocks[b]); err != nil {
+		if err := s.WriteBlock(ctx, b, blocks[b]); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	st := s.Stats()
@@ -63,10 +65,10 @@ func main() {
 	// A small overwrite takes the §5.2 incremental path instead: only
 	// the parity sectors depending on the changed blocks are rewritten.
 	rng.Read(blocks[3])
-	if err := s.WriteBlock(3, blocks[3]); err != nil {
+	if err := s.WriteBlock(ctx, 3, blocks[3]); err != nil {
 		log.Fatal(err)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("single-block overwrite: sub-stripe flushes now %d\n\n", s.Stats().SubStripeFlushes)
@@ -74,7 +76,7 @@ func main() {
 	// Background scrubber on, then a latent-sector-error campaign with
 	// the paper's correlated burst model (§7.2.2), driven through the
 	// same fault driver the raid simulator uses.
-	if err := s.StartScrubber(2 * time.Millisecond); err != nil {
+	if err := s.StartScrubber(store.ScrubberOptions{Interval: 2 * time.Millisecond}); err != nil {
 		log.Fatal(err)
 	}
 	dist, err := failures.NewBurstDist(0.98, 1.79, 2)
@@ -110,7 +112,7 @@ func main() {
 	if err := s.ReplaceDevice(2); err != nil {
 		log.Fatal(err)
 	}
-	if err := s.RebuildDevice(2); err != nil {
+	if err := s.RebuildDevice(ctx, 2); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("device 2 replaced and rebuilt (%d sectors reconstructed so far)\n\n", s.Stats().RepairedSectors)
@@ -127,7 +129,7 @@ func main() {
 			break
 		}
 	}
-	if _, err := s.ReadBlock(deadBlock); err != nil {
+	if _, err := s.ReadBlock(ctx, deadBlock); err != nil {
 		fmt.Printf("three devices down at once: %v\n", err)
 	}
 	fmt.Printf("unrecoverable stripes on record: %d\n", len(s.UnrecoverableStripes()))
@@ -135,7 +137,7 @@ func main() {
 
 func verify(s *store.Store, blocks [][]byte) {
 	for b, want := range blocks {
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(context.Background(), b)
 		if err != nil {
 			log.Fatalf("block %d: %v", b, err)
 		}

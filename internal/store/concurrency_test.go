@@ -43,7 +43,7 @@ func TestConcurrentStripeOperations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.StartScrubber(time.Millisecond); err != nil {
+	if err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,13 +63,13 @@ func TestConcurrentStripeOperations(t *testing.T) {
 			hi := lo + stripesPerWorker*s.perStripe
 			for round := 1; round <= rounds; round++ {
 				for b := lo; b < hi; b++ {
-					if err := s.WriteBlock(b, payload(b, round)); err != nil {
+					if err := s.WriteBlock(bg, b, payload(b, round)); err != nil {
 						errCh <- fmt.Errorf("worker %d round %d: write block %d: %w", w, round, b, err)
 						return
 					}
 				}
 				for b := lo; b < hi; b++ {
-					got, err := s.ReadBlock(b)
+					got, err := s.ReadBlock(bg, b)
 					if err != nil {
 						errCh <- fmt.Errorf("worker %d round %d: read block %d: %w", w, round, b, err)
 						return
@@ -88,7 +88,7 @@ func TestConcurrentStripeOperations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
-			if _, err := s.Scrub(); err != nil {
+			if _, err := s.Scrub(bg); err != nil {
 				errCh <- fmt.Errorf("concurrent scrub: %w", err)
 				return
 			}
@@ -107,17 +107,17 @@ func TestConcurrentStripeOperations(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("repairs did not converge; %d bad sectors left", s.TotalBadSectors())
 		}
-		if _, err := s.Scrub(); err != nil {
+		if _, err := s.Scrub(bg); err != nil {
 			t.Fatal(err)
 		}
 		s.Quiesce()
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
 	finalReads := 0
 	for b := 0; b < s.Blocks(); b++ {
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if err != nil {
 			t.Fatalf("final read of block %d: %v", b, err)
 		}
@@ -177,7 +177,7 @@ func TestConcurrentDegradedReadsSameStripe(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < reads; j++ {
-				got, err := s.ReadBlock(deadBlock)
+				got, err := s.ReadBlock(bg, deadBlock)
 				if err != nil {
 					errCh <- err
 					return

@@ -82,7 +82,7 @@ func TestScrubRepairConverges(t *testing.T) {
 	if got := s.TotalBadSectors(); got != 3*s.stripes {
 		t.Fatalf("TotalBadSectors=%d, want %d", got, 3*s.stripes)
 	}
-	rep, err := s.Scrub()
+	rep, err := s.Scrub(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +117,10 @@ func TestBackgroundScrubber(t *testing.T) {
 	}
 	defer s.Close()
 	fillStore(t, s)
-	if err := s.StartScrubber(2 * time.Millisecond); err != nil {
+	if err := s.StartScrubber(ScrubberOptions{Interval: 2 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.StartScrubber(time.Millisecond); err == nil {
+	if err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond}); err == nil {
 		t.Fatal("second scrubber accepted")
 	}
 	if err := s.InjectBurst(2, s.devSector(1, 1), 2); err != nil {
@@ -155,7 +155,7 @@ func TestReplaceRebuild(t *testing.T) {
 	if err := s.ReplaceDevice(2); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RebuildDevice(2); err != nil {
+	if err := s.RebuildDevice(bg, 2); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.TotalBadSectors(); got != 0 {
@@ -189,7 +189,7 @@ func TestUnrecoverablePattern(t *testing.T) {
 	sawUnrecoverable := false
 	for b := 0; b < s.Blocks(); b++ {
 		_, _, cell, _ := s.blockOf(b)
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if cell.Col <= 2 {
 			if !errors.Is(err, ErrUnrecoverable) {
 				t.Fatalf("block %d on failed device: err=%v, want ErrUnrecoverable", b, err)
@@ -216,12 +216,12 @@ func TestUnrecoverablePattern(t *testing.T) {
 	}
 	// Scrub must not queue unrecoverable stripes forever, and a full
 	// rewrite resurrects one.
-	if _, err := s.Scrub(); err != nil {
+	if _, err := s.Scrub(bg); err != nil {
 		t.Fatal(err)
 	}
 	s.Quiesce()
 	for b := 0; b < s.perStripe; b++ {
-		if err := s.WriteBlock(b, blockData(b, s.BlockSize())); err != nil {
+		if err := s.WriteBlock(bg, b, blockData(b, s.BlockSize())); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func TestRepairQueueBound(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("repairs did not converge; %d bad sectors left", s.TotalBadSectors())
 		}
-		if _, err := s.Scrub(); err != nil {
+		if _, err := s.Scrub(bg); err != nil {
 			t.Fatal(err)
 		}
 		s.Quiesce()

@@ -1,17 +1,17 @@
 package store
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"os"
-	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// Sector-level device errors. The store treats any read error as a lost
-// sector and serves the request through the degraded-read path; these two
-// are what the built-in backends return.
+// Sector-level device errors. The store treats any lost sector as
+// degraded state and serves the request through the degraded-read path;
+// these two are what the built-in backends report.
 var (
 	// ErrDeviceFailed reports I/O against a device marked wholly failed.
 	ErrDeviceFailed = errors.New("store: device failed")
@@ -20,23 +20,108 @@ var (
 	ErrBadSector = errors.New("store: bad sector")
 )
 
+// SectorError identifies one lost sector within a vectored operation:
+// Index is the absolute sector index on the device, Err the per-sector
+// cause (typically wrapping ErrBadSector).
+type SectorError struct {
+	Index int
+	Err   error
+}
+
+func (e SectorError) Error() string { return fmt.Sprintf("sector %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the per-sector cause to errors.Is/As.
+func (e SectorError) Unwrap() error { return e.Err }
+
+// SectorErrors is the partial-failure result of a vectored call: the
+// operation completed for every sector not listed, and each listed
+// sector failed individually. A vectored read that returns SectorErrors
+// has filled every readable buffer — the caller learns exactly which
+// sectors were lost without losing the rest of the extent, which is
+// what the store's degraded-read path consumes directly.
+//
+// Whole-call failures (cancelled context, wholly failed device,
+// transport errors) are returned as ordinary errors instead, and say
+// nothing about individual sectors.
+type SectorErrors []SectorError
+
+func (e SectorErrors) Error() string {
+	if len(e) == 1 {
+		return e[0].Error()
+	}
+	idx := make([]string, len(e))
+	for i, se := range e {
+		idx[i] = strconv.Itoa(se.Index)
+	}
+	return fmt.Sprintf("%d lost sectors (%s)", len(e), strings.Join(idx, ","))
+}
+
+// Unwrap exposes the per-sector errors to errors.Is/As (Go 1.20
+// multi-error matching: errors.Is(errs, ErrBadSector) holds when any
+// listed sector wraps it).
+func (e SectorErrors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i, se := range e {
+		out[i] = se
+	}
+	return out
+}
+
+// AsSectorErrors unpacks an error returned by a vectored device call:
+// ok reports whether it is a per-sector partial failure (as opposed to
+// a whole-call failure or nil).
+func AsSectorErrors(err error) (SectorErrors, bool) {
+	var se SectorErrors
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
 // Device is a sector-addressed storage backend: Sectors() fixed-size
-// sectors of SectorSize() bytes each. Implementations must be safe for
-// concurrent use (the store's scrubber and repair worker run in
-// background goroutines, and fault injection can race with reads).
+// sectors of SectorSize() bytes each, accessed through vectored,
+// context-aware calls over contiguous extents — one call per device per
+// stripe on the store's hot paths, which is what makes remote backends
+// (one round trip per extent, not per sector) viable.
+//
+// Contract, shared by every implementation and enforced by the devtest
+// conformance suite:
+//
+//   - ReadSectors fills bufs[i] (each SectorSize bytes) with sector
+//     start+i. Individually lost sectors are reported as SectorErrors
+//     while every readable buffer is still filled; whole-call failures
+//     (ctx cancelled, device wholly failed, transport down) return any
+//     other error and leave the buffers unspecified.
+//   - WriteSectors stores data[i] at sector start+i. A successful write
+//     heals a previously bad sector. Sectors that individually fail to
+//     land are reported as SectorErrors; the rest are durably written.
+//   - Both honor ctx cancellation and deadlines: a cancelled context
+//     aborts the call promptly with ctx.Err() (possibly wrapped).
+//   - Implementations must be safe for concurrent use: the store's
+//     scrubber and repair workers run in background goroutines, and
+//     fault injection can race with reads.
 type Device interface {
 	// Sectors returns the device capacity in sectors.
 	Sectors() int
 	// SectorSize returns the sector payload size in bytes.
 	SectorSize() int
-	// ReadSector fills buf (SectorSize bytes) with sector idx, or
-	// returns an error identifying the sector as lost.
-	ReadSector(idx int, buf []byte) error
-	// WriteSector stores data (SectorSize bytes) at sector idx. A
-	// successful write heals a previously bad sector.
-	WriteSector(idx int, data []byte) error
+	// ReadSectors fills bufs with the extent [start, start+len(bufs)).
+	ReadSectors(ctx context.Context, start int, bufs [][]byte) error
+	// WriteSectors stores data at the extent [start, start+len(data)).
+	WriteSectors(ctx context.Context, start int, data [][]byte) error
 	// Close releases backing resources.
 	Close() error
+}
+
+// ReadSector reads one sector through a device's vectored interface. A
+// lost sector surfaces as SectorErrors of length one.
+func ReadSector(ctx context.Context, d Device, idx int, buf []byte) error {
+	return d.ReadSectors(ctx, idx, [][]byte{buf})
+}
+
+// WriteSector writes one sector through a device's vectored interface.
+func WriteSector(ctx context.Context, d Device, idx int, data []byte) error {
+	return d.WriteSectors(ctx, idx, [][]byte{data})
 }
 
 // FaultDevice extends Device with the fault-injection hooks the store's
@@ -61,6 +146,31 @@ type FaultDevice interface {
 	BadSectors() int
 }
 
+// checkExtent validates a vectored call's extent against the device
+// capacity.
+func checkExtent(sectors, start, count int) error {
+	if count == 0 {
+		return nil
+	}
+	// Phrased to avoid start+count overflowing int on hostile inputs
+	// (a NetDevice server validates remote-supplied extents with this).
+	if start < 0 || count < 0 || start >= sectors || count > sectors-start {
+		return fmt.Errorf("store: extent of %d sectors at %d out of range [0,%d)", count, start, sectors)
+	}
+	return nil
+}
+
+// checkBufs validates that every buffer of a vectored call holds
+// exactly one sector.
+func checkBufs(sectorSize int, bufs [][]byte) error {
+	for i, b := range bufs {
+		if len(b) != sectorSize {
+			return fmt.Errorf("store: buffer %d is %d bytes, want sector size %d", i, len(b), sectorSize)
+		}
+	}
+	return nil
+}
+
 // faultState is the failure metadata shared by the built-in backends.
 // Its mutex also guards the embedding device's payload, so fault
 // injection can never race a payload copy into torn data.
@@ -75,15 +185,16 @@ func newFaultState(sectors int) *faultState {
 	return &faultState{bad: make([]bool, sectors)}
 }
 
-// checkReadLocked reports whether sector idx is readable. Callers hold mu.
-func (f *faultState) checkReadLocked(idx int) error {
-	if f.failed {
-		return ErrDeviceFailed
+// lostLocked collects the bad sectors of extent [start, start+count) as
+// the SectorErrors a vectored read reports. Callers hold mu.
+func (f *faultState) lostLocked(start, count int) SectorErrors {
+	var lost SectorErrors
+	for i := start; i < start+count; i++ {
+		if f.bad[i] {
+			lost = append(lost, SectorError{Index: i, Err: ErrBadSector})
+		}
 	}
-	if f.bad[idx] {
-		return fmt.Errorf("%w: sector %d", ErrBadSector, idx)
-	}
-	return nil
+	return lost
 }
 
 // healLocked clears a bad mark before a write, reporting whether it did.
@@ -141,317 +252,3 @@ func (f *faultState) badListLocked() []int {
 	}
 	return out
 }
-
-// MemDevice is an in-memory Device with fault injection, the default
-// backend for tests, benchmarks and the simulator adapters.
-type MemDevice struct {
-	sectors    int
-	sectorSize int
-	data       []byte
-	*faultState
-}
-
-// NewMemDevice allocates a zeroed in-memory device.
-func NewMemDevice(sectors, sectorSize int) *MemDevice {
-	return &MemDevice{
-		sectors:    sectors,
-		sectorSize: sectorSize,
-		data:       make([]byte, sectors*sectorSize),
-		faultState: newFaultState(sectors),
-	}
-}
-
-// Sectors returns the device capacity in sectors.
-func (d *MemDevice) Sectors() int { return d.sectors }
-
-// SectorSize returns the sector payload size.
-func (d *MemDevice) SectorSize() int { return d.sectorSize }
-
-func (d *MemDevice) checkIdx(idx int) error {
-	if idx < 0 || idx >= d.sectors {
-		return fmt.Errorf("store: sector %d out of range [0,%d)", idx, d.sectors)
-	}
-	return nil
-}
-
-// ReadSector fills buf with sector idx.
-func (d *MemDevice) ReadSector(idx int, buf []byte) error {
-	if err := d.checkIdx(idx); err != nil {
-		return err
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.checkReadLocked(idx); err != nil {
-		return err
-	}
-	copy(buf, d.data[idx*d.sectorSize:(idx+1)*d.sectorSize])
-	return nil
-}
-
-// WriteSector stores data at sector idx, healing a bad sector.
-func (d *MemDevice) WriteSector(idx int, data []byte) error {
-	if err := d.checkIdx(idx); err != nil {
-		return err
-	}
-	if len(data) != d.sectorSize {
-		return fmt.Errorf("store: write of %d bytes, want %d", len(data), d.sectorSize)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.failed {
-		return ErrDeviceFailed
-	}
-	d.healLocked(idx)
-	copy(d.data[idx*d.sectorSize:], data)
-	return nil
-}
-
-// Fail marks the device wholly failed and destroys its contents.
-func (d *MemDevice) Fail() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failed = true
-	for i := range d.data {
-		d.data[i] = 0
-	}
-	return nil
-}
-
-// Failed reports whole-device failure.
-func (d *MemDevice) Failed() bool { return d.isFailed() }
-
-// Replace swaps in a fresh zeroed device; every sector starts bad.
-func (d *MemDevice) Replace() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.replaceLocked()
-	for i := range d.data {
-		d.data[i] = 0
-	}
-	return nil
-}
-
-// InjectSectorError marks one sector lost and zeroes its payload.
-func (d *MemDevice) InjectSectorError(idx int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.injectLocked(idx); err != nil {
-		return err
-	}
-	for i := idx * d.sectorSize; i < (idx+1)*d.sectorSize; i++ {
-		d.data[i] = 0
-	}
-	return nil
-}
-
-// BadSectors returns the latent-sector-error count.
-func (d *MemDevice) BadSectors() int { return d.badCount() }
-
-// Close is a no-op for the in-memory backend.
-func (d *MemDevice) Close() error { return nil }
-
-// FileDevice is a file-per-device backend: one flat file of
-// sectors × sectorSize bytes, plus a JSON sidecar (<path>.faults)
-// persisting failure metadata so injected faults survive across process
-// boundaries (the cmd/stairstore CLI relies on this).
-type FileDevice struct {
-	path       string
-	f          *os.File
-	sectors    int
-	sectorSize int
-	*faultState
-}
-
-type faultSidecar struct {
-	Failed bool  `json:"failed"`
-	Bad    []int `json:"bad,omitempty"`
-}
-
-// OpenFileDevice opens (creating and sizing if absent) a file-backed
-// device and loads its fault sidecar.
-func OpenFileDevice(path string, sectors, sectorSize int) (*FileDevice, error) {
-	if sectors < 1 || sectorSize < 1 {
-		return nil, fmt.Errorf("store: device geometry %d×%d must be positive", sectors, sectorSize)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	size := int64(sectors) * int64(sectorSize)
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if info.Size() != size {
-		if err := f.Truncate(size); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	d := &FileDevice{path: path, f: f, sectors: sectors, sectorSize: sectorSize, faultState: newFaultState(sectors)}
-	if err := d.loadSidecar(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return d, nil
-}
-
-func (d *FileDevice) sidecarPath() string { return d.path + ".faults" }
-
-func (d *FileDevice) loadSidecar() error {
-	raw, err := os.ReadFile(d.sidecarPath())
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	var sc faultSidecar
-	if err := json.Unmarshal(raw, &sc); err != nil {
-		return fmt.Errorf("store: fault sidecar %s: %w", d.sidecarPath(), err)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.failed = sc.Failed
-	for _, idx := range sc.Bad {
-		if idx >= 0 && idx < d.sectors && !d.bad[idx] {
-			d.bad[idx] = true
-			d.nbad++
-		}
-	}
-	return nil
-}
-
-// saveSidecarLocked persists fault metadata atomically (write + rename).
-// With no faults present the sidecar is removed. Callers hold mu.
-func (d *FileDevice) saveSidecarLocked() error {
-	sc := faultSidecar{Failed: d.failed, Bad: d.badListLocked()}
-	sort.Ints(sc.Bad)
-	if !sc.Failed && len(sc.Bad) == 0 {
-		err := os.Remove(d.sidecarPath())
-		if errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
-		return err
-	}
-	raw, err := json.Marshal(sc)
-	if err != nil {
-		return err
-	}
-	tmp := d.sidecarPath() + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, d.sidecarPath())
-}
-
-// Sectors returns the device capacity in sectors.
-func (d *FileDevice) Sectors() int { return d.sectors }
-
-// SectorSize returns the sector payload size.
-func (d *FileDevice) SectorSize() int { return d.sectorSize }
-
-func (d *FileDevice) checkIdx(idx int) error {
-	if idx < 0 || idx >= d.sectors {
-		return fmt.Errorf("store: sector %d out of range [0,%d)", idx, d.sectors)
-	}
-	return nil
-}
-
-// ReadSector fills buf with sector idx from the backing file.
-func (d *FileDevice) ReadSector(idx int, buf []byte) error {
-	if err := d.checkIdx(idx); err != nil {
-		return err
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.checkReadLocked(idx); err != nil {
-		return err
-	}
-	_, err := d.f.ReadAt(buf[:d.sectorSize], int64(idx)*int64(d.sectorSize))
-	return err
-}
-
-// WriteSector stores data at sector idx, healing (and persisting the
-// healing of) a bad sector.
-func (d *FileDevice) WriteSector(idx int, data []byte) error {
-	if err := d.checkIdx(idx); err != nil {
-		return err
-	}
-	if len(data) != d.sectorSize {
-		return fmt.Errorf("store: write of %d bytes, want %d", len(data), d.sectorSize)
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.failed {
-		return ErrDeviceFailed
-	}
-	if _, err := d.f.WriteAt(data, int64(idx)*int64(d.sectorSize)); err != nil {
-		return err
-	}
-	if d.healLocked(idx) {
-		return d.saveSidecarLocked()
-	}
-	return nil
-}
-
-// zeroFileLocked rewrites the backing file as all zeros. Callers hold mu.
-func (d *FileDevice) zeroFileLocked() error {
-	if err := d.f.Truncate(0); err != nil {
-		return err
-	}
-	return d.f.Truncate(int64(d.sectors) * int64(d.sectorSize))
-}
-
-// Fail marks the device wholly failed — durably, before destroying the
-// payload, so a crash in between cannot leave a zeroed device that
-// looks healthy on the next open.
-func (d *FileDevice) Fail() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	wasFailed := d.failed
-	d.failed = true
-	if err := d.saveSidecarLocked(); err != nil {
-		d.failed = wasFailed
-		return err
-	}
-	return d.zeroFileLocked()
-}
-
-// Failed reports whole-device failure.
-func (d *FileDevice) Failed() bool { return d.isFailed() }
-
-// Replace swaps in a fresh zeroed file; every sector starts bad. The
-// all-bad mark is persisted before the old payload is destroyed.
-func (d *FileDevice) Replace() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.replaceLocked()
-	if err := d.saveSidecarLocked(); err != nil {
-		return err
-	}
-	return d.zeroFileLocked()
-}
-
-// InjectSectorError marks one sector lost — durably, before zeroing its
-// payload.
-func (d *FileDevice) InjectSectorError(idx int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.injectLocked(idx); err != nil {
-		return err
-	}
-	if err := d.saveSidecarLocked(); err != nil {
-		return err
-	}
-	zero := make([]byte, d.sectorSize)
-	_, err := d.f.WriteAt(zero, int64(idx)*int64(d.sectorSize))
-	return err
-}
-
-// BadSectors returns the latent-sector-error count.
-func (d *FileDevice) BadSectors() int { return d.badCount() }
-
-// Close closes the backing file.
-func (d *FileDevice) Close() error { return d.f.Close() }

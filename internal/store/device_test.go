@@ -1,0 +1,378 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stair/internal/core"
+)
+
+// countingDevice tallies vectored calls, to pin the one-call-per-device
+// contract of the store's stripe-granular paths.
+type countingDevice struct {
+	*MemDevice
+	reads, writes atomic.Int64
+}
+
+func (d *countingDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	d.reads.Add(1)
+	return d.MemDevice.ReadSectors(ctx, start, bufs)
+}
+
+func (d *countingDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	d.writes.Add(1)
+	return d.MemDevice.WriteSectors(ctx, start, data)
+}
+
+// TestVectoredCallsPerDevice: a full-stripe flush issues exactly one
+// vectored write per device, and a stripe load exactly one vectored
+// read per device — the redesign's core promise (one round trip per
+// device per stripe on remote backends).
+func TestVectoredCallsPerDevice(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	const stripes = 2
+	devs := make([]Device, code.N())
+	counters := make([]*countingDevice, code.N())
+	for i := range devs {
+		counters[i] = &countingDevice{MemDevice: NewMemDevice(stripes*code.R(), 128)}
+		devs[i] = counters[i]
+	}
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Filling stripe 0 triggers the full-stripe flush on the last write.
+	for b := 0; b < s.perStripe; b++ {
+		if err := s.WriteBlock(bg, b, blockData(b, s.BlockSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().FullStripeFlushes; got != 1 {
+		t.Fatalf("FullStripeFlushes=%d, want 1", got)
+	}
+	for i, c := range counters {
+		if got := c.writes.Load(); got != 1 {
+			t.Errorf("device %d: %d vectored writes for one full-stripe flush, want exactly 1", i, got)
+		}
+		if got := c.reads.Load(); got != 0 {
+			t.Errorf("device %d: %d reads during a full-stripe flush, want 0", i, got)
+		}
+	}
+
+	// A stripe load is one vectored read per device.
+	for _, c := range counters {
+		c.reads.Store(0)
+	}
+	sh := s.shard(0)
+	sh.mu.Lock()
+	_, lost, err := s.loadStripe(bg, 0)
+	sh.mu.Unlock()
+	if err != nil || len(lost) != 0 {
+		t.Fatalf("loadStripe: lost=%d err=%v", len(lost), err)
+	}
+	for i, c := range counters {
+		if got := c.reads.Load(); got != 1 {
+			t.Errorf("device %d: %d vectored reads for one stripe load, want exactly 1", i, got)
+		}
+	}
+}
+
+// blockingDevice parks selected operations until their context is
+// cancelled — the degenerate remote backend a context-aware store must
+// not wedge on.
+type blockingDevice struct {
+	*MemDevice
+	blockReads  atomic.Bool
+	blockWrites atomic.Bool
+	blocked     chan struct{} // receives one signal per parked call
+}
+
+func newBlockingDevice(sectors, sectorSize int) *blockingDevice {
+	return &blockingDevice{
+		MemDevice: NewMemDevice(sectors, sectorSize),
+		blocked:   make(chan struct{}, 16),
+	}
+}
+
+func (d *blockingDevice) park(ctx context.Context) error {
+	select {
+	case d.blocked <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (d *blockingDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	if d.blockReads.Load() {
+		return d.park(ctx)
+	}
+	return d.MemDevice.ReadSectors(ctx, start, bufs)
+}
+
+func (d *blockingDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	if d.blockWrites.Load() {
+		return d.park(ctx)
+	}
+	return d.MemDevice.WriteSectors(ctx, start, data)
+}
+
+func openBlockingStore(t *testing.T, code *core.Code, stripes int) (*Store, *blockingDevice) {
+	t.Helper()
+	devs := make([]Device, code.N())
+	blk := newBlockingDevice(stripes*code.R(), 128)
+	for i := range devs {
+		devs[i] = NewMemDevice(stripes*code.R(), 128)
+	}
+	devs[0] = blk
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		blk.blockReads.Store(false)
+		blk.blockWrites.Store(false)
+		s.Close()
+	})
+	return s, blk
+}
+
+// cancelWhenBlocked cancels ctx once the device parks a call, and fails
+// the test if nothing ever blocks.
+func cancelWhenBlocked(t *testing.T, blk *blockingDevice, cancel context.CancelFunc) {
+	t.Helper()
+	go func() {
+		select {
+		case <-blk.blocked:
+			cancel()
+		case <-time.After(10 * time.Second):
+			t.Error("no device call ever blocked")
+			cancel()
+		}
+	}()
+}
+
+// TestCancelledFlushAborts: a Flush wedged on a blocking device returns
+// promptly when its context is cancelled, and the unflushed buffer
+// survives for a later retry.
+func TestCancelledFlushAborts(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, blk := openBlockingStore(t, code, 2)
+	// A partial stripe: the flush takes the read–modify–write path,
+	// whose stripe load hits the blocking device.
+	want := blockData(1, s.BlockSize())
+	if err := s.WriteBlock(bg, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	blk.blockReads.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelWhenBlocked(t, blk, cancel)
+	start := time.Now()
+	err := s.Flush(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Flush: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Flush took %v — the in-flight device wait did not abort", elapsed)
+	}
+	// The write is still buffered; a retry with a live context lands it.
+	blk.blockReads.Store(false)
+	if err := s.Flush(bg); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	got, err := s.ReadBlock(bg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("block lost across a cancelled flush")
+	}
+}
+
+// TestCancelledSubStripeWriteBackStaysConsistent: cancelling a
+// read–modify–write mid-write-back may leave a half-landed stripe on
+// the devices; the retry must restore full parity consistency (the
+// buffer is promoted to a full-stripe rewrite, because the incremental
+// delta no longer matches what is on disk).
+func TestCancelledSubStripeWriteBackStaysConsistent(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, blk := openBlockingStore(t, code, 2)
+	fillStore(t, s)
+	// Overwrite a block that lives on the blocking device, so its
+	// write-back (device 0 comes first in the col-ordered sweep) is the
+	// call that parks. Reads stay live, so the RMW load succeeds.
+	victim := -1
+	for ord, cell := range s.dataCells {
+		if cell.Col == 0 {
+			victim = ord
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no data cell on device 0")
+	}
+	want := blockData(1234, s.BlockSize())
+	if err := s.WriteBlock(bg, victim, want); err != nil {
+		t.Fatal(err)
+	}
+	blk.blockWrites.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelWhenBlocked(t, blk, cancel)
+	if err := s.Flush(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled flush: %v, want context.Canceled", err)
+	}
+	blk.blockWrites.Store(false)
+	if err := s.Flush(bg); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	got, err := s.ReadBlock(bg, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("overwrite lost across a cancelled write-back")
+	}
+	checkStripesConsistent(t, s)
+}
+
+// TestCancelledScrubAborts: a scrub pass wedged on a blocking device
+// aborts mid-pass on cancellation — not merely between stripes.
+func TestCancelledScrubAborts(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, blk := openBlockingStore(t, code, 4)
+	fillStore(t, s)
+	blk.blockReads.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelWhenBlocked(t, blk, cancel)
+	start := time.Now()
+	_, err := s.Scrub(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Scrub: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Scrub took %v — the in-flight device wait did not abort", elapsed)
+	}
+}
+
+// TestScrubPacing: a rate-limited pass spreads its sweep over the
+// stripes/sec budget, and an unpaced pass does not slow down.
+func TestScrubPacing(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// 200 stripes/sec over 6 stripes: 5 inter-stripe waits ≥ 25ms.
+	start := time.Now()
+	rep, err := s.scrub(bg, newPacer(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StripesChecked != 6 {
+		t.Fatalf("paced pass checked %d stripes, want 6", rep.StripesChecked)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("paced pass finished in %v, want ≥ ~25ms at 200 stripes/sec", elapsed)
+	}
+}
+
+// TestScrubberStopInterruptsPacedPass: StopScrubber cancels a slow
+// paced pass mid-sweep instead of waiting out the pacing budget.
+func TestScrubberStopInterruptsPacedPass(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+	// 1 stripe/sec over 8 stripes would take ~7s per pass; stopping must
+	// not wait for that.
+	if err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond, StripesPerSec: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let a pass begin pacing
+	start := time.Now()
+	s.StopScrubber()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("StopScrubber took %v against a paced pass", elapsed)
+	}
+}
+
+// TestScrubberOptionValidation: bad scrubber options are refused.
+func TestScrubberOptionValidation(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StartScrubber(ScrubberOptions{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond, StripesPerSec: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// TestSidecarAtomicity: fault-sidecar saves go through write-temp +
+// fsync + rename, and a stale temp file left by a crash mid-save is
+// discarded unread instead of corrupting fault state.
+func TestSidecarAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dev.img")
+	d, err := OpenFileDevice(path, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSectorError(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-save leaves a partial temp file; it must never shadow
+	// or corrupt the real sidecar.
+	tmp := path + ".faults.tmp"
+	if err := os.WriteFile(tmp, []byte(`{"failed":true,"bad":[0,1,2`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err = OpenFileDevice(path, 8, 64)
+	if err != nil {
+		t.Fatalf("open with stale sidecar temp: %v", err)
+	}
+	defer d.Close()
+	if d.Failed() {
+		t.Fatal("stale temp file was trusted as fault state")
+	}
+	if got := d.BadSectors(); got != 1 {
+		t.Fatalf("BadSectors=%d after reopen, want 1 (from the real sidecar)", got)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale sidecar temp not cleaned up on open")
+	}
+	// The next save must overwrite cleanly and leave a valid sidecar.
+	if err := d.InjectSectorError(5); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path + ".faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"bad":[3,5]`)) {
+		t.Fatalf("sidecar %s does not record both faults", raw)
+	}
+}

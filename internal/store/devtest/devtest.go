@@ -1,0 +1,292 @@
+// Package devtest is the shared conformance suite for store.Device
+// backends. Every backend — local, wrapped, or remote — must present
+// identical vectored I/O, fault-injection and context semantics to the
+// store, and this suite is the contract's executable form: point Run at
+// a factory and it exercises geometry, vectored round trips,
+// partial-failure reporting, fail-stop behaviour, replace-comes-back-bad
+// semantics, healing writes and context cancellation.
+//
+// New backends should add a one-line test:
+//
+//	func TestDeviceConformanceFoo(t *testing.T) {
+//		devtest.Run(t, func(t *testing.T, sectors, sectorSize int) store.FaultDevice {
+//			return newFooDevice(t, sectors, sectorSize)
+//		})
+//	}
+package devtest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"stair/internal/store"
+)
+
+// Factory builds a fresh, empty fault-injectable device of the given
+// geometry. Cleanup should be registered on t (the suite does not call
+// Close for factories that need teardown ordering, but it does close
+// devices it is done with).
+type Factory func(t *testing.T, sectors, sectorSize int) store.FaultDevice
+
+// Suite geometry: small enough that remote backends stay fast, large
+// enough that extents, offsets and partial failures are non-trivial.
+const (
+	sectors    = 12
+	sectorSize = 64
+)
+
+// payload is a deterministic, sector-specific pattern.
+func payload(idx int) []byte {
+	out := make([]byte, sectorSize)
+	for i := range out {
+		out[i] = byte((idx*37 + i*11 + 3) % 256)
+	}
+	return out
+}
+
+// fillAll writes every sector in one vectored call.
+func fillAll(t *testing.T, d store.FaultDevice) {
+	t.Helper()
+	data := make([][]byte, sectors)
+	for i := range data {
+		data[i] = payload(i)
+	}
+	if err := d.WriteSectors(context.Background(), 0, data); err != nil {
+		t.Fatalf("vectored fill: %v", err)
+	}
+}
+
+// Run drives the conformance suite against devices built by factory.
+func Run(t *testing.T, factory Factory) {
+	ctx := context.Background()
+
+	t.Run("Geometry", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		if d.Sectors() != sectors || d.SectorSize() != sectorSize {
+			t.Fatalf("geometry %d×%d, want %d×%d", d.Sectors(), d.SectorSize(), sectors, sectorSize)
+		}
+		if d.Failed() {
+			t.Fatal("fresh device reports Failed")
+		}
+		if got := d.BadSectors(); got != 0 {
+			t.Fatalf("fresh device reports %d bad sectors", got)
+		}
+	})
+
+	t.Run("VectoredRoundTrip", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		// Full extent, then an interior extent, through one call each.
+		for _, ext := range []struct{ start, count int }{{0, sectors}, {3, 5}, {sectors - 1, 1}} {
+			bufs := make([][]byte, ext.count)
+			for i := range bufs {
+				bufs[i] = make([]byte, sectorSize)
+			}
+			if err := d.ReadSectors(ctx, ext.start, bufs); err != nil {
+				t.Fatalf("read [%d,%d): %v", ext.start, ext.start+ext.count, err)
+			}
+			for i, buf := range bufs {
+				if !bytes.Equal(buf, payload(ext.start+i)) {
+					t.Fatalf("sector %d corrupt after vectored round trip", ext.start+i)
+				}
+			}
+		}
+		// Empty extents are no-ops.
+		if err := d.ReadSectors(ctx, 0, nil); err != nil {
+			t.Fatalf("empty read: %v", err)
+		}
+		if err := d.WriteSectors(ctx, 0, nil); err != nil {
+			t.Fatalf("empty write: %v", err)
+		}
+	})
+
+	t.Run("SingleSectorHelpers", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		if err := store.WriteSector(ctx, d, 7, payload(70)); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, sectorSize)
+		if err := store.ReadSector(ctx, d, 7, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, payload(70)) {
+			t.Fatal("single-sector round trip corrupt")
+		}
+	})
+
+	t.Run("OutOfRange", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		bufs := [][]byte{make([]byte, sectorSize), make([]byte, sectorSize)}
+		if err := d.ReadSectors(ctx, sectors-1, bufs); err == nil {
+			t.Error("read past the end accepted")
+		}
+		if err := d.WriteSectors(ctx, -1, bufs); err == nil {
+			t.Error("negative start accepted")
+		}
+	})
+
+	t.Run("PartialFailure", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		// Two latent errors inside the extent: the vectored read must
+		// name exactly those sectors and still fill every readable one.
+		for _, idx := range []int{4, 6} {
+			if err := d.InjectSectorError(idx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := d.BadSectors(); got != 2 {
+			t.Fatalf("BadSectors=%d after 2 injections, want 2", got)
+		}
+		bufs := make([][]byte, 6) // extent [2,8)
+		for i := range bufs {
+			bufs[i] = make([]byte, sectorSize)
+		}
+		err := d.ReadSectors(ctx, 2, bufs)
+		se, ok := store.AsSectorErrors(err)
+		if !ok {
+			t.Fatalf("read through bad sectors: %v, want SectorErrors", err)
+		}
+		if !errors.Is(err, store.ErrBadSector) {
+			t.Fatalf("SectorErrors %v does not wrap ErrBadSector", err)
+		}
+		lost := map[int]bool{}
+		for _, e := range se {
+			lost[e.Index] = true
+		}
+		if len(lost) != 2 || !lost[4] || !lost[6] {
+			t.Fatalf("lost sectors %v, want exactly {4, 6}", lost)
+		}
+		for i, buf := range bufs {
+			idx := 2 + i
+			if lost[idx] {
+				continue
+			}
+			if !bytes.Equal(buf, payload(idx)) {
+				t.Fatalf("readable sector %d not filled on partial failure", idx)
+			}
+		}
+	})
+
+	t.Run("HealOnWrite", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		if err := d.InjectSectorError(5); err != nil {
+			t.Fatal(err)
+		}
+		// A vectored write covering the bad sector heals it.
+		if err := d.WriteSectors(ctx, 4, [][]byte{payload(40), payload(50), payload(60)}); err != nil {
+			t.Fatalf("healing write: %v", err)
+		}
+		if got := d.BadSectors(); got != 0 {
+			t.Fatalf("BadSectors=%d after healing write, want 0", got)
+		}
+		buf := make([]byte, sectorSize)
+		if err := store.ReadSector(ctx, d, 5, buf); err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+		if !bytes.Equal(buf, payload(50)) {
+			t.Fatal("healed sector holds stale data")
+		}
+	})
+
+	t.Run("FailStop", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		if err := d.Fail(); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Failed() {
+			t.Fatal("Failed() false after Fail")
+		}
+		bufs := [][]byte{make([]byte, sectorSize)}
+		err := d.ReadSectors(ctx, 0, bufs)
+		if !errors.Is(err, store.ErrDeviceFailed) {
+			t.Fatalf("read on failed device: %v, want ErrDeviceFailed", err)
+		}
+		if _, ok := store.AsSectorErrors(err); ok {
+			t.Fatal("whole-device failure reported as per-sector SectorErrors")
+		}
+		if err := d.WriteSectors(ctx, 0, [][]byte{payload(0)}); !errors.Is(err, store.ErrDeviceFailed) {
+			t.Fatalf("write on failed device: %v, want ErrDeviceFailed", err)
+		}
+	})
+
+	t.Run("ReplaceComesBackBad", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		if err := d.Fail(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Replace(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Failed() {
+			t.Fatal("Failed() true after Replace")
+		}
+		// The replacement holds no data: every sector must read bad
+		// until something is written back.
+		if got := d.BadSectors(); got != sectors {
+			t.Fatalf("BadSectors=%d after Replace, want all %d", got, sectors)
+		}
+		bufs := make([][]byte, sectors)
+		for i := range bufs {
+			bufs[i] = make([]byte, sectorSize)
+		}
+		err := d.ReadSectors(ctx, 0, bufs)
+		se, ok := store.AsSectorErrors(err)
+		if !ok {
+			t.Fatalf("read of unwritten replacement: %v, want SectorErrors", err)
+		}
+		if len(se) != sectors {
+			t.Fatalf("%d sectors lost on fresh replacement, want all %d", len(se), sectors)
+		}
+		// A rebuild write restores exactly what it covers.
+		if err := store.WriteSector(ctx, d, 3, payload(30)); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.BadSectors(); got != sectors-1 {
+			t.Fatalf("BadSectors=%d after one rebuild write, want %d", got, sectors-1)
+		}
+		buf := make([]byte, sectorSize)
+		if err := store.ReadSector(ctx, d, 3, buf); err != nil {
+			t.Fatalf("read of rebuilt sector: %v", err)
+		}
+		if !bytes.Equal(buf, payload(30)) {
+			t.Fatal("rebuilt sector corrupt")
+		}
+	})
+
+	t.Run("ContextCancelled", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		bufs := [][]byte{make([]byte, sectorSize)}
+		err := d.ReadSectors(cancelled, 0, bufs)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("read with cancelled ctx: %v, want context.Canceled", err)
+		}
+		if _, ok := store.AsSectorErrors(err); ok {
+			t.Fatal("cancellation reported as per-sector SectorErrors")
+		}
+		if err := d.WriteSectors(cancelled, 0, [][]byte{payload(0)}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("write with cancelled ctx: %v, want context.Canceled", err)
+		}
+		// The device must remain usable with a live context.
+		if err := d.ReadSectors(ctx, 0, bufs); err != nil {
+			t.Fatalf("read after cancelled call: %v", err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -13,6 +14,8 @@ import (
 	"stair/internal/store"
 )
 
+var bg = context.Background()
+
 // The store satisfies raid's fault-injection contract, so the simulator's
 // failure processes drive it directly.
 var _ raid.FaultTarget = (*store.Store)(nil)
@@ -23,11 +26,11 @@ func writeVolume(t *testing.T, s *store.Store, rng *rand.Rand) [][]byte {
 	for b := range blocks {
 		blocks[b] = make([]byte, s.BlockSize())
 		rng.Read(blocks[b])
-		if err := s.WriteBlock(b, blocks[b]); err != nil {
+		if err := s.WriteBlock(bg, b, blocks[b]); err != nil {
 			t.Fatalf("write block %d: %v", b, err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
 	return blocks
@@ -36,7 +39,7 @@ func writeVolume(t *testing.T, s *store.Store, rng *rand.Rand) [][]byte {
 func checkVolume(t *testing.T, s *store.Store, blocks [][]byte) {
 	t.Helper()
 	for b, want := range blocks {
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if err != nil {
 			t.Fatalf("read block %d: %v", b, err)
 		}
@@ -65,7 +68,7 @@ func TestStoreUnderRaidFailurePatterns(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	blocks := writeVolume(t, s, rng)
 
-	if err := s.StartScrubber(time.Millisecond); err != nil {
+	if err := s.StartScrubber(store.ScrubberOptions{Interval: time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,7 +143,7 @@ func TestStoreUnderRaidFailurePatterns(t *testing.T) {
 	sawUnrecoverable := false
 	for b, want := range blocks {
 		cell := code.DataCells()[b%perStripe]
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if dead[cell.Col] {
 			if !errors.Is(err, store.ErrUnrecoverable) {
 				t.Fatalf("block %d: err=%v, want ErrUnrecoverable", b, err)

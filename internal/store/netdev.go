@@ -1,0 +1,426 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The NetDevice wire protocol. One vectored store operation is one HTTP
+// round trip, which is the whole point of the vectored Device API: the
+// per-sector API would cost R round trips per device per stripe.
+//
+//	GET  /v1/geometry            → {"sectors":N,"sector_size":S}
+//	GET  /v1/read?start=S&count=C → body C×S bytes; lost sectors zeroed
+//	                               and listed in Stair-Lost-Sectors
+//	POST /v1/write?start=S        → body len multiple of S; sectors that
+//	                               failed to land listed in
+//	                               Stair-Failed-Sectors
+//	POST /v1/fault/{fail,replace,inject?sector=N}
+//	GET  /v1/fault               → {"failed":bool,"bad_sectors":N}
+//
+// A wholly failed device answers data requests with 503 and
+// Stair-Error: device-failed. Context cancellation propagates as the
+// HTTP request's context on the client and as request-context
+// cancellation on the server.
+const (
+	lostSectorsHeader   = "Stair-Lost-Sectors"
+	failedSectorsHeader = "Stair-Failed-Sectors"
+	netErrHeader        = "Stair-Error"
+	netErrDeviceFailed  = "device-failed"
+)
+
+type netGeometry struct {
+	Sectors    int `json:"sectors"`
+	SectorSize int `json:"sector_size"`
+}
+
+type netFaultStatus struct {
+	Failed     bool `json:"failed"`
+	BadSectors int  `json:"bad_sectors"`
+}
+
+// DeviceServer exports a Device over HTTP for NetDevice clients. Fault
+// endpoints work when the wrapped device implements FaultDevice.
+type DeviceServer struct {
+	dev Device
+	mux *http.ServeMux
+}
+
+// NewDeviceServer builds the HTTP handler exporting dev.
+func NewDeviceServer(dev Device) *DeviceServer {
+	s := &DeviceServer{dev: dev, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/geometry", s.handleGeometry)
+	s.mux.HandleFunc("GET /v1/read", s.handleRead)
+	s.mux.HandleFunc("POST /v1/write", s.handleWrite)
+	s.mux.HandleFunc("POST /v1/fault/fail", s.handleFaultOp)
+	s.mux.HandleFunc("POST /v1/fault/replace", s.handleFaultOp)
+	s.mux.HandleFunc("POST /v1/fault/inject", s.handleFaultOp)
+	s.mux.HandleFunc("GET /v1/fault", s.handleFaultStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *DeviceServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *DeviceServer) handleGeometry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, netGeometry{Sectors: s.dev.Sectors(), SectorSize: s.dev.SectorSize()})
+}
+
+// sectorList renders absolute sector indexes for a response header.
+func sectorList(errs SectorErrors) string {
+	idx := make([]string, len(errs))
+	for i, se := range errs {
+		idx[i] = strconv.Itoa(se.Index)
+	}
+	return strings.Join(idx, ",")
+}
+
+// parseSectorList parses a Stair-*-Sectors header back into the
+// SectorErrors the remote device reported.
+func parseSectorList(header string, cause error) (SectorErrors, error) {
+	if header == "" {
+		return nil, nil
+	}
+	var out SectorErrors
+	for _, part := range strings.Split(header, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("store: bad sector list %q from device server", header)
+		}
+		out = append(out, SectorError{Index: idx, Err: cause})
+	}
+	return out, nil
+}
+
+func (s *DeviceServer) handleRead(w http.ResponseWriter, r *http.Request) {
+	start, err1 := strconv.Atoi(r.URL.Query().Get("start"))
+	count, err2 := strconv.Atoi(r.URL.Query().Get("count"))
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad start/count", http.StatusBadRequest)
+		return
+	}
+	// Validate the remote-supplied extent before allocating count
+	// sectors of response buffer: a hostile count must not OOM the
+	// process exporting the device.
+	if err := checkExtent(s.dev.Sectors(), start, count); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bufs := make([][]byte, count)
+	flat := make([]byte, count*s.dev.SectorSize())
+	for i := range bufs {
+		bufs[i] = flat[i*s.dev.SectorSize() : (i+1)*s.dev.SectorSize()]
+	}
+	err := s.dev.ReadSectors(r.Context(), start, bufs)
+	if lost, ok := AsSectorErrors(err); ok {
+		w.Header().Set(lostSectorsHeader, sectorList(lost))
+	} else if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(flat)
+}
+
+func (s *DeviceServer) handleWrite(w http.ResponseWriter, r *http.Request) {
+	start, err := strconv.Atoi(r.URL.Query().Get("start"))
+	if err != nil {
+		http.Error(w, "bad start", http.StatusBadRequest)
+		return
+	}
+	size := s.dev.SectorSize()
+	// The device's whole capacity bounds any valid write body; reading
+	// more than that (+1 to detect overshoot) is refused, not buffered.
+	maxBody := int64(s.dev.Sectors()) * int64(size)
+	flat, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(flat)) > maxBody {
+		http.Error(w, "body exceeds device capacity", http.StatusBadRequest)
+		return
+	}
+	if len(flat)%size != 0 {
+		http.Error(w, fmt.Sprintf("body %d bytes is not a sector multiple", len(flat)), http.StatusBadRequest)
+		return
+	}
+	if err := checkExtent(s.dev.Sectors(), start, len(flat)/size); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data := make([][]byte, len(flat)/size)
+	for i := range data {
+		data[i] = flat[i*size : (i+1)*size]
+	}
+	err = s.dev.WriteSectors(r.Context(), start, data)
+	if failed, ok := AsSectorErrors(err); ok {
+		w.Header().Set(failedSectorsHeader, sectorList(failed))
+	} else if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *DeviceServer) handleFaultOp(w http.ResponseWriter, r *http.Request) {
+	fd, ok := s.dev.(FaultDevice)
+	if !ok {
+		http.Error(w, "device does not support fault injection", http.StatusNotImplemented)
+		return
+	}
+	var err error
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/fail"):
+		err = fd.Fail()
+	case strings.HasSuffix(r.URL.Path, "/replace"):
+		err = fd.Replace()
+	default:
+		var sector int
+		if sector, err = strconv.Atoi(r.URL.Query().Get("sector")); err != nil {
+			http.Error(w, "bad sector", http.StatusBadRequest)
+			return
+		}
+		err = fd.InjectSectorError(sector)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *DeviceServer) handleFaultStatus(w http.ResponseWriter, r *http.Request) {
+	fd, ok := s.dev.(FaultDevice)
+	if !ok {
+		http.Error(w, "device does not support fault injection", http.StatusNotImplemented)
+		return
+	}
+	writeJSON(w, netFaultStatus{Failed: fd.Failed(), BadSectors: fd.BadSectors()})
+}
+
+// writeError maps device errors onto the wire: a wholly failed device
+// is 503 + Stair-Error so the client can reconstruct ErrDeviceFailed;
+// anything else is a plain 500.
+func (s *DeviceServer) writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrDeviceFailed) {
+		w.Header().Set(netErrHeader, netErrDeviceFailed)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// NetDevice is an HTTP client for a DeviceServer: a Device (and
+// FaultDevice) whose every vectored call is one round trip. It is the
+// remote-backend existence proof for the vectored API — with the old
+// one-sector-at-a-time interface, a full-stripe flush against it would
+// cost R round trips per device instead of one.
+type NetDevice struct {
+	base       string
+	hc         *http.Client
+	sectors    int
+	sectorSize int
+}
+
+// DialNetDevice connects to a DeviceServer at baseURL (no trailing
+// slash needed) and fetches its geometry. A nil client selects
+// http.DefaultClient.
+func DialNetDevice(ctx context.Context, baseURL string, client *http.Client) (*NetDevice, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	d := &NetDevice{base: strings.TrimSuffix(baseURL, "/"), hc: client}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/geometry", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("store: dialing device server %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: device server %s: geometry returned %s", baseURL, resp.Status)
+	}
+	var geo netGeometry
+	if err := json.NewDecoder(resp.Body).Decode(&geo); err != nil {
+		return nil, fmt.Errorf("store: device server %s: bad geometry: %w", baseURL, err)
+	}
+	if geo.Sectors < 1 || geo.SectorSize < 1 {
+		return nil, fmt.Errorf("store: device server %s: bad geometry %d×%d", baseURL, geo.Sectors, geo.SectorSize)
+	}
+	d.sectors, d.sectorSize = geo.Sectors, geo.SectorSize
+	return d, nil
+}
+
+// Sectors returns the remote device's capacity.
+func (d *NetDevice) Sectors() int { return d.sectors }
+
+// SectorSize returns the remote device's sector size.
+func (d *NetDevice) SectorSize() int { return d.sectorSize }
+
+// do runs one request and maps transport- and device-level failures.
+func (d *NetDevice) do(req *http.Request) (*http.Response, error) {
+	resp, err := d.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.Header.Get(netErrHeader) == netErrDeviceFailed {
+		return nil, ErrDeviceFailed
+	}
+	return nil, fmt.Errorf("store: device server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// ReadSectors fetches the extent in one round trip. Remotely lost
+// sectors come back as SectorErrors wrapping ErrBadSector, with every
+// readable buffer filled.
+func (d *NetDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	if err := checkExtent(d.sectors, start, len(bufs)); err != nil {
+		return err
+	}
+	if err := checkBufs(d.sectorSize, bufs); err != nil {
+		return err
+	}
+	if len(bufs) == 0 {
+		return ctx.Err()
+	}
+	url := fmt.Sprintf("%s/v1/read?start=%d&count=%d", d.base, start, len(bufs))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	flat := make([]byte, len(bufs)*d.sectorSize)
+	if _, err := io.ReadFull(resp.Body, flat); err != nil {
+		return fmt.Errorf("store: short read from device server: %w", err)
+	}
+	for i, buf := range bufs {
+		copy(buf, flat[i*d.sectorSize:(i+1)*d.sectorSize])
+	}
+	lost, err := parseSectorList(resp.Header.Get(lostSectorsHeader), ErrBadSector)
+	if err != nil {
+		return err
+	}
+	if len(lost) > 0 {
+		return lost
+	}
+	return nil
+}
+
+// WriteSectors stores the extent in one round trip. Sectors the remote
+// device could not land come back as SectorErrors.
+func (d *NetDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	if err := checkExtent(d.sectors, start, len(data)); err != nil {
+		return err
+	}
+	if err := checkBufs(d.sectorSize, data); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return ctx.Err()
+	}
+	flat := make([]byte, 0, len(data)*d.sectorSize)
+	for _, buf := range data {
+		flat = append(flat, buf...)
+	}
+	url := fmt.Sprintf("%s/v1/write?start=%d", d.base, start)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(flat))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := d.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	failed, err := parseSectorList(resp.Header.Get(failedSectorsHeader), fmt.Errorf("store: remote write failed"))
+	if err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return failed
+	}
+	return nil
+}
+
+// faultPost issues one control-plane request (no caller context: the
+// FaultDevice interface is context-free).
+func (d *NetDevice) faultPost(path string) error {
+	req, err := http.NewRequest(http.MethodPost, d.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Fail marks the remote device wholly failed.
+func (d *NetDevice) Fail() error { return d.faultPost("/v1/fault/fail") }
+
+// Replace swaps in a fresh remote device whose sectors are all bad.
+func (d *NetDevice) Replace() error { return d.faultPost("/v1/fault/replace") }
+
+// InjectSectorError marks one remote sector as a latent error.
+func (d *NetDevice) InjectSectorError(idx int) error {
+	return d.faultPost(fmt.Sprintf("/v1/fault/inject?sector=%d", idx))
+}
+
+// faultStatus fetches the remote fault state; transport errors read as
+// a healthy device (the FaultDevice interface has no error channel for
+// status queries).
+func (d *NetDevice) faultStatus() netFaultStatus {
+	req, err := http.NewRequest(http.MethodGet, d.base+"/v1/fault", nil)
+	if err != nil {
+		return netFaultStatus{}
+	}
+	resp, err := d.do(req)
+	if err != nil {
+		return netFaultStatus{}
+	}
+	defer resp.Body.Close()
+	var st netFaultStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return netFaultStatus{}
+	}
+	return st
+}
+
+// Failed reports whether the remote device is wholly failed.
+func (d *NetDevice) Failed() bool { return d.faultStatus().Failed }
+
+// BadSectors returns the remote latent-sector-error count.
+func (d *NetDevice) BadSectors() int { return d.faultStatus().BadSectors }
+
+// Close drops idle connections to the server.
+func (d *NetDevice) Close() error {
+	d.hc.CloseIdleConnections()
+	return nil
+}

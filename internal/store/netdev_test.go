@@ -1,0 +1,244 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+// newNetStore builds a store whose every device is a NetDevice talking
+// to an in-process DeviceServer over real HTTP.
+func newNetStore(t *testing.T, code *core.Code, stripes, sector int) *store.Store {
+	t.Helper()
+	devs := make([]store.Device, code.N())
+	for i := range devs {
+		srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(stripes*code.R(), sector)))
+		t.Cleanup(srv.Close)
+		d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	s, err := store.Open(store.Config{Code: code, SectorSize: sector, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestNetDeviceStoreEndToEnd: the full store lifecycle — fill, degraded
+// reads under sector and device faults, scrub-driven repair, replace and
+// rebuild — over HTTP backends. Each stripe-granular operation is one
+// round trip per device, which is what makes this viable at all.
+func TestNetDeviceStoreEndToEnd(t *testing.T) {
+	code, err := core.New(core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		stripes = 4
+		sector  = 128
+	)
+	s := newNetStore(t, code, stripes, sector)
+	blocks := make([][]byte, s.Blocks())
+	for b := range blocks {
+		blocks[b] = make([]byte, sector)
+		for i := range blocks[b] {
+			blocks[b][i] = byte((b*17 + i*7 + 5) % 251)
+		}
+		if err := s.WriteBlock(bg, b, blocks[b]); err != nil {
+			t.Fatalf("write block %d: %v", b, err)
+		}
+	}
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Latent sector errors travel the fault control plane; the vectored
+	// read reports them per sector and the degraded path reconstructs.
+	if err := s.InjectBurst(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBadSectors(); got != 2 {
+		t.Fatalf("TotalBadSectors=%d over the wire, want 2", got)
+	}
+	for b, want := range blocks {
+		got, err := s.ReadBlock(bg, b)
+		if err != nil {
+			t.Fatalf("degraded read of block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupt through remote degraded read", b)
+		}
+	}
+	if st := s.Stats(); st.DegradedReads == 0 {
+		t.Fatal("no degraded reads recorded against remote bad sectors")
+	}
+
+	// Scrub + repair converge over the wire.
+	if _, err := s.Scrub(bg); err != nil {
+		t.Fatal(err)
+	}
+	s.Quiesce()
+	if got := s.TotalBadSectors(); got != 0 {
+		t.Fatalf("TotalBadSectors=%d after remote scrub+repair, want 0", got)
+	}
+
+	// Whole-device failure surfaces as a whole-call error; replace and
+	// rebuild restore health remotely.
+	if err := s.FailDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	for b, want := range blocks {
+		got, err := s.ReadBlock(bg, b)
+		if err != nil {
+			t.Fatalf("read with failed remote device: block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupt with failed remote device", b)
+		}
+	}
+	if err := s.ReplaceDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RebuildDevice(bg, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBadSectors(); got != 0 {
+		t.Fatalf("TotalBadSectors=%d after remote rebuild, want 0", got)
+	}
+}
+
+// hangingDeviceServer wraps a DeviceServer, parking data-plane requests
+// until the client gives up — the pathological remote backend.
+func hangingDeviceServer(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/read" || r.URL.Path == "/v1/write" {
+			<-r.Context().Done()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestNetDeviceCancellation: a hung server cannot wedge a caller — the
+// request context aborts the round trip promptly.
+func TestNetDeviceCancellation(t *testing.T) {
+	srv := httptest.NewServer(hangingDeviceServer(store.NewDeviceServer(store.NewMemDevice(8, 64))))
+	t.Cleanup(srv.Close)
+	d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = d.ReadSectors(ctx, 0, [][]byte{make([]byte, 64)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("read against hung server: %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled remote read took %v", elapsed)
+	}
+	if err := d.WriteSectors(ctx, 0, [][]byte{make([]byte, 64)}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("write against hung server: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestNetDeviceTransportDown: a dead server reads as a whole-device
+// loss, and the store serves the data degraded from the survivors.
+func TestNetDeviceTransportDown(t *testing.T) {
+	code, err := core.New(core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		stripes = 2
+		sector  = 128
+	)
+	devs := make([]store.Device, code.N())
+	var dead *httptest.Server
+	for i := range devs {
+		srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(stripes*code.R(), sector)))
+		t.Cleanup(srv.Close)
+		d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+		if i == 3 {
+			dead = srv
+		}
+	}
+	s, err := store.Open(store.Config{Code: code, SectorSize: sector, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	blocks := make([][]byte, s.Blocks())
+	for b := range blocks {
+		blocks[b] = bytes.Repeat([]byte{byte(b + 1)}, sector)
+		if err := s.WriteBlock(bg, b, blocks[b]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	dead.Close() // device 3's transport goes away entirely
+	for b, want := range blocks {
+		got, err := s.ReadBlock(bg, b)
+		if err != nil {
+			t.Fatalf("read with dead transport: block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupt with dead transport", b)
+		}
+	}
+	if st := s.Stats(); st.DegradedReads == 0 {
+		t.Fatal("dead transport did not surface as degraded reads")
+	}
+}
+
+// TestDeviceServerHostileExtents: remote-supplied extents are validated
+// before any allocation — a hostile count (or an overflowing start)
+// must come back 400, not OOM or panic the exporting process.
+func TestDeviceServerHostileExtents(t *testing.T) {
+	srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(8, 64)))
+	t.Cleanup(srv.Close)
+	for _, url := range []string{
+		srv.URL + "/v1/read?start=0&count=1073741824",
+		srv.URL + "/v1/read?start=9223372036854775807&count=1",
+		srv.URL + "/v1/read?start=-1&count=2",
+		srv.URL + "/v1/read?start=0&count=-3",
+	} {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	// An oversized write body is refused without being buffered whole.
+	big := bytes.NewReader(make([]byte, 9*64))
+	resp, err := srv.Client().Post(srv.URL+"/v1/write?start=0", "application/octet-stream", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized write: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -30,14 +31,14 @@ func TestScrubberRestartAfterFailedPass(t *testing.T) {
 		}
 		return nil
 	}
-	if err := s.StartScrubber(time.Millisecond); err != nil {
+	if err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	// The first pass errors and kills the scrubber goroutine; the slot
 	// must come free so a fresh scrubber can start.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		err := s.StartScrubber(time.Millisecond)
+		err := s.StartScrubber(ScrubberOptions{Interval: time.Millisecond})
 		if err == nil {
 			break
 		}
@@ -72,7 +73,7 @@ func TestReplaceDeviceReconcilesUnrecoverableCounter(t *testing.T) {
 	}
 	markAll := func() {
 		for b := 0; b < s.Blocks(); b++ {
-			s.ReadBlock(b) // reads on dead devices mark their stripes
+			s.ReadBlock(bg, b) // reads on dead devices mark their stripes
 		}
 	}
 	markAll()
@@ -106,15 +107,15 @@ func TestReplaceDeviceReconcilesUnrecoverableCounter(t *testing.T) {
 // does not.
 type flakyDevice struct {
 	*MemDevice
-	failWrites atomic.Int32 // fail this many upcoming WriteSector calls
+	failWrites atomic.Int32 // fail this many upcoming WriteSectors calls
 }
 
-func (d *flakyDevice) WriteSector(idx int, data []byte) error {
+func (d *flakyDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
 	if d.failWrites.Load() > 0 {
 		d.failWrites.Add(-1)
 		return errors.New("store: transient write failure")
 	}
-	return d.MemDevice.WriteSector(idx, data)
+	return d.MemDevice.WriteSectors(ctx, start, data)
 }
 
 // TestPartialRepairRequeuedAndCountedOnce: a repair whose write-backs
@@ -148,7 +149,7 @@ func TestPartialRepairRequeuedAndCountedOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	flaky.failWrites.Store(1)
-	if _, err := s.Scrub(); err != nil {
+	if _, err := s.Scrub(bg); err != nil {
 		t.Fatal(err)
 	}
 	s.Quiesce()
@@ -194,7 +195,7 @@ func TestDegradedReadCache(t *testing.T) {
 		t.Fatalf("test needs ≥ 2 data cells on device 1, have %d", len(deadBlocks))
 	}
 	for _, b := range deadBlocks {
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,16 +217,16 @@ func TestDegradedReadCache(t *testing.T) {
 	// A write to the stripe invalidates the cached reconstruction; the
 	// next degraded read must reflect the new content.
 	victim := deadBlocks[0]
-	if err := s.WriteBlock(victim, blockData(victim+999, s.BlockSize())); err != nil {
+	if err := s.WriteBlock(bg, victim, blockData(victim+999, s.BlockSize())); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.cache.size(); got != 0 {
 		t.Errorf("cache holds %d stripes after a flush of the cached stripe, want 0", got)
 	}
-	got, err := s.ReadBlock(victim)
+	got, err := s.ReadBlock(bg, victim)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -19,22 +20,81 @@ type ScrubReport struct {
 	SectorsLost int
 }
 
-// Scrub sweeps every stripe once, synchronously: it reads each sector
-// (latent sector errors announce themselves at access time under the
-// fail-stop sector model), counts damage, and feeds damaged stripes to
-// the bounded repair queue. Use Quiesce to wait for the resulting
-// repairs to converge. Each stripe is swept under its own shard lock,
-// so reads, writes and repairs on other stripes interleave with a
-// sweep over a large volume.
-func (s *Store) Scrub() (ScrubReport, error) {
+// pacer rations a scrub pass to a stripes/sec budget. A nil pacer is
+// unpaced. The wait happens between stripes, outside any shard lock, so
+// pacing never blocks foreground reads and writes — only the sweep.
+type pacer struct {
+	interval time.Duration
+	next     time.Time
+}
+
+// newPacer builds a pacer for the given rate; rate <= 0 means unpaced.
+func newPacer(stripesPerSec float64) *pacer {
+	if stripesPerSec <= 0 {
+		return nil
+	}
+	return &pacer{interval: time.Duration(float64(time.Second) / stripesPerSec)}
+}
+
+// wait blocks until the next stripe is due, or ctx is cancelled.
+func (p *pacer) wait(ctx context.Context) error {
+	if p == nil {
+		return ctx.Err()
+	}
+	now := time.Now()
+	if p.next.IsZero() {
+		// The first stripe is free; the budget applies between stripes.
+		p.next = now.Add(p.interval)
+		return ctx.Err()
+	}
+	d := p.next.Sub(now)
+	if d <= 0 {
+		// Behind schedule (e.g. a stripe stalled on a slow device):
+		// resume pacing from now instead of banking catch-up credit —
+		// a burst of unpaced sweeping is exactly what the rate limit
+		// exists to prevent.
+		p.next = now.Add(p.interval)
+		return ctx.Err()
+	}
+	p.next = p.next.Add(p.interval)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Scrub sweeps every stripe once, synchronously: it reads each chunk in
+// one vectored call per device (latent sector errors announce
+// themselves at access time under the fail-stop sector model), counts
+// damage, and feeds damaged stripes to the bounded repair queue. Use
+// Quiesce to wait for the resulting repairs to converge. Each stripe is
+// swept under its own shard lock, so reads, writes and repairs on other
+// stripes interleave with a sweep over a large volume. A cancelled ctx
+// aborts the pass mid-sweep — including an in-flight device wait — not
+// just between stripes.
+func (s *Store) Scrub(ctx context.Context) (ScrubReport, error) {
+	return s.scrub(ctx, nil)
+}
+
+func (s *Store) scrub(ctx context.Context, pace *pacer) (ScrubReport, error) {
 	var rep ScrubReport
 	if fn := s.testScrubErr; fn != nil {
 		if err := fn(); err != nil {
 			return rep, err
 		}
 	}
-	buf := make([]byte, s.sectorSize)
+	bufs := make([][]byte, s.r)
+	for row := range bufs {
+		bufs[row] = make([]byte, s.sectorSize)
+	}
 	for stripe := 0; stripe < s.stripes; stripe++ {
+		if err := pace.wait(ctx); err != nil {
+			return rep, err
+		}
 		sh := s.shard(stripe)
 		sh.mu.Lock()
 		// Checked under the shard lock (as in ReadBlock): past Close's
@@ -45,11 +105,19 @@ func (s *Store) Scrub() (ScrubReport, error) {
 		}
 		lost := 0
 		for col := 0; col < s.n; col++ {
-			for row := 0; row < s.r; row++ {
-				if err := s.devs[col].ReadSector(s.devSector(stripe, row), buf); err != nil {
-					lost++
-				}
+			err := s.devs[col].ReadSectors(ctx, s.devSector(stripe, 0), bufs)
+			if err == nil {
+				continue
 			}
+			if se, ok := AsSectorErrors(err); ok {
+				lost += len(se)
+				continue
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				sh.mu.Unlock()
+				return rep, cerr
+			}
+			lost += s.r // whole chunk unreadable (failed device)
 		}
 		rep.StripesChecked++
 		s.c.scrubbedStripes.Add(1)
@@ -68,12 +136,29 @@ func (s *Store) Scrub() (ScrubReport, error) {
 	return rep, nil
 }
 
+// ScrubberOptions configures the background scrubber.
+type ScrubberOptions struct {
+	// Interval is the time between the starts of consecutive passes
+	// (required, positive).
+	Interval time.Duration
+	// StripesPerSec rate-limits each pass so a scrub sweep does not
+	// monopolise device bandwidth against foreground traffic; 0 means
+	// unpaced. The pacing sleep happens outside the shard locks and
+	// honors cancellation, so stopping the scrubber (or closing the
+	// store) interrupts a paced pass immediately.
+	StripesPerSec float64
+}
+
 // StartScrubber starts a background goroutine running a full Scrub pass
 // every interval until StopScrubber or Close. Only one scrubber can run
-// at a time.
-func (s *Store) StartScrubber(interval time.Duration) error {
-	if interval <= 0 {
-		return fmt.Errorf("store: scrub interval %v must be positive", interval)
+// at a time. Stopping cancels an in-flight pass mid-sweep via its
+// context rather than waiting for the pass to finish.
+func (s *Store) StartScrubber(opts ScrubberOptions) error {
+	if opts.Interval <= 0 {
+		return fmt.Errorf("store: scrub interval %v must be positive", opts.Interval)
+	}
+	if opts.StripesPerSec < 0 {
+		return fmt.Errorf("store: scrub rate %v must be ≥ 0 stripes/sec", opts.StripesPerSec)
 	}
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -102,7 +187,20 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 			}
 			s.stateMu.Unlock()
 		}()
-		ticker := time.NewTicker(interval)
+		// Passes run under a context cancelled by StopScrubber and
+		// Close, so a paced or device-blocked pass aborts mid-sweep
+		// instead of holding the shutdown hostage.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			select {
+			case <-stop:
+			case <-s.quit:
+			case <-ctx.Done():
+			}
+			cancel()
+		}()
+		ticker := time.NewTicker(opts.Interval)
 		defer ticker.Stop()
 		for {
 			select {
@@ -114,7 +212,7 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 				// rather than making wg.Wait sit out a full interval.
 				return
 			case <-ticker.C:
-				if _, err := s.Scrub(); err != nil {
+				if _, err := s.scrub(ctx, newPacer(opts.StripesPerSec)); err != nil {
 					return
 				}
 			}
@@ -124,8 +222,8 @@ func (s *Store) StartScrubber(interval time.Duration) error {
 }
 
 // StopScrubber stops the background scrubber, if running, and waits for
-// an in-flight pass to finish (repairs it queued keep draining; use
-// Quiesce to wait for those).
+// it to exit; an in-flight pass is cancelled mid-sweep (repairs it
+// already queued keep draining; use Quiesce to wait for those).
 func (s *Store) StopScrubber() {
 	s.stateMu.Lock()
 	stop, done := s.scrubStop, s.scrubDone

@@ -16,10 +16,17 @@
 //     the fly via the upstairs decoding fast path (§4.2–4.3), cached
 //     while the stripe stays degraded, and the stripe is queued for
 //     background repair;
-//   - a background scrubber sweeps stripes, detects latent sector errors
-//     and feeds a bounded repair queue drained by a pool of repair
-//     workers, which write reconstructed sectors back to writable
-//     devices.
+//   - a background scrubber sweeps stripes — optionally paced to a
+//     stripes/sec budget — detects latent sector errors and feeds a
+//     bounded repair queue drained by a pool of repair workers, which
+//     write reconstructed sectors back to writable devices.
+//
+// Device I/O is vectored and context-aware: every stripe-granular path
+// (flush, load, scrub, repair) issues one ReadSectors/WriteSectors call
+// per device per stripe, so a remote backend pays one round trip where
+// the per-sector API would pay R, and a caller's context deadline or
+// cancellation aborts in-flight device waits instead of wedging the
+// store. Public Store methods take a context for the same reason.
 //
 // Stripes are independent units of encoding and recovery, and the store
 // exploits that: per-stripe state lives in a striped lock table
@@ -34,6 +41,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -92,10 +100,10 @@ type Config struct {
 
 // stripeBuf accumulates dirty data blocks of one stripe, indexed by data
 // cell ordinal (the code's DataCells order). stuck marks a buffer whose
-// flush failed (e.g. its stripe is unrecoverably degraded): eviction
-// skips it so the same error is not re-reported on every unrelated
-// write, but explicit Flush (and the filling-to-full fast path) still
-// retry it.
+// flush failed (e.g. its stripe is unrecoverably degraded, or the
+// flush's context was cancelled mid-write-back): eviction skips it so
+// the same error is not re-reported on every unrelated write, but
+// explicit Flush (and the filling-to-full fast path) still retry it.
 type stripeBuf struct {
 	data  [][]byte
 	count int
@@ -280,7 +288,8 @@ func (s *Store) devSector(stripe, row int) int { return stripe*s.r + row }
 // WriteBlock buffers one block write. The write lands on devices when
 // its stripe buffer fills (full-stripe encode), when the buffer bound
 // evicts it, or at Flush/Close (incremental parity read–modify–write).
-func (s *Store) WriteBlock(b int, data []byte) error {
+// ctx bounds any device I/O a triggered flush performs.
+func (s *Store) WriteBlock(ctx context.Context, b int, data []byte) error {
 	if len(data) != s.sectorSize {
 		return fmt.Errorf("store: write of %d bytes, want block size %d", len(data), s.sectorSize)
 	}
@@ -314,7 +323,7 @@ func (s *Store) WriteBlock(b int, data []byte) error {
 	copy(buf.data[ord], data)
 	s.c.writes.Add(1)
 	if buf.count == s.perStripe {
-		err := s.flushStripeLocked(sh, stripe)
+		err := s.flushStripeLocked(ctx, sh, stripe)
 		sh.mu.Unlock()
 		return err
 	}
@@ -326,7 +335,7 @@ func (s *Store) WriteBlock(b int, data []byte) error {
 		}
 		vsh := s.shard(victim)
 		vsh.mu.Lock()
-		err := s.flushStripeLocked(vsh, victim)
+		err := s.flushStripeLocked(ctx, vsh, victim)
 		vsh.mu.Unlock()
 		if err != nil {
 			// The requested write IS buffered; only the eviction failed.
@@ -360,17 +369,20 @@ func (s *Store) fullestDirty(except int) int {
 	return best
 }
 
-// Flush writes every buffered stripe to the devices.
-func (s *Store) Flush() error {
+// Flush writes every buffered stripe to the devices. A cancelled ctx
+// aborts promptly — including any in-flight device wait — leaving the
+// unflushed buffers intact for a retry.
+func (s *Store) Flush(ctx context.Context) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	return s.flushAll()
+	return s.flushAll(ctx)
 }
 
 // flushAll lands every buffered stripe, shard by shard (Close uses it
 // after marking the store closed, so it does not re-check closed).
-func (s *Store) flushAll() error {
+// Context cancellation stops the sweep at the first unflushed stripe.
+func (s *Store) flushAll(ctx context.Context) error {
 	var stripes []int
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -383,9 +395,15 @@ func (s *Store) flushAll() error {
 	sort.Ints(stripes)
 	var first error
 	for _, stripe := range stripes {
+		if err := ctx.Err(); err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
 		sh := s.shard(stripe)
 		sh.mu.Lock()
-		err := s.flushStripeLocked(sh, stripe)
+		err := s.flushStripeLocked(ctx, sh, stripe)
 		sh.mu.Unlock()
 		if err != nil && first == nil {
 			first = err
@@ -399,8 +417,8 @@ func (s *Store) flushAll() error {
 // scratch in parallel; a partial one goes through read–modify–write with
 // §5.2 incremental parity updates. On error the buffer is retained so
 // the flush can be retried (e.g. after a device replacement and
-// rebuild).
-func (s *Store) flushStripeLocked(sh *lockShard, stripe int) (err error) {
+// rebuild, or with a live context after a cancellation).
+func (s *Store) flushStripeLocked(ctx context.Context, sh *lockShard, stripe int) (err error) {
 	buf := sh.dirty[stripe]
 	if buf == nil {
 		return nil
@@ -421,21 +439,28 @@ func (s *Store) flushStripeLocked(sh *lockShard, stripe int) (err error) {
 		if err := s.code.EncodeParallel(st, core.MethodAuto, s.workers); err != nil {
 			return err
 		}
+		// One vectored write per device covers the whole chunk. A
+		// cancelled context keeps the buffer (the retry re-encodes and
+		// rewrites every cell, so a half-landed stripe is made whole);
+		// per-device write failures are dropped — the stripe stays
+		// degraded there until repair or replacement, which is exactly
+		// what the code tolerates.
+		if err := s.writeFullStripe(ctx, stripe, st); err != nil {
+			return err
+		}
 		delete(sh.dirty, stripe)
 		s.dirtyCount.Add(-1)
 		// A full rewrite resurrects a previously unrecoverable stripe.
 		s.clearUnrecoverableLocked(sh, stripe)
 		s.c.fullFlushes.Add(1)
-		for col := 0; col < s.n; col++ {
-			for row := 0; row < s.r; row++ {
-				s.writeCell(stripe, col, row, st.Sector(col, row))
-			}
-		}
 		s.cache.invalidate(stripe)
 		return nil
 	}
 
-	st, lost := s.loadStripe(stripe)
+	st, lost, err := s.loadStripe(ctx, stripe)
+	if err != nil {
+		return err
+	}
 	if len(lost) > 0 {
 		if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
 			if errors.Is(err, ErrUnrecoverable) {
@@ -462,9 +487,6 @@ func (s *Store) flushStripeLocked(sh *lockShard, stripe int) (err error) {
 			touched[p] = true
 		}
 	}
-	delete(sh.dirty, stripe)
-	s.dirtyCount.Add(-1)
-	s.c.subFlushes.Add(1)
 	// Write back the dirty data cells and affected parity, plus any
 	// cells just repaired (healing their bad sectors in passing).
 	for _, cell := range lost {
@@ -474,48 +496,141 @@ func (s *Store) flushStripeLocked(sh *lockShard, stripe int) (err error) {
 	for cell := range touched {
 		cells = append(cells, cell)
 	}
+	sortCells(cells)
+	if _, _, err := s.writeStripeCells(ctx, stripe, st, cells); err != nil {
+		// Cancelled mid-write-back: an unknown subset of the touched
+		// cells landed, so the incremental delta against current device
+		// state is no longer applicable on retry. Promote the buffer to
+		// a full stripe (st holds every cell's updated content) — the
+		// retry rewrites the whole stripe and restores consistency.
+		s.promoteToFullLocked(buf, st)
+		return err
+	}
+	delete(sh.dirty, stripe)
+	s.dirtyCount.Add(-1)
+	s.c.subFlushes.Add(1)
+	s.cache.invalidate(stripe)
+	return nil
+}
+
+// promoteToFullLocked fills a partial stripe buffer with every data
+// cell of st, so its next flush takes the full-stripe path. Callers
+// hold the stripe's shard mutex.
+func (s *Store) promoteToFullLocked(buf *stripeBuf, st *core.Stripe) {
+	for ord, cell := range s.dataCells {
+		if buf.data[ord] == nil {
+			buf.data[ord] = append([]byte(nil), st.Sector(cell.Col, cell.Row)...)
+			buf.count++
+		}
+	}
+}
+
+// sortCells orders cells by (Col, Row) so per-device contiguous runs
+// are adjacent.
+func sortCells(cells []core.Cell) {
 	sort.Slice(cells, func(i, j int) bool {
 		if cells[i].Col != cells[j].Col {
 			return cells[i].Col < cells[j].Col
 		}
 		return cells[i].Row < cells[j].Row
 	})
-	for _, cell := range cells {
-		s.writeCell(stripe, cell.Col, cell.Row, st.Sector(cell.Col, cell.Row))
+}
+
+// writeFullStripe writes every cell of a stripe, one vectored call per
+// device. Only context cancellation is reported; per-device write
+// errors leave the stripe degraded there (repair heals it later).
+func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe) error {
+	rows := make([][]byte, s.r)
+	for col := 0; col < s.n; col++ {
+		for row := 0; row < s.r; row++ {
+			rows[row] = st.Sector(col, row)
+		}
+		_ = s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	s.cache.invalidate(stripe)
 	return nil
 }
 
-// writeCell writes one stripe cell to its device. Writes to failed
-// devices are dropped — the stripe stays degraded there until the device
-// is replaced and rebuilt, which is exactly what the code tolerates.
-func (s *Store) writeCell(stripe, col, row int, data []byte) {
-	_ = s.devs[col].WriteSector(s.devSector(stripe, row), data)
+// writeStripeCells writes the given cells (sorted by Col, Row) of one
+// stripe back to their devices, grouped into one vectored call per
+// contiguous per-device run. It reports how many sectors landed and how
+// many failed; only context cancellation aborts the sweep with an
+// error.
+func (s *Store) writeStripeCells(ctx context.Context, stripe int, st *core.Stripe, cells []core.Cell) (wrote, failed int, err error) {
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j].Col == cells[i].Col && cells[j].Row == cells[j-1].Row+1 {
+			j++
+		}
+		run := cells[i:j]
+		bufs := make([][]byte, len(run))
+		for k, cell := range run {
+			bufs[k] = st.Sector(cell.Col, cell.Row)
+		}
+		werr := s.devs[run[0].Col].WriteSectors(ctx, s.devSector(stripe, run[0].Row), bufs)
+		if cerr := ctx.Err(); cerr != nil {
+			return wrote, failed, cerr
+		}
+		switch se, ok := AsSectorErrors(werr); {
+		case werr == nil:
+			wrote += len(run)
+		case ok:
+			failed += len(se)
+			wrote += len(run) - len(se)
+		default:
+			failed += len(run)
+		}
+		i = j
+	}
+	return wrote, failed, nil
 }
 
-// loadStripe reads one stripe off the devices; unreadable cells come
-// back zeroed and listed in lost. The caller holds the stripe's shard
-// mutex, so the snapshot cannot interleave with a same-stripe writer.
-func (s *Store) loadStripe(stripe int) (*core.Stripe, []core.Cell) {
+// loadStripe reads one stripe off the devices — one vectored call per
+// device; unreadable cells come back zeroed and listed in lost. The
+// returned error is non-nil only for context cancellation. The caller
+// holds the stripe's shard mutex, so the snapshot cannot interleave
+// with a same-stripe writer.
+func (s *Store) loadStripe(ctx context.Context, stripe int) (*core.Stripe, []core.Cell, error) {
 	st, _ := s.code.NewStripe(s.sectorSize)
 	var lost []core.Cell
+	bufs := make([][]byte, s.r)
 	for col := 0; col < s.n; col++ {
-		for row := 0; row < s.r; row++ {
-			if err := s.devs[col].ReadSector(s.devSector(stripe, row), st.Sector(col, row)); err != nil {
-				lost = append(lost, core.Cell{Col: col, Row: row})
+		for row := range bufs {
+			bufs[row] = st.Sector(col, row)
+		}
+		err := s.devs[col].ReadSectors(ctx, s.devSector(stripe, 0), bufs)
+		if err == nil {
+			continue
+		}
+		if se, ok := AsSectorErrors(err); ok {
+			// The vectored read names exactly the lost sectors; the
+			// rest of the chunk is good and stays.
+			for _, e := range se {
+				lost = append(lost, core.Cell{Col: col, Row: e.Index - stripe*s.r})
 			}
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
+		// Whole-call failure (failed device, transport down): every
+		// cell of this chunk is lost.
+		for row := 0; row < s.r; row++ {
+			lost = append(lost, core.Cell{Col: col, Row: row})
 		}
 	}
-	return st, lost
+	return st, lost, nil
 }
 
 // ReadBlock returns one logical block. Buffered (not yet flushed) writes
 // are served from the stripe buffer; an unreadable sector is rebuilt on
 // the fly through the degraded-read path — consulting the cache of
 // still-degraded reconstructions first — and its stripe queued for
-// background repair.
-func (s *Store) ReadBlock(b int) ([]byte, error) {
+// background repair. ctx bounds the device reads, including the
+// full-stripe load a degraded read performs.
+func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -536,9 +651,11 @@ func (s *Store) ReadBlock(b int) ([]byte, error) {
 		return append([]byte(nil), buf.data[ord]...), nil
 	}
 	out := make([]byte, s.sectorSize)
-	if err := s.devs[cell.Col].ReadSector(s.devSector(stripe, cell.Row), out); err == nil {
+	if err := ReadSector(ctx, s.devs[cell.Col], s.devSector(stripe, cell.Row), out); err == nil {
 		s.c.reads.Add(1)
 		return out, nil
+	} else if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
 	// Degraded read. A still-degraded stripe read before keeps its
 	// reconstruction cached, so neighbours on the same stripe skip the
@@ -555,7 +672,10 @@ func (s *Store) ReadBlock(b int) ([]byte, error) {
 	// Rebuild the lost cells of the whole stripe via the upstairs fast
 	// path and serve the request from the reconstruction.
 	epoch := s.cache.snapshotEpoch()
-	st, lost := s.loadStripe(stripe)
+	st, lost, err := s.loadStripe(ctx, stripe)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
 		if errors.Is(err, ErrUnrecoverable) {
 			s.markUnrecoverableLocked(sh, stripe)
@@ -668,6 +788,8 @@ func (s *Store) enqueueAttemptLocked(sh *lockShard, req repairReq) {
 
 // repairLoop is one repair worker: it drains the repair queue until
 // Close. Workers proceed in parallel on stripes in different shards.
+// Repairs run under the store's own (background) context: they are not
+// tied to any caller's deadline.
 func (s *Store) repairLoop() {
 	defer s.wg.Done()
 	for {
@@ -679,7 +801,7 @@ func (s *Store) repairLoop() {
 		}
 		sh := s.shard(req.stripe)
 		sh.mu.Lock()
-		requeue := s.repairStripeLocked(sh, req.stripe)
+		requeue := s.repairStripeLocked(context.Background(), sh, req.stripe)
 		delete(sh.pending, req.stripe)
 		if requeue {
 			// Re-enqueue before dropping this request's pending count so
@@ -700,13 +822,17 @@ func (s *Store) repairLoop() {
 // — reconstruction would have nowhere to land — so the stripe stays
 // (recoverably) degraded until the device is replaced. A stripe counts
 // as repaired only when every lost cell landed; a partial write-back
-// (some writes failed transiently) reports requeue so the worker retries
-// instead of silently leaving the stripe degraded.
-func (s *Store) repairStripeLocked(sh *lockShard, stripe int) (requeue bool) {
+// (some writes failed transiently, or the context was cancelled
+// mid-sweep) reports requeue so the worker retries instead of silently
+// leaving the stripe degraded.
+func (s *Store) repairStripeLocked(ctx context.Context, sh *lockShard, stripe int) (requeue bool) {
 	if sh.unrecoverable[stripe] {
 		return false
 	}
-	st, lost := s.loadStripe(stripe)
+	st, lost, err := s.loadStripe(ctx, stripe)
+	if err != nil {
+		return false
+	}
 	if len(lost) == 0 {
 		return false
 	}
@@ -720,16 +846,15 @@ func (s *Store) repairStripeLocked(sh *lockShard, stripe int) (requeue bool) {
 		}
 		return false
 	}
-	wrote, failed := 0, 0
-	for _, cell := range writable {
-		if s.devs[cell.Col].WriteSector(s.devSector(stripe, cell.Row), st.Sector(cell.Col, cell.Row)) == nil {
-			wrote++
-		} else {
-			failed++
-		}
-	}
+	sortCells(writable)
+	wrote, failed, err := s.writeStripeCells(ctx, stripe, st, writable)
 	if wrote > 0 {
 		s.c.repairedSectors.Add(uint64(wrote))
+	}
+	if err != nil {
+		// Cancelled mid-write-back: whatever landed is already counted;
+		// retry the rest later.
+		return true
 	}
 	if failed == 0 && len(writable) == len(lost) {
 		// Fully healed: every lost cell is back on a device. Direct
@@ -799,12 +924,17 @@ func (s *Store) ReplaceDevice(dev int) error {
 
 // RebuildDevice synchronously reconstructs every stripe touching the
 // given (replaced) device, bypassing the bounded queue. Stripes whose
-// write-backs fail transiently are left to the scrubber.
-func (s *Store) RebuildDevice(dev int) error {
+// write-backs fail transiently are left to the scrubber. A cancelled
+// ctx stops the sweep between stripes and aborts in-flight device
+// waits.
+func (s *Store) RebuildDevice(ctx context.Context, dev int) error {
 	if _, err := s.faultDevice(dev); err != nil {
 		return err
 	}
 	for stripe := 0; stripe < s.stripes; stripe++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sh := s.shard(stripe)
 		sh.mu.Lock()
 		// Checked under the shard lock (as in ReadBlock): past Close's
@@ -813,10 +943,10 @@ func (s *Store) RebuildDevice(dev int) error {
 			sh.mu.Unlock()
 			return ErrClosed
 		}
-		s.repairStripeLocked(sh, stripe)
+		s.repairStripeLocked(ctx, sh, stripe)
 		sh.mu.Unlock()
 	}
-	return nil
+	return ctx.Err()
 }
 
 // InjectSectorError injects a latent sector error at one device sector
@@ -898,7 +1028,8 @@ func (s *Store) faultDevice(dev int) (FaultDevice, error) {
 // nothing can slip into the buffer and be lost; repairs already queued
 // (e.g. by a final scrub pass) complete before the workers shut down,
 // so a close does not strand a volume degraded that a queued repair
-// would have healed.
+// would have healed. Close is not bounded by a caller context — it
+// finishes the shutdown it started.
 func (s *Store) Close() error {
 	s.StopScrubber()
 	s.stateMu.Lock()
@@ -908,7 +1039,7 @@ func (s *Store) Close() error {
 	}
 	s.closed.Store(true)
 	s.stateMu.Unlock()
-	flushErr := s.flushAll()
+	flushErr := s.flushAll(context.Background())
 	// Nothing can enqueue past closed, so the pending count only drains
 	// from here; wait for the workers to finish what was queued.
 	s.stateMu.Lock()

@@ -2,12 +2,17 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
 
 	"stair/internal/core"
 )
+
+// bg is the context test helpers thread through the store API when the
+// test is not exercising cancellation.
+var bg = context.Background()
 
 func testCode(t testing.TB, cfg core.Config) *core.Code {
 	t.Helper()
@@ -30,11 +35,11 @@ func blockData(b, size int) []byte {
 func fillStore(t testing.TB, s *Store) {
 	t.Helper()
 	for b := 0; b < s.Blocks(); b++ {
-		if err := s.WriteBlock(b, blockData(b, s.BlockSize())); err != nil {
+		if err := s.WriteBlock(bg, b, blockData(b, s.BlockSize())); err != nil {
 			t.Fatalf("write block %d: %v", b, err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(bg); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
 }
@@ -42,7 +47,7 @@ func fillStore(t testing.TB, s *Store) {
 func checkAllBlocks(t testing.TB, s *Store) {
 	t.Helper()
 	for b := 0; b < s.Blocks(); b++ {
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if err != nil {
 			t.Fatalf("read block %d: %v", b, err)
 		}
@@ -59,8 +64,11 @@ func checkStripesConsistent(t testing.TB, s *Store) {
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		sh := s.shard(stripe)
 		sh.mu.Lock()
-		st, lost := s.loadStripe(stripe)
+		st, lost, err := s.loadStripe(bg, stripe)
 		sh.mu.Unlock()
+		if err != nil {
+			t.Fatalf("stripe %d: %v", stripe, err)
+		}
 		if len(lost) > 0 {
 			t.Fatalf("stripe %d has %d lost cells", stripe, len(lost))
 		}
@@ -150,11 +158,11 @@ func TestSubStripeFlush(t *testing.T) {
 
 	// Overwrite two blocks of stripe 1 with new content.
 	for _, b := range []int{s.perStripe, s.perStripe + 5} {
-		if err := s.WriteBlock(b, blockData(b+1000, s.BlockSize())); err != nil {
+		if err := s.WriteBlock(bg, b, blockData(b+1000, s.BlockSize())); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -170,7 +178,7 @@ func TestSubStripeFlush(t *testing.T) {
 		if b == s.perStripe || b == s.perStripe+5 {
 			want = blockData(b+1000, s.BlockSize())
 		}
-		got, err := s.ReadBlock(b)
+		got, err := s.ReadBlock(bg, b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,10 +198,10 @@ func TestReadYourWrites(t *testing.T) {
 	}
 	defer s.Close()
 	want := blockData(3, s.BlockSize())
-	if err := s.WriteBlock(3, want); err != nil {
+	if err := s.WriteBlock(bg, 3, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadBlock(3)
+	got, err := s.ReadBlock(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +223,7 @@ func TestDirtyBound(t *testing.T) {
 	defer s.Close()
 	// One block in each of four stripes: the bound (2) forces evictions.
 	for stripe := 0; stripe < 4; stripe++ {
-		if err := s.WriteBlock(stripe*s.perStripe, blockData(stripe, s.BlockSize())); err != nil {
+		if err := s.WriteBlock(bg, stripe*s.perStripe, blockData(stripe, s.BlockSize())); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -256,13 +264,13 @@ func TestBlockRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := s.ReadBlock(s.Blocks()); err == nil {
+	if _, err := s.ReadBlock(bg, s.Blocks()); err == nil {
 		t.Error("read past the end accepted")
 	}
-	if err := s.WriteBlock(-1, make([]byte, s.BlockSize())); err == nil {
+	if err := s.WriteBlock(bg, -1, make([]byte, s.BlockSize())); err == nil {
 		t.Error("negative block write accepted")
 	}
-	if err := s.WriteBlock(0, make([]byte, 7)); err == nil {
+	if err := s.WriteBlock(bg, 0, make([]byte, 7)); err == nil {
 		t.Error("short write accepted")
 	}
 }
@@ -279,13 +287,13 @@ func TestClosedStore(t *testing.T) {
 	if err := s.Close(); !errors.Is(err, ErrClosed) {
 		t.Errorf("second Close: %v, want ErrClosed", err)
 	}
-	if _, err := s.ReadBlock(0); !errors.Is(err, ErrClosed) {
+	if _, err := s.ReadBlock(bg, 0); !errors.Is(err, ErrClosed) {
 		t.Errorf("read after close: %v, want ErrClosed", err)
 	}
-	if err := s.WriteBlock(0, make([]byte, s.BlockSize())); !errors.Is(err, ErrClosed) {
+	if err := s.WriteBlock(bg, 0, make([]byte, s.BlockSize())); !errors.Is(err, ErrClosed) {
 		t.Errorf("write after close: %v, want ErrClosed", err)
 	}
-	if _, err := s.Scrub(); !errors.Is(err, ErrClosed) {
+	if _, err := s.Scrub(bg); !errors.Is(err, ErrClosed) {
 		t.Errorf("scrub after close: %v, want ErrClosed", err)
 	}
 }
