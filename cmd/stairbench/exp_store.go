@@ -49,6 +49,13 @@ type storeBenchConfig struct {
 	// between the two is the vectored-I/O win on remote-like media.
 	LatencyMS      float64 `json:"latency_ms"`
 	LatencyStripes int     `json:"latency_stripes"`
+	// FlushWorkers is the pipeline width of the *-async-* scenarios:
+	// the same fill on the same LatencyMS media, flushed synchronously
+	// (async-off) versus through the background pipeline (async-<N>w),
+	// which overlaps one stripe's device round trips with another's
+	// encode. On per-call-latency media the win tracks the pipeline
+	// width up to the stripe count.
+	FlushWorkers int `json:"flush_workers"`
 }
 
 type storeBenchResult struct {
@@ -371,6 +378,47 @@ func runStore(o options) error {
 			return err
 		}
 		ls.Close()
+	}
+
+	// Synchronous vs pipelined flush on the same 1 ms/call media: the
+	// sequential fill is identical, but with FlushWorkers the filled
+	// stripe buffers land through the background pipeline, so separate
+	// stripes' write-backs (n calls × 1 ms each) overlap instead of
+	// serialising behind each WriteBlock.
+	const asyncFlushWorkers = 4
+	cfg.FlushWorkers = asyncFlushWorkers
+	for _, mode := range []struct {
+		suffix  string
+		workers int
+	}{
+		{"async-off", 0},
+		{fmt.Sprintf("async-%dw", asyncFlushWorkers), asyncFlushWorkers},
+	} {
+		devs := make([]store.Device, n)
+		for i := range devs {
+			devs[i] = store.NewLatencyDevice(store.NewMemDevice(latencyStripes*r, sector), latencyMS*time.Millisecond, 0)
+		}
+		as, err := store.Open(store.Config{
+			Code: code, SectorSize: sector, Stripes: latencyStripes, Devices: devs,
+			RepairWorkers: repairWorkers, LockShards: lockShards,
+			DegradedCache: degradedCache, MaxDirtyStripes: latencyStripes,
+			FlushWorkers: mode.workers,
+		})
+		if err != nil {
+			return err
+		}
+		asBytes := as.Blocks() * sector
+		regime := fmt.Sprintf("%dms/call devices, %s", latencyMS, mode.suffix)
+		note := regime + ": synchronous full-stripe flushes"
+		if mode.workers > 0 {
+			note = fmt.Sprintf("%s: %d-worker flush pipeline (encode/write-back overlap)", regime, mode.workers)
+		}
+		if err := add("write-seq-"+mode.suffix, note, asBytes,
+			func() error { return fill(as) }); err != nil {
+			as.Close()
+			return err
+		}
+		as.Close()
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

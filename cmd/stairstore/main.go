@@ -3,7 +3,7 @@
 // fault injection, degraded reads, scrub/repair and persistent
 // operation counters.
 //
-//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096 [-repair-workers 4 -shards 32 -cache 8]
+//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096 [-repair-workers 4 -shards 32 -cache 8 -flush-workers 4]
 //	stairstore put         -dir vol -in data.bin [-block 0]
 //	stairstore get         -dir vol -out copy.bin [-block 0] [-count 8] [-bytes 30000]
 //	stairstore fail-device -dir vol -device 3
@@ -11,14 +11,18 @@
 //	stairstore corrupt     -dir vol -device 2 -burst 40:3
 //	stairstore replace     -dir vol -device 3 [-rebuild=false]
 //	stairstore scrub       -dir vol
+//	stairstore recover     -dir vol
 //	stairstore stats       -dir vol
 //
 // Layout: dir/volume.json records geometry plus cumulative stats;
 // dir/dev_<i>.img holds device i's sectors, with a dev_<i>.img.faults
-// sidecar persisting injected faults. Reads through damage are served
-// degraded (reconstructed on the fly) and heal in the background; damage
-// beyond the code's coverage surfaces as an unrecoverable error and a
-// counter, never as corrupt data.
+// sidecar persisting injected faults; dir/journal.wal is the
+// write-ahead intent log making stripe write-back crash-consistent.
+// Reads through damage are served degraded (reconstructed on the fly)
+// and heal in the background; damage beyond the code's coverage
+// surfaces as an unrecoverable error and a counter, never as corrupt
+// data. Every mount replays pending journal intents automatically;
+// `recover` mounts, reports what the replay did, and exits.
 package main
 
 import (
@@ -61,6 +65,8 @@ func main() {
 		err = cmdReplace(ctx, os.Args[2:])
 	case "scrub":
 		err = cmdScrub(ctx, os.Args[2:])
+	case "recover":
+		err = cmdRecover(ctx, os.Args[2:])
 	case "stats":
 		err = cmdStats(ctx, os.Args[2:])
 	default:
@@ -73,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stairstore {create|put|get|fail-device|corrupt|replace|scrub|stats} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stairstore {create|put|get|fail-device|corrupt|replace|scrub|recover|stats} [flags]")
 	os.Exit(2)
 }
 
@@ -105,6 +111,7 @@ func cmdCreate(ctx context.Context, args []string) (err error) {
 		repair  = fs.Int("repair-workers", 0, "background repair worker pool size (0 = store default)")
 		shards  = fs.Int("shards", 0, "lock shards for parallel stripe operations (0 = store default)")
 		cache   = fs.Int("cache", 0, "degraded-stripe cache size in stripes (0 = store default, <0 disables)")
+		flush   = fs.Int("flush-workers", 0, "async flush pipeline workers (0 = synchronous flushes)")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -117,6 +124,7 @@ func cmdCreate(ctx context.Context, args []string) (err error) {
 	meta := volumeMeta{
 		N: *n, R: *r, M: *m, E: ev, SectorSize: *sector, Stripes: *stripes,
 		RepairWorkers: *repair, LockShards: *shards, DegradedCache: *cache,
+		FlushWorkers: *flush,
 	}
 	if _, err := core.New(core.Config{N: *n, R: *r, M: *m, E: ev}); err != nil {
 		return err
@@ -411,6 +419,40 @@ func cmdScrub(ctx context.Context, args []string) (err error) {
 	return nil
 }
 
+func cmdRecover(ctx context.Context, args []string) (err error) {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dir := fs.String("dir", "", "volume directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("recover: -dir required")
+	}
+	// Mounting runs the journal replay; this command exists to report
+	// what it did.
+	s, meta, err := openVolume(*dir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeVolume(*dir, s, meta); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	rep := s.Recovery()
+	if !rep.Replayed() {
+		fmt.Println("journal clean: nothing to replay")
+		return nil
+	}
+	fmt.Printf("replayed %d pending intents covering %d stripes:\n", rep.Intents, rep.Stripes)
+	fmt.Printf("  %d already parity-consistent (%d with the intended data fully landed)\n",
+		rep.Consistent, rep.DataComplete)
+	fmt.Printf("  %d rolled forward (parity re-encoded from on-device data)\n", rep.RolledForward)
+	if rep.Unrecoverable > 0 {
+		fmt.Printf("  %d UNRECOVERABLE (outside coverage; journal retained — replace devices and re-run)\n",
+			rep.Unrecoverable)
+	}
+	return nil
+}
+
 func cmdStats(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("dir", "", "volume directory")
@@ -438,6 +480,8 @@ func cmdStats(ctx context.Context, args []string) (err error) {
 		t.Reads, t.DegradedReads, t.DegradedCacheHits, t.Writes, t.FullStripeFlushes, t.SubStripeFlushes)
 	fmt.Printf("          scrubbed=%d hits=%d repaired=%d sectors (%d stripes) drops=%d unrecoverable=%d\n",
 		t.ScrubbedStripes, t.ScrubHits, t.RepairedSectors, t.RepairedStripes, t.RepairDrops, t.UnrecoverableStripes)
+	fmt.Printf("          journaled flushes=%d crash-recovered stripes=%d\n",
+		t.JournaledFlushes, t.RecoveredStripes)
 	return nil
 }
 

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"stair/internal/core"
 	"stair/internal/store"
+	"stair/internal/store/journal"
 )
 
 // volumeMeta is the on-disk volume descriptor (dir/volume.json):
@@ -20,12 +22,18 @@ type volumeMeta struct {
 	E          []int `json:"e"`
 	SectorSize int   `json:"sector_size"`
 	Stripes    int   `json:"stripes"`
-	// RepairWorkers, LockShards and DegradedCache mirror the
-	// store.Config fields of the same names.
+	// RepairWorkers, LockShards, DegradedCache and FlushWorkers mirror
+	// the store.Config fields of the same names.
 	RepairWorkers int         `json:"repair_workers,omitempty"`
 	LockShards    int         `json:"lock_shards,omitempty"`
 	DegradedCache int         `json:"degraded_cache,omitempty"`
+	FlushWorkers  int         `json:"flush_workers,omitempty"`
 	Stats         store.Stats `json:"stats"`
+
+	// journal is the open write-ahead intent log backing the mounted
+	// store; closeVolume closes it after the store drains (runtime
+	// state, not part of the descriptor).
+	journal *journal.Journal
 }
 
 func loadMeta(dir string) (*volumeMeta, error) {
@@ -52,13 +60,23 @@ func (m *volumeMeta) save(dir string) error {
 	return os.Rename(tmp, metaPath(dir))
 }
 
-// openVolume opens the store over the volume's file devices.
+// journalPath locates the volume's write-ahead intent log.
+func journalPath(dir string) string { return filepath.Join(dir, "journal.wal") }
+
+// openVolume opens the store over the volume's file devices, with the
+// write-ahead journal mounted — store.Open replays any intents a crash
+// left pending, so every mount recovers automatically (the `recover`
+// command reports what a mount replayed).
 func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 	meta, err := loadMeta(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	code, err := core.New(core.Config{N: meta.N, R: meta.R, M: meta.M, E: meta.E})
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := journal.Open(journalPath(dir))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -69,6 +87,7 @@ func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 			for _, prev := range devs[:i] {
 				prev.Close()
 			}
+			j.Close()
 			return nil, nil, err
 		}
 		devs[i] = d
@@ -81,20 +100,30 @@ func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 		RepairWorkers: meta.RepairWorkers,
 		LockShards:    meta.LockShards,
 		DegradedCache: meta.DegradedCache,
+		FlushWorkers:  meta.FlushWorkers,
+		Journal:       j,
 	})
 	if err != nil {
 		for _, d := range devs {
 			d.Close()
 		}
+		j.Close()
 		return nil, nil, err
 	}
+	meta.journal = j
 	return s, meta, nil
 }
 
-// closeVolume closes the store and folds this invocation's counters into
-// the persistent totals.
+// closeVolume closes the store (draining its flush pipeline and
+// committing outstanding intents), then the journal, and folds this
+// invocation's counters into the persistent totals.
 func closeVolume(dir string, s *store.Store, meta *volumeMeta) error {
 	closeErr := s.Close()
+	if meta.journal != nil {
+		if err := meta.journal.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
 	meta.Stats = meta.Stats.Add(s.Stats())
 	if err := meta.save(dir); err != nil {
 		return err

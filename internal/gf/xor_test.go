@@ -1,0 +1,131 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// xorRegionBytes is the pre-widening byte-wise unrolled loop, kept as
+// the correctness oracle and benchmark baseline for the uint64-word
+// XORRegion.
+func xorRegionBytes(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// TestXORRegionMatchesByteWise: the widened loop must agree with the
+// byte-wise oracle on every length class — word-aligned, one spare
+// word, and ragged tails that exercise the byte fallback.
+func TestXORRegionMatchesByteWise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 24, 31, 63, 64, 100, 1024, 4096, 4099} {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		rng.Read(src)
+		rng.Read(base)
+		want := append([]byte(nil), base...)
+		xorRegionBytes(want, src)
+		got := append([]byte(nil), base...)
+		XORRegion(got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("length %d: widened XORRegion disagrees with byte-wise oracle", n)
+		}
+		// XOR is an involution: applying src again restores the base.
+		XORRegion(got, src)
+		if !bytes.Equal(got, base) {
+			t.Fatalf("length %d: double XOR did not round-trip", n)
+		}
+	}
+}
+
+func TestXORRegionLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched region lengths")
+		}
+	}()
+	XORRegion(make([]byte, 8), make([]byte, 9))
+}
+
+// benchSizes covers a cell-sized region (the store's common sector
+// sizes) down to small scratch regions.
+var benchSizes = []int{64, 512, 4096, 65536}
+
+func benchXOR(b *testing.B, size int, fn func(dst, src []byte)) {
+	dst := make([]byte, size)
+	src := make([]byte, size)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(dst, src)
+	}
+}
+
+// BenchmarkXORRegionWide is the widened uint64-word loop; compare
+// against BenchmarkXORRegionBytes to see what the widening buys —
+// this primitive bounds every encode speed number in the repo.
+func BenchmarkXORRegionWide(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(byteSizeName(size), func(b *testing.B) { benchXOR(b, size, XORRegion) })
+	}
+}
+
+// BenchmarkXORRegionBytes is the pre-widening byte-wise baseline.
+func BenchmarkXORRegionBytes(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(byteSizeName(size), func(b *testing.B) { benchXOR(b, size, xorRegionBytes) })
+	}
+}
+
+// BenchmarkMultXORC1 measures the c==1 MultXOR fast path, which routes
+// through XORRegion and dominates encode schedules with unit
+// coefficients.
+func BenchmarkMultXORC1(b *testing.B) {
+	f := Get(8)
+	for _, size := range benchSizes {
+		b.Run(byteSizeName(size), func(b *testing.B) {
+			benchXOR(b, size, func(dst, src []byte) { f.MultXOR(dst, src, 1) })
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return string(rune('0'+n>>20)) + "MiB"
+	case n >= 1<<10:
+		if n%(1<<10) == 0 {
+			return itoa(n>>10) + "KiB"
+		}
+	}
+	return itoa(n) + "B"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -143,6 +145,83 @@ func TestConcurrentStripeOperations(t *testing.T) {
 	if got := len(s.UnrecoverableStripes()); got != 0 {
 		t.Errorf("%d stripes marked unrecoverable", got)
 	}
+}
+
+// cancelOnStripeRead wraps a MemDevice and cancels a context the first
+// time an extent of the target stripe is read — aborting a Flush sweep
+// deterministically partway through its drain.
+type cancelOnStripeRead struct {
+	*MemDevice
+	r      int
+	stripe int
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (d *cancelOnStripeRead) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	if start/d.r == d.stripe {
+		d.once.Do(d.cancel)
+	}
+	return d.MemDevice.ReadSectors(ctx, start, bufs)
+}
+
+// TestFlushCancelledMidDrain: a Flush whose context dies partway
+// through the sweep must leave every undrained stripe still buffered —
+// readable with its unflushed content — and a later Flush with a live
+// context lands them all.
+func TestFlushCancelledMidDrain(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	const stripes = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	devs := make([]Device, code.N())
+	for i := range devs {
+		devs[i] = NewMemDevice(stripes*code.R(), 128)
+	}
+	// The sweep runs stripes in ascending order; the wrapped device 0
+	// kills the context when the sweep reaches stripe 1's RMW load.
+	devs[0] = &cancelOnStripeRead{
+		MemDevice: NewMemDevice(stripes*code.R(), 128),
+		r:         code.R(), stripe: 1, cancel: cancel,
+	}
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: stripes, Devices: devs, MaxDirtyStripes: stripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for stripe := 0; stripe < stripes; stripe++ {
+		if err := s.WriteBlock(bg, stripe*s.perStripe, blockData(stripe, s.BlockSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Flush returned %v, want context.Canceled", err)
+	}
+	// Stripe 0 drained before the cancellation; stripes 1–3 must still
+	// be dirty, their buffered writes intact and readable.
+	if got := int(s.dirtyCount.Load()); got != stripes-1 {
+		t.Fatalf("dirtyCount=%d after cancelled Flush, want %d undrained stripes", got, stripes-1)
+	}
+	for stripe := 0; stripe < stripes; stripe++ {
+		got, err := s.ReadBlock(bg, stripe*s.perStripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blockData(stripe, s.BlockSize())) {
+			t.Fatalf("stripe %d's buffered write lost across the cancelled Flush", stripe)
+		}
+	}
+	// A later Flush with a live context lands every undrained stripe.
+	if err := s.Flush(bg); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if got := int(s.dirtyCount.Load()); got != 0 {
+		t.Fatalf("dirtyCount=%d after retry, want 0", got)
+	}
+	if st := s.Stats(); st.SubStripeFlushes != stripes {
+		t.Errorf("SubStripeFlushes=%d, want %d", st.SubStripeFlushes, stripes)
+	}
+	checkStripesConsistent(t, s)
 }
 
 // TestConcurrentDegradedReadsSameStripe: many readers of one degraded

@@ -113,6 +113,29 @@ type Device interface {
 	Close() error
 }
 
+// Syncer is an optional Device capability: Sync makes every previously
+// acknowledged write durable — fsync for file-backed devices, a sync
+// round trip for remote ones. The store's Sync durability barrier calls
+// it on every device that implements it; devices that do not (e.g. the
+// in-memory backend, which has no durability to offer) are skipped.
+// Wrapper backends forward Sync to the wrapped device.
+type Syncer interface {
+	Sync(ctx context.Context) error
+}
+
+// SyncDevice syncs d when it implements Syncer, and is a no-op
+// otherwise (bar the context check, so wrappers forwarding Sync keep
+// uniform cancellation semantics over non-Syncer inners).
+func SyncDevice(ctx context.Context, d Device) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if sy, ok := d.(Syncer); ok {
+		return sy.Sync(ctx)
+	}
+	return nil
+}
+
 // ReadSector reads one sector through a device's vectored interface. A
 // lost sector surfaces as SectorErrors of length one.
 func ReadSector(ctx context.Context, d Device, idx int, buf []byte) error {

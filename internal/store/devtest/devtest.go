@@ -267,6 +267,33 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	t.Run("Sync", func(t *testing.T) {
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		sy, ok := d.(store.Syncer)
+		if !ok {
+			t.Skip("backend has no Syncer capability")
+		}
+		fillAll(t, d)
+		// A healthy device syncs cleanly, and the barrier must not
+		// disturb the payload.
+		if err := sy.Sync(ctx); err != nil {
+			t.Fatalf("sync on healthy device: %v", err)
+		}
+		buf := make([]byte, sectorSize)
+		if err := store.ReadSector(ctx, d, 2, buf); err != nil {
+			t.Fatalf("read after sync: %v", err)
+		}
+		if !bytes.Equal(buf, payload(2)) {
+			t.Fatal("sector corrupt after sync")
+		}
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := sy.Sync(cancelled); !errors.Is(err, context.Canceled) {
+			t.Fatalf("sync with cancelled ctx: %v, want context.Canceled", err)
+		}
+	})
+
 	t.Run("ContextCancelled", func(t *testing.T) {
 		d := factory(t, sectors, sectorSize)
 		defer d.Close()

@@ -267,5 +267,16 @@ func (d *FileDevice) InjectSectorError(idx int) error {
 // BadSectors returns the latent-sector-error count.
 func (d *FileDevice) BadSectors() int { return d.badCount() }
 
+// Sync fsyncs the backing file, making every acknowledged write durable
+// — the FileDevice half of the store's Sync durability barrier.
+func (d *FileDevice) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
 // Close closes the backing file.
 func (d *FileDevice) Close() error { return d.f.Close() }

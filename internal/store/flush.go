@@ -1,0 +1,573 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"stair/internal/core"
+	"stair/internal/store/journal"
+)
+
+// This file is the store's write-back engine: the per-stripe flush
+// (full-stripe encode or §5.2 incremental read–modify–write), the
+// optional write-ahead journaling that makes a flush crash-consistent,
+// and the asynchronous flush pipeline that overlaps stripe encodes with
+// device write-back.
+//
+// The journaled write-back protocol per stripe is
+//
+//	1. append an intent (stripe, dirty ords, checksums) — fsynced;
+//	2. write the stripe's data sectors;
+//	3. write its parity sectors;
+//	4. commit the intent.
+//
+// A crash between 1 and 4 leaves the intent pending; Open replays it,
+// re-verifying the stripe's parity and rolling forward if the
+// write-back was interrupted (see recovery.go). Data sectors go first
+// so that recovery's roll-forward — re-encoding parity from on-device
+// data — converges on the *new* content whenever the data phase
+// completed, and on a consistent mix otherwise.
+
+// killPoint names a crash-injection site inside the journaled
+// write-back. The crash tests arm testKill to abort a flush at each
+// point in turn — simulating a crash with the journal, devices and
+// buffers frozen mid-protocol — then reopen the volume and assert
+// recovery restores parity consistency.
+type killPoint string
+
+const (
+	killAfterJournalAppend killPoint = "after-journal-append"
+	killAfterDataWrite     killPoint = "after-data-write"
+	killAfterParityWrite   killPoint = "after-parity-write"
+	killAfterCommit        killPoint = "after-commit"
+)
+
+// kill fires the crash-injection hook, if armed.
+func (s *Store) kill(p killPoint) error {
+	if s.testKill != nil {
+		return s.testKill(p)
+	}
+	return nil
+}
+
+// acquireEncode takes one slot of the bounded in-flight encode budget;
+// a nil semaphore is unbounded. It keeps the CPU-heavy encode stages of
+// a wide flush pipeline from stacking up while device write-back is the
+// actual bottleneck.
+func (s *Store) acquireEncode(ctx context.Context) error {
+	if s.encodeSem == nil {
+		return ctx.Err()
+	}
+	select {
+	case s.encodeSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Store) releaseEncode() {
+	if s.encodeSem != nil {
+		<-s.encodeSem
+	}
+}
+
+// flushStripeLocked lands one buffered stripe on the devices; the caller
+// holds the stripe's shard mutex. A fully dirty stripe is encoded from
+// scratch in parallel; a partial one goes through read–modify–write with
+// §5.2 incremental parity updates. On error the buffer is retained so
+// the flush can be retried (e.g. after a device replacement and
+// rebuild, or with a live context after a cancellation).
+func (s *Store) flushStripeLocked(ctx context.Context, sh *lockShard, stripe int) (err error) {
+	buf := sh.dirty[stripe]
+	if buf == nil {
+		return nil
+	}
+	defer func() {
+		if err != nil {
+			buf.stuck = true
+		}
+	}()
+	if buf.count == s.perStripe {
+		return s.flushFullLocked(ctx, sh, stripe, buf)
+	}
+	return s.flushPartialLocked(ctx, sh, stripe, buf)
+}
+
+// flushFullLocked is the full-stripe path: encode every parity cell
+// from the buffered data and write the whole stripe back.
+func (s *Store) flushFullLocked(ctx context.Context, sh *lockShard, stripe int, buf *stripeBuf) error {
+	st, err := s.code.NewStripe(s.sectorSize)
+	if err != nil {
+		return err
+	}
+	for ord, cell := range s.dataCells {
+		copy(st.Sector(cell.Col, cell.Row), buf.data[ord])
+	}
+	if err := s.acquireEncode(ctx); err != nil {
+		return err
+	}
+	err = s.code.EncodeParallel(st, core.MethodAuto, s.workers)
+	s.releaseEncode()
+	if err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journaledWriteback(ctx, stripe, st, buf, nil); err != nil {
+			return err
+		}
+	} else {
+		// One vectored write per device covers the whole chunk. A
+		// cancelled context keeps the buffer (the retry re-encodes and
+		// rewrites every cell, so a half-landed stripe is made whole);
+		// per-device write failures are dropped — the stripe stays
+		// degraded there until repair or replacement, which is exactly
+		// what the code tolerates.
+		if err := s.writeFullStripe(ctx, stripe, st); err != nil {
+			return err
+		}
+	}
+	delete(sh.dirty, stripe)
+	s.dirtyCount.Add(-1)
+	// A full rewrite resurrects a previously unrecoverable stripe.
+	s.clearUnrecoverableLocked(sh, stripe)
+	s.c.fullFlushes.Add(1)
+	s.cache.invalidate(stripe)
+	return nil
+}
+
+// flushPartialLocked is the read–modify–write path: load the stripe,
+// repair any latent losses in passing, apply the §5.2 incremental
+// parity updates for the dirty blocks, and write back only the touched
+// cells.
+func (s *Store) flushPartialLocked(ctx context.Context, sh *lockShard, stripe int, buf *stripeBuf) error {
+	st, lost, err := s.loadStripe(ctx, stripe)
+	if err != nil {
+		return err
+	}
+	if err := s.acquireEncode(ctx); err != nil {
+		return err
+	}
+	touched, err := s.applyUpdatesLocked(sh, stripe, st, lost, buf)
+	s.releaseEncode()
+	if err != nil {
+		return err
+	}
+	// Write back the dirty data cells and affected parity, plus any
+	// cells just repaired (healing their bad sectors in passing).
+	for _, cell := range lost {
+		touched[cell] = true
+	}
+	cells := make([]core.Cell, 0, len(touched))
+	for cell := range touched {
+		cells = append(cells, cell)
+	}
+	sortCells(cells)
+	if s.journal != nil {
+		err = s.journaledWriteback(ctx, stripe, st, buf, cells)
+	} else {
+		_, _, err = s.writeStripeCells(ctx, stripe, st, cells)
+	}
+	if err != nil {
+		// Interrupted mid-write-back: an unknown subset of the touched
+		// cells landed, so the incremental delta against current device
+		// state is no longer applicable on retry. Promote the buffer to
+		// a full stripe (st holds every cell's updated content) — the
+		// retry rewrites the whole stripe and restores consistency.
+		s.promoteToFullLocked(buf, st)
+		return err
+	}
+	delete(sh.dirty, stripe)
+	s.dirtyCount.Add(-1)
+	s.c.subFlushes.Add(1)
+	s.cache.invalidate(stripe)
+	return nil
+}
+
+// applyUpdatesLocked repairs a loaded stripe's lost cells and applies
+// the buffered dirty blocks through the §5.2 incremental parity
+// relations, returning the set of cells whose content changed. The
+// caller holds the shard mutex and an encode-budget slot.
+func (s *Store) applyUpdatesLocked(sh *lockShard, stripe int, st *core.Stripe, lost []core.Cell, buf *stripeBuf) (map[core.Cell]bool, error) {
+	if len(lost) > 0 {
+		if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
+			if errors.Is(err, ErrUnrecoverable) {
+				s.markUnrecoverableLocked(sh, stripe)
+			}
+			return nil, fmt.Errorf("store: flushing stripe %d: %w", stripe, err)
+		}
+	}
+	touched := map[core.Cell]bool{}
+	for ord, data := range buf.data {
+		if data == nil {
+			continue
+		}
+		cell := s.dataCells[ord]
+		deps, err := s.code.ParityDependencies(cell)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.code.Update(st, cell, data); err != nil {
+			return nil, err
+		}
+		touched[cell] = true
+		for _, p := range deps {
+			touched[p] = true
+		}
+	}
+	return touched, nil
+}
+
+// journaledWriteback lands a flush under write-ahead protection: intent
+// append (fsynced), data sectors, parity sectors, in-memory commit —
+// with the crash-injection hooks between the phases. cells nil means
+// the whole stripe (the full-stripe path). The intent's on-disk record
+// outlives the commit until the next Checkpoint barrier (see the
+// journal package): the device writes made here are not yet durable.
+func (s *Store) journaledWriteback(ctx context.Context, stripe int, st *core.Stripe, buf *stripeBuf, cells []core.Cell) error {
+	var ords []int
+	var sums []uint64
+	for ord, data := range buf.data {
+		if data == nil {
+			continue
+		}
+		ords = append(ords, ord)
+		sums = append(sums, journal.Checksum(data))
+	}
+	seq, err := s.journal.Append(stripe, ords, sums)
+	if err != nil {
+		return fmt.Errorf("store: journaling intent for stripe %d: %w", stripe, err)
+	}
+	s.c.journaledFlushes.Add(1)
+	if err := s.kill(killAfterJournalAppend); err != nil {
+		return err
+	}
+	data, parity := s.partitionCells(cells)
+	if _, _, err := s.writeStripeCells(ctx, stripe, st, data); err != nil {
+		return err
+	}
+	if err := s.kill(killAfterDataWrite); err != nil {
+		return err
+	}
+	if _, _, err := s.writeStripeCells(ctx, stripe, st, parity); err != nil {
+		return err
+	}
+	if err := s.kill(killAfterParityWrite); err != nil {
+		return err
+	}
+	if err := s.journal.Commit(seq); err != nil {
+		return fmt.Errorf("store: committing intent for stripe %d: %w", stripe, err)
+	}
+	return s.kill(killAfterCommit)
+}
+
+// partitionCells splits a write-back set into its data and parity
+// phases, each sorted for contiguous vectored runs. nil means every
+// cell of the stripe.
+func (s *Store) partitionCells(cells []core.Cell) (data, parity []core.Cell) {
+	if cells == nil {
+		return s.sortedDataCells, s.parityCells
+	}
+	for _, cell := range cells {
+		if s.isDataCell[cell] {
+			data = append(data, cell)
+		} else {
+			parity = append(parity, cell)
+		}
+	}
+	sortCells(data)
+	sortCells(parity)
+	return data, parity
+}
+
+// promoteToFullLocked fills a partial stripe buffer with every data
+// cell of st, so its next flush takes the full-stripe path. Callers
+// hold the stripe's shard mutex.
+func (s *Store) promoteToFullLocked(buf *stripeBuf, st *core.Stripe) {
+	for ord, cell := range s.dataCells {
+		if buf.data[ord] == nil {
+			buf.data[ord] = append([]byte(nil), st.Sector(cell.Col, cell.Row)...)
+			buf.count++
+		}
+	}
+}
+
+// sortCells orders cells by (Col, Row) so per-device contiguous runs
+// are adjacent.
+func sortCells(cells []core.Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Col != cells[j].Col {
+			return cells[i].Col < cells[j].Col
+		}
+		return cells[i].Row < cells[j].Row
+	})
+}
+
+// writeFullStripe writes every cell of a stripe, one vectored call per
+// device. Only context cancellation is reported; per-device write
+// errors leave the stripe degraded there (repair heals it later).
+func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe) error {
+	rows := make([][]byte, s.r)
+	for col := 0; col < s.n; col++ {
+		for row := 0; row < s.r; row++ {
+			rows[row] = st.Sector(col, row)
+		}
+		_ = s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStripeCells writes the given cells (sorted by Col, Row) of one
+// stripe back to their devices, grouped into one vectored call per
+// contiguous per-device run. It reports how many sectors landed and how
+// many failed; only context cancellation aborts the sweep with an
+// error.
+func (s *Store) writeStripeCells(ctx context.Context, stripe int, st *core.Stripe, cells []core.Cell) (wrote, failed int, err error) {
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j].Col == cells[i].Col && cells[j].Row == cells[j-1].Row+1 {
+			j++
+		}
+		run := cells[i:j]
+		bufs := make([][]byte, len(run))
+		for k, cell := range run {
+			bufs[k] = st.Sector(cell.Col, cell.Row)
+		}
+		werr := s.devs[run[0].Col].WriteSectors(ctx, s.devSector(stripe, run[0].Row), bufs)
+		if cerr := ctx.Err(); cerr != nil {
+			return wrote, failed, cerr
+		}
+		switch se, ok := AsSectorErrors(werr); {
+		case werr == nil:
+			wrote += len(run)
+		case ok:
+			failed += len(se)
+			wrote += len(run) - len(se)
+		default:
+			failed += len(run)
+		}
+		i = j
+	}
+	return wrote, failed, nil
+}
+
+// --- The asynchronous flush pipeline -------------------------------
+//
+// With Config.FlushWorkers > 0, a filled or evicted stripe buffer is
+// handed to a pool of background workers instead of being flushed
+// inline: the writer keeps going while workers encode (bounded by
+// MaxInflightEncodes) and write back concurrently. On high-latency
+// media this pipelines one stripe's device round trips under another's
+// encode — the write-path analogue of what vectored I/O did for the
+// per-call count. Flush drains the pipeline; Sync adds the durability
+// barrier on top.
+
+// asyncFlush reports whether the background pipeline is on.
+func (s *Store) asyncFlush() bool { return s.flushCh != nil }
+
+// queueFlushLocked marks a buffer as handed to the pipeline and
+// accounts it in flight; the caller holds the shard mutex and must call
+// sendFlush (after unlocking) iff this returns true. Stuck buffers stay
+// out of the pipeline — like eviction, the background engine does not
+// re-report a known-failing stripe on every write; explicit Flush still
+// retries them.
+func (s *Store) queueFlushLocked(buf *stripeBuf) bool {
+	if buf.queued || buf.stuck {
+		return false
+	}
+	buf.queued = true
+	s.flushMu.Lock()
+	s.flushInflight++
+	s.flushMu.Unlock()
+	return true
+}
+
+// sendFlush hands a queued stripe to the workers. It must be called
+// without the shard mutex: a blocked send while holding it could
+// deadlock against workers waiting for that same shard. The channel
+// has one slot per stripe and the queued flag dedupes, so the send
+// cannot actually block; the default arm is a safety net that undoes
+// the queueing rather than wedging a writer. A send racing Close is
+// reverted the same way — the workers may already be gone, and Close's
+// own sweep handles the buffer.
+func (s *Store) sendFlush(stripe int) {
+	if s.closed.Load() {
+		s.unqueueFlush(stripe)
+		return
+	}
+	select {
+	case s.flushCh <- stripe:
+	default:
+		s.unqueueFlush(stripe)
+	}
+}
+
+// unqueueFlush reverts a queueFlushLocked whose channel hand-off did
+// not happen.
+func (s *Store) unqueueFlush(stripe int) {
+	sh := s.shard(stripe)
+	sh.mu.Lock()
+	if buf := sh.dirty[stripe]; buf != nil {
+		buf.queued = false
+	}
+	sh.mu.Unlock()
+	s.finishFlush(stripe, nil)
+}
+
+// flushLoop is one pipeline worker: it drains queued stripes until
+// Close. Workers on stripes in different shards proceed in parallel;
+// background flushes run under the store's own context, not any
+// caller's deadline.
+func (s *Store) flushLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			// Retire entries that raced Close into the channel — their
+			// buffers are swept by Close's flushAll; only the in-flight
+			// accounting must not leak (a backpressure waiter keys off
+			// it).
+			for {
+				select {
+				case stripe := <-s.flushCh:
+					s.finishFlush(stripe, nil)
+				default:
+					return
+				}
+			}
+		case stripe := <-s.flushCh:
+			sh := s.shard(stripe)
+			sh.mu.Lock()
+			var err error
+			if buf := sh.dirty[stripe]; buf != nil && buf.queued {
+				buf.queued = false
+				err = s.flushStripeLocked(context.Background(), sh, stripe)
+			}
+			sh.mu.Unlock()
+			s.finishFlush(stripe, err)
+		}
+	}
+}
+
+// finishFlush retires one in-flight pipeline entry, recording the first
+// unreported failure for the next Flush/Sync/Close caller (a background
+// flush has nobody to return an error to; the buffer itself stays
+// dirty-and-stuck, so no acknowledged write is lost).
+func (s *Store) finishFlush(stripe int, err error) {
+	s.flushMu.Lock()
+	s.flushInflight--
+	if err != nil && s.asyncFlushErr == nil {
+		s.asyncFlushErr = fmt.Errorf("store: background flush of stripe %d: %w", stripe, err)
+	}
+	s.flushIdle.Broadcast()
+	s.flushMu.Unlock()
+}
+
+// flushBackpressure blocks a writer while the buffered-stripe count
+// exceeds the MaxDirtyStripes bound and the pipeline still has flushes
+// in flight that can bring it back down — without it, a writer
+// outpacing the flush workers would buffer the whole volume in memory.
+// Stuck buffers are exempt: nothing in the pipeline can drain them, so
+// once only they remain over the bound the wait ends (as the
+// synchronous path's "nothing to evict" case does).
+func (s *Store) flushBackpressure(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.flushMu.Lock()
+		s.flushIdle.Broadcast()
+		s.flushMu.Unlock()
+	})
+	defer stop()
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for s.dirtyCount.Load() > int64(s.maxDirty) && s.flushInflight > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.flushIdle.Wait()
+	}
+	return nil
+}
+
+// drainFlushPipeline blocks until no flush is queued or running. A
+// cancelled ctx abandons the wait (the pipeline keeps draining in the
+// background).
+func (s *Store) drainFlushPipeline(ctx context.Context) error {
+	if !s.asyncFlush() {
+		return nil
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.flushMu.Lock()
+		s.flushIdle.Broadcast()
+		s.flushMu.Unlock()
+	})
+	defer stop()
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for s.flushInflight > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.flushIdle.Wait()
+	}
+	return nil
+}
+
+// takeAsyncFlushErr returns and clears the sticky background-flush
+// error.
+func (s *Store) takeAsyncFlushErr() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	err := s.asyncFlushErr
+	s.asyncFlushErr = nil
+	return err
+}
+
+// Sync is the store's durability barrier: it drains the flush pipeline,
+// lands every buffered stripe, syncs every device offering the Syncer
+// capability, and then — only then — checkpoints the journal,
+// reclaiming the intents whose device writes the barrier provably
+// covered (the pre-barrier Mark keeps a flush racing the barrier from
+// having its intent reclaimed while its sectors are still volatile).
+// When Sync returns nil, every write acknowledged before the call is
+// on stable storage — for backends that have any (MemDevice, having
+// none, syncs trivially).
+func (s *Store) Sync(ctx context.Context) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	var mark journal.Mark
+	if s.journal != nil {
+		mark = s.journal.Mark()
+	}
+	if err := s.syncDevices(ctx); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.Checkpoint(mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDevices fsyncs every Syncer device. A wholly failed device is
+// skipped — it holds nothing worth making durable.
+func (s *Store) syncDevices(ctx context.Context) error {
+	for i, d := range s.devs {
+		if fd, ok := d.(FaultDevice); ok && fd.Failed() {
+			continue
+		}
+		if err := SyncDevice(ctx, d); err != nil {
+			return fmt.Errorf("store: syncing device %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -143,6 +143,15 @@ func (d *LatencyDevice) WriteSectors(ctx context.Context, start int, data [][]by
 	return d.inner.WriteSectors(ctx, start, data)
 }
 
+// Sync charges one latency hit, then forwards the durability barrier to
+// the wrapped device (a no-op when it has no Syncer capability).
+func (d *LatencyDevice) Sync(ctx context.Context) error {
+	if err := d.delay(ctx); err != nil {
+		return err
+	}
+	return SyncDevice(ctx, d.inner)
+}
+
 // Close closes the wrapped device.
 func (d *LatencyDevice) Close() error { return d.inner.Close() }
 
@@ -208,6 +217,9 @@ func (d *PerSectorDevice) WriteSectors(ctx context.Context, start int, data [][]
 	}
 	return nil
 }
+
+// Sync forwards the durability barrier to the wrapped device.
+func (d *PerSectorDevice) Sync(ctx context.Context) error { return SyncDevice(ctx, d.inner) }
 
 // Close closes the wrapped device.
 func (d *PerSectorDevice) Close() error { return d.inner.Close() }

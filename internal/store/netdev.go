@@ -22,6 +22,9 @@ import (
 //	POST /v1/write?start=S        → body len multiple of S; sectors that
 //	                               failed to land listed in
 //	                               Stair-Failed-Sectors
+//	POST /v1/sync                 → flushes the remote device to stable
+//	                               storage (no-op when the remote backend
+//	                               has no Syncer capability)
 //	POST /v1/fault/{fail,replace,inject?sector=N}
 //	GET  /v1/fault               → {"failed":bool,"bad_sectors":N}
 //
@@ -59,6 +62,7 @@ func NewDeviceServer(dev Device) *DeviceServer {
 	s.mux.HandleFunc("GET /v1/geometry", s.handleGeometry)
 	s.mux.HandleFunc("GET /v1/read", s.handleRead)
 	s.mux.HandleFunc("POST /v1/write", s.handleWrite)
+	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
 	s.mux.HandleFunc("POST /v1/fault/fail", s.handleFaultOp)
 	s.mux.HandleFunc("POST /v1/fault/replace", s.handleFaultOp)
 	s.mux.HandleFunc("POST /v1/fault/inject", s.handleFaultOp)
@@ -164,6 +168,17 @@ func (s *DeviceServer) handleWrite(w http.ResponseWriter, r *http.Request) {
 	if failed, ok := AsSectorErrors(err); ok {
 		w.Header().Set(failedSectorsHeader, sectorList(failed))
 	} else if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleSync flushes the wrapped device to stable storage. A wrapped
+// device without the Syncer capability syncs trivially — the endpoint
+// still answers 200 so remote callers need not probe capabilities.
+func (s *DeviceServer) handleSync(w http.ResponseWriter, r *http.Request) {
+	if err := SyncDevice(r.Context(), s.dev); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -364,6 +379,22 @@ func (d *NetDevice) WriteSectors(ctx context.Context, start int, data [][]byte) 
 	if len(failed) > 0 {
 		return failed
 	}
+	return nil
+}
+
+// Sync asks the server to flush the remote device to stable storage —
+// one round trip, implementing the optional Syncer capability for the
+// remote backend.
+func (d *NetDevice) Sync(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+"/v1/sync", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -164,6 +165,244 @@ func TestPartialRepairRequeuedAndCountedOnce(t *testing.T) {
 	}
 	if st.RepairedSectors != 2 {
 		t.Errorf("RepairedSectors=%d, want 2", st.RepairedSectors)
+	}
+	checkAllBlocks(t, s)
+	checkStripesConsistent(t, s)
+}
+
+// writeCanceller, shared by a set of cancelOnWriteDevice wrappers,
+// cancels an armed context on the next device write anywhere in the
+// store — simulating a caller whose deadline expires exactly as an
+// eviction's write-back begins.
+type writeCanceller struct {
+	armed atomic.Pointer[context.CancelFunc]
+}
+
+type cancelOnWriteDevice struct {
+	*MemDevice
+	c *writeCanceller
+}
+
+func (d *cancelOnWriteDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	if fn := d.c.armed.Swap(nil); fn != nil {
+		(*fn)()
+	}
+	return d.MemDevice.WriteSectors(ctx, start, data)
+}
+
+// TestEvictionFlushErrorKeepsAccounting: a flushStripeLocked failure on
+// the maxDirty eviction path must leave dirtyCount consistent with the
+// per-shard dirty maps and keep the victim's buffer retryable — a later
+// Flush with a live context lands everything.
+func TestEvictionFlushErrorKeepsAccounting(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	canceller := &writeCanceller{}
+	devs := make([]Device, code.N())
+	for i := range devs {
+		devs[i] = &cancelOnWriteDevice{MemDevice: NewMemDevice(4*code.R(), 128), c: canceller}
+	}
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 4, Devices: devs, MaxDirtyStripes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	checkAccounting := func(when string) int {
+		t.Helper()
+		buffered := 0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			buffered += len(sh.dirty)
+			sh.mu.Unlock()
+		}
+		if got := int(s.dirtyCount.Load()); got != buffered {
+			t.Fatalf("%s: dirtyCount=%d but per-shard maps hold %d buffers", when, got, buffered)
+		}
+		return buffered
+	}
+
+	// Two partial buffers under the bound, then a third write that
+	// overflows it — with the canceller armed, the eviction's
+	// write-back dies on a cancelled context.
+	for stripe := 0; stripe < 2; stripe++ {
+		if err := s.WriteBlock(bg, stripe*s.perStripe, blockData(stripe, s.BlockSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceller.armed.Store(&cancel)
+	err = s.WriteBlock(ctx, 2*s.perStripe, blockData(2, s.BlockSize()))
+	if err == nil {
+		t.Fatal("eviction under a dying context reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("eviction error %v, want context.Canceled", err)
+	}
+	// The requested write is buffered, the victim's buffer survives,
+	// and the aggregate matches the maps exactly.
+	if got := checkAccounting("after failed eviction"); got != 3 {
+		t.Fatalf("%d stripes buffered after failed eviction, want 3 (nothing lost)", got)
+	}
+
+	// Retry with a live context: every buffer — including the stuck
+	// victim — lands.
+	if err := s.Flush(bg); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if got := checkAccounting("after retry"); got != 0 {
+		t.Fatalf("%d stripes still buffered after retry", got)
+	}
+	for stripe := 0; stripe < 3; stripe++ {
+		got, err := s.ReadBlock(bg, stripe*s.perStripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blockData(stripe, s.BlockSize())) {
+			t.Fatalf("stripe %d's write lost across the failed eviction", stripe)
+		}
+	}
+	checkStripesConsistent(t, s)
+}
+
+// TestRepairQueueOrdersByRisk: the queue serves the highest-risk
+// request first and breaks ties FIFO.
+func TestRepairQueueOrdersByRisk(t *testing.T) {
+	q := newRepairQueue(8)
+	for i, risk := range []int{1, 5, 3, 5} {
+		if !q.push(repairReq{stripe: i, risk: risk}) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	var got []int
+	for i := 0; i < 4; i++ {
+		req, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, req.stripe)
+	}
+	want := []int{1, 3, 2, 0} // risk 5 (FIFO: stripes 1 then 3), then 3, then 1
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if !q.push(repairReq{stripe: 9}) {
+		t.Fatal("push refused on drained queue")
+	}
+	q.close()
+	if req, ok := q.pop(); !ok || req.stripe != 9 {
+		t.Fatalf("pop after close = (%+v, %v), want the remaining request", req, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop reported a request on a closed empty queue")
+	}
+	if q.push(repairReq{stripe: 10}) {
+		t.Fatal("push accepted on a closed queue")
+	}
+}
+
+// gateDevice wraps a MemDevice and blocks reads of its first gateRows
+// sectors until released — it parks a repair worker mid-loadStripe so a
+// test can stage the repair queue behind it.
+type gateDevice struct {
+	*MemDevice
+	gateRows int
+	entered  chan struct{} // closed when the first gated read arrives
+	release  chan struct{}
+	once     sync.Once
+}
+
+func (d *gateDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	if start < d.gateRows {
+		d.once.Do(func() { close(d.entered) })
+		<-d.release
+	}
+	return d.MemDevice.ReadSectors(ctx, start, bufs)
+}
+
+// TestRepairPrioritisesAtEdgeStripe: with a single repair worker parked
+// on a gated stripe, a stripe at the code's coverage edge (3 lost
+// sectors under e=(1,2)) queued *after* a one-sector stripe must still
+// be repaired first — the regression half of the scrub-pacing roadmap
+// item.
+func TestRepairPrioritisesAtEdgeStripe(t *testing.T) {
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	const stripes = 4
+	gate := &gateDevice{
+		MemDevice: NewMemDevice(stripes*code.R(), 128),
+		gateRows:  code.R(), // stripe 0's extent
+		entered:   make(chan struct{}),
+		release:   make(chan struct{}),
+	}
+	devs := make([]Device, code.N())
+	for i := range devs {
+		devs[i] = NewMemDevice(stripes*code.R(), 128)
+	}
+	devs[5] = gate
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: stripes, Devices: devs, RepairWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var mu sync.Mutex
+	var order []int
+	s.testRepairObserve = func(stripe int) {
+		mu.Lock()
+		order = append(order, stripe)
+		mu.Unlock()
+	}
+	fillStore(t, s)
+
+	// Park the only repair worker on stripe 0: its loadStripe blocks on
+	// the gated device.
+	if err := s.InjectSectorError(1, s.devSector(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shard(0)
+	sh.mu.Lock()
+	s.enqueueRepairLocked(sh, 0, 1)
+	sh.mu.Unlock()
+	<-gate.entered
+
+	// Now stage the queue: first a one-sector stripe, then an at-edge
+	// stripe with three lost sectors (1+2 across two devices — the
+	// boundary of e=(1,2) coverage).
+	if err := s.InjectSectorError(1, s.devSector(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sh1 := s.shard(1)
+	sh1.mu.Lock()
+	s.enqueueRepairLocked(sh1, 1, 1)
+	sh1.mu.Unlock()
+	for _, inj := range []struct{ dev, row int }{{1, 0}, {2, 0}, {2, 1}} {
+		if err := s.InjectSectorError(inj.dev, s.devSector(2, inj.row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh2 := s.shard(2)
+	sh2.mu.Lock()
+	s.enqueueRepairLocked(sh2, 2, 3)
+	sh2.mu.Unlock()
+
+	close(gate.release)
+	s.Quiesce()
+	mu.Lock()
+	got := append([]int(nil), order...)
+	mu.Unlock()
+	want := []int{0, 2, 1} // the parked stripe, then at-edge before the earlier-queued single
+	if len(got) != len(want) {
+		t.Fatalf("repair order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("repair order %v: at-edge stripe 2 must be repaired before stripe 1 (want %v)", got, want)
+		}
+	}
+	if bad := s.TotalBadSectors(); bad != 0 {
+		t.Fatalf("%d bad sectors after repairs converged", bad)
 	}
 	checkAllBlocks(t, s)
 	checkStripesConsistent(t, s)

@@ -126,7 +126,7 @@ func (s *Store) scrub(ctx context.Context, pace *pacer) (ScrubReport, error) {
 			rep.SectorsLost += lost
 			s.c.scrubHits.Add(1)
 			wasPending := sh.pending[stripe] || sh.unrecoverable[stripe]
-			s.enqueueRepairLocked(sh, stripe)
+			s.enqueueRepairLocked(sh, stripe, lost)
 			if !wasPending && sh.pending[stripe] {
 				rep.StripesQueued++
 			}

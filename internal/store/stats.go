@@ -39,15 +39,23 @@ type Stats struct {
 	// reconstructed still-degraded stripes instead of re-running the
 	// upstairs decode.
 	DegradedCacheHits uint64
+	// JournaledFlushes counts stripe flushes that ran under write-ahead
+	// intent protection (zero on stores opened without a journal).
+	JournaledFlushes uint64
+	// RecoveredStripes counts stripes rolled forward by journal replay
+	// at Open: their parity disagreed with their data after a crash
+	// mid-write-back and was re-encoded from the on-device content.
+	RecoveredStripes uint64
 }
 
 // counters is the live atomic form of Stats.
 type counters struct {
-	reads, degradedReads, writes      atomic.Uint64
-	fullFlushes, subFlushes           atomic.Uint64
-	scrubbedStripes, scrubHits        atomic.Uint64
-	repairedStripes, repairedSectors  atomic.Uint64
-	repairDrops, unrecoverableStripes atomic.Uint64
+	reads, degradedReads, writes       atomic.Uint64
+	fullFlushes, subFlushes            atomic.Uint64
+	scrubbedStripes, scrubHits         atomic.Uint64
+	repairedStripes, repairedSectors   atomic.Uint64
+	repairDrops, unrecoverableStripes  atomic.Uint64
+	journaledFlushes, recoveredStripes atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -63,6 +71,8 @@ func (c *counters) snapshot() Stats {
 		RepairedSectors:      c.repairedSectors.Load(),
 		RepairDrops:          c.repairDrops.Load(),
 		UnrecoverableStripes: c.unrecoverableStripes.Load(),
+		JournaledFlushes:     c.journaledFlushes.Load(),
+		RecoveredStripes:     c.recoveredStripes.Load(),
 		// DegradedCacheHits lives in the cache itself; Store.Stats
 		// fills it in.
 	}
@@ -87,5 +97,7 @@ func (s Stats) Add(o Stats) Stats {
 		RepairDrops:          s.RepairDrops + o.RepairDrops,
 		UnrecoverableStripes: max(s.UnrecoverableStripes, o.UnrecoverableStripes),
 		DegradedCacheHits:    s.DegradedCacheHits + o.DegradedCacheHits,
+		JournaledFlushes:     s.JournaledFlushes + o.JournaledFlushes,
+		RecoveredStripes:     s.RecoveredStripes + o.RecoveredStripes,
 	}
 }

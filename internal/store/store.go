@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 
 	"stair/internal/core"
+	"stair/internal/store/journal"
 )
 
 // ErrUnrecoverable aliases the codec's error for failure patterns outside
@@ -96,6 +97,26 @@ type Config struct {
 	// the upstairs decode per block. 0 selects 8; negative disables
 	// the cache.
 	DegradedCache int
+	// FlushWorkers sizes the asynchronous flush pipeline: with workers,
+	// a filled or evicted stripe buffer is handed to a background pool
+	// that encodes and writes it back while the writer keeps going, and
+	// Flush becomes "drain the pipeline". 0 keeps the write path
+	// synchronous (a filled buffer flushes inline, as before).
+	FlushWorkers int
+	// MaxInflightEncodes bounds concurrent stripe encodes across the
+	// flush pipeline and explicit Flush callers, so a wide pipeline on
+	// slow devices cannot stack up unbounded CPU-heavy encodes. 0
+	// selects FlushWorkers (unbounded when the pipeline is off).
+	MaxInflightEncodes int
+	// Journal, when non-nil, makes stripe write-back crash-consistent:
+	// every flush durably records an intent (stripe, dirty block
+	// ordinals, data checksums) before any device write, writes data
+	// then parity, and commits after — and Open replays pending
+	// intents, re-verifying parity and rolling interrupted
+	// read–modify–writes forward (see Recovery). The store uses the
+	// journal but does not close it; the caller owns its lifecycle and
+	// must close it only after Close returns.
+	Journal *journal.Journal
 }
 
 // stripeBuf accumulates dirty data blocks of one stripe, indexed by data
@@ -108,6 +129,9 @@ type stripeBuf struct {
 	data  [][]byte
 	count int
 	stuck bool
+	// queued marks a buffer handed to the asynchronous flush pipeline
+	// and not yet picked up by a worker; it dedupes pipeline entries.
+	queued bool
 }
 
 // Store is a STAIR-protected block store. Public methods are safe for
@@ -123,6 +147,12 @@ type Store struct {
 
 	dataCells []core.Cell
 	perStripe int
+
+	// sortedDataCells/parityCells/isDataCell pre-split the stripe's
+	// cells for the journaled two-phase (data, then parity) write-back.
+	sortedDataCells []core.Cell
+	parityCells     []core.Cell
+	isDataCell      map[core.Cell]bool
 
 	// shards stripe ownership: every per-stripe mutation happens under
 	// the owning shard's mutex. shardMask is len(shards)-1.
@@ -145,15 +175,38 @@ type Store struct {
 
 	cache *stripeCache // nil when disabled
 
-	repairCh chan repairReq
-	quit     chan struct{} // closes to stop the repair workers
-	wg       sync.WaitGroup
+	repairQ *repairQueue
+	quit    chan struct{} // closes to stop the background workers
+	wg      sync.WaitGroup
+
+	// journal, when non-nil, write-ahead-protects every stripe flush;
+	// recovery holds the report of Open's journal replay.
+	journal  *journal.Journal
+	recovery RecoveryReport
+
+	// The asynchronous flush pipeline (see flush.go). flushCh is nil
+	// when the pipeline is off; encodeSem (nil = unbounded) rations
+	// in-flight encodes; flushMu/flushIdle guard the in-flight count
+	// and the sticky background-flush error.
+	flushCh       chan int
+	encodeSem     chan struct{}
+	flushMu       sync.Mutex
+	flushIdle     *sync.Cond
+	flushInflight int
+	asyncFlushErr error
 
 	// testScrubErr, when set (by in-package tests, before any scrubber
 	// starts), can fail a Scrub pass on demand — the only way to
 	// exercise the scrubber's error exit, which has no organic trigger
 	// on the built-in backends.
 	testScrubErr func() error
+	// testKill, when set, aborts a journaled flush at the given kill
+	// point — the crash-injection hook the recovery tests drive.
+	testKill func(killPoint) error
+	// testRepairObserve, when set (before any repair traffic), is
+	// called with each stripe a repair worker finishes — the ordering
+	// probe for the risk-prioritised queue tests.
+	testRepairObserve func(stripe int)
 
 	c counters
 }
@@ -216,6 +269,12 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.LockShards < 0 {
 		return nil, fmt.Errorf("store: LockShards=%d must be ≥ 0", cfg.LockShards)
 	}
+	if cfg.FlushWorkers < 0 {
+		return nil, fmt.Errorf("store: FlushWorkers=%d must be ≥ 0", cfg.FlushWorkers)
+	}
+	if cfg.MaxInflightEncodes < 0 {
+		return nil, fmt.Errorf("store: MaxInflightEncodes=%d must be ≥ 0", cfg.MaxInflightEncodes)
+	}
 	cacheStripes := cfg.DegradedCache
 	if cacheStripes == 0 {
 		cacheStripes = defaultDegradedCache
@@ -234,11 +293,44 @@ func Open(cfg Config) (*Store, error) {
 		shards:     newShards(nshards),
 		shardMask:  nshards - 1,
 		cache:      newStripeCache(cacheStripes),
-		repairCh:   make(chan repairReq, queue),
+		repairQ:    newRepairQueue(queue),
 		quit:       make(chan struct{}),
+		journal:    cfg.Journal,
 	}
 	s.perStripe = len(s.dataCells)
 	s.idle = sync.NewCond(&s.stateMu)
+	s.flushIdle = sync.NewCond(&s.flushMu)
+	s.sortedDataCells = append([]core.Cell(nil), s.dataCells...)
+	sortCells(s.sortedDataCells)
+	s.parityCells = cfg.Code.ParityCells()
+	sortCells(s.parityCells)
+	s.isDataCell = make(map[core.Cell]bool, len(s.dataCells))
+	for _, cell := range s.dataCells {
+		s.isDataCell[cell] = true
+	}
+	maxEncodes := cfg.MaxInflightEncodes
+	if maxEncodes == 0 {
+		maxEncodes = cfg.FlushWorkers
+	}
+	if maxEncodes > 0 {
+		s.encodeSem = make(chan struct{}, maxEncodes)
+	}
+	// Recovery runs before any traffic — and before the flush pipeline
+	// exists — so the replay never races a concurrent flush.
+	if s.journal != nil {
+		if err := s.recoverJournal(); err != nil {
+			return nil, fmt.Errorf("store: journal replay: %w", err)
+		}
+	}
+	if cfg.FlushWorkers > 0 {
+		// One channel slot per stripe: the queued flag dedupes entries,
+		// so sendFlush can never block (see flush.go).
+		s.flushCh = make(chan int, cfg.Stripes)
+		s.wg.Add(cfg.FlushWorkers)
+		for i := 0; i < cfg.FlushWorkers; i++ {
+			go s.flushLoop()
+		}
+	}
 	s.wg.Add(repairWorkers)
 	for i := 0; i < repairWorkers; i++ {
 		go s.repairLoop()
@@ -323,6 +415,17 @@ func (s *Store) WriteBlock(ctx context.Context, b int, data []byte) error {
 	copy(buf.data[ord], data)
 	s.c.writes.Add(1)
 	if buf.count == s.perStripe {
+		// A filled buffer flushes: inline in synchronous mode, handed
+		// to the background pipeline otherwise (the writer keeps going;
+		// errors surface at the next Flush/Sync/Close).
+		if s.asyncFlush() {
+			queued := s.queueFlushLocked(buf)
+			sh.mu.Unlock()
+			if queued {
+				s.sendFlush(stripe)
+			}
+			return nil
+		}
 		err := s.flushStripeLocked(ctx, sh, stripe)
 		sh.mu.Unlock()
 		return err
@@ -330,6 +433,29 @@ func (s *Store) WriteBlock(ctx context.Context, b int, data []byte) error {
 	sh.mu.Unlock()
 	if s.dirtyCount.Load() > int64(s.maxDirty) {
 		victim := s.fullestDirty(stripe)
+		if s.asyncFlush() {
+			// Hand the victim (if any) to the pipeline, then hold the
+			// writer until the buffer count is back under the bound —
+			// MaxDirtyStripes stays a real memory bound even when the
+			// flush workers lag the writer.
+			if victim >= 0 {
+				vsh := s.shard(victim)
+				vsh.mu.Lock()
+				var queued bool
+				if vbuf := vsh.dirty[victim]; vbuf != nil {
+					queued = s.queueFlushLocked(vbuf)
+				}
+				vsh.mu.Unlock()
+				if queued {
+					s.sendFlush(victim)
+				}
+			}
+			if err := s.flushBackpressure(ctx); err != nil {
+				// The requested write IS buffered; only the wait died.
+				return fmt.Errorf("store: block %d buffered, but awaiting the flush pipeline: %w", b, err)
+			}
+			return nil
+		}
 		if victim < 0 {
 			return nil // every other buffer is stuck; nothing to evict
 		}
@@ -346,18 +472,19 @@ func (s *Store) WriteBlock(ctx context.Context, b int, data []byte) error {
 }
 
 // fullestDirty picks the buffered stripe with the most dirty blocks,
-// excluding the one just written to (it is the hottest) and any stuck
-// buffers. It scans shard by shard, never holding more than one shard
-// mutex; the result is advisory — a concurrent flush of the victim is
-// harmless, flushStripeLocked no-ops on a missing buffer. Returns -1
-// when nothing is evictable.
+// excluding the one just written to (it is the hottest), any stuck
+// buffers, and buffers already handed to the flush pipeline. It scans
+// shard by shard, never holding more than one shard mutex; the result
+// is advisory — a concurrent flush of the victim is harmless,
+// flushStripeLocked no-ops on a missing buffer. Returns -1 when nothing
+// is evictable.
 func (s *Store) fullestDirty(except int) int {
 	best, bestCount := -1, -1
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for stripe, buf := range sh.dirty {
-			if stripe == except || buf.stuck {
+			if stripe == except || buf.stuck || buf.queued {
 				continue
 			}
 			if buf.count > bestCount || (buf.count == bestCount && stripe < best) {
@@ -369,12 +496,21 @@ func (s *Store) fullestDirty(except int) int {
 	return best
 }
 
-// Flush writes every buffered stripe to the devices. A cancelled ctx
-// aborts promptly — including any in-flight device wait — leaving the
-// unflushed buffers intact for a retry.
+// Flush drains the write path: with the pipeline on it first waits out
+// every queued or in-flight background flush, reports any background
+// failure recorded since the last drain, then lands every remaining
+// buffered stripe synchronously. A cancelled ctx aborts promptly —
+// including any in-flight device wait — leaving the unflushed buffers
+// intact for a retry.
 func (s *Store) Flush(ctx context.Context) error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.drainFlushPipeline(ctx); err != nil {
+		return err
+	}
+	if err := s.takeAsyncFlushErr(); err != nil {
+		return err
 	}
 	return s.flushAll(ctx)
 }
@@ -382,6 +518,8 @@ func (s *Store) Flush(ctx context.Context) error {
 // flushAll lands every buffered stripe, shard by shard (Close uses it
 // after marking the store closed, so it does not re-check closed).
 // Context cancellation stops the sweep at the first unflushed stripe.
+// Buffers queued to the pipeline are swept too (the worker that later
+// dequeues a flushed stripe finds no buffer and no-ops).
 func (s *Store) flushAll(ctx context.Context) error {
 	var stripes []int
 	for i := range s.shards {
@@ -410,181 +548,6 @@ func (s *Store) flushAll(ctx context.Context) error {
 		}
 	}
 	return first
-}
-
-// flushStripeLocked lands one buffered stripe on the devices; the caller
-// holds the stripe's shard mutex. A fully dirty stripe is encoded from
-// scratch in parallel; a partial one goes through read–modify–write with
-// §5.2 incremental parity updates. On error the buffer is retained so
-// the flush can be retried (e.g. after a device replacement and
-// rebuild, or with a live context after a cancellation).
-func (s *Store) flushStripeLocked(ctx context.Context, sh *lockShard, stripe int) (err error) {
-	buf := sh.dirty[stripe]
-	if buf == nil {
-		return nil
-	}
-	defer func() {
-		if err != nil {
-			buf.stuck = true
-		}
-	}()
-	if buf.count == s.perStripe {
-		st, err := s.code.NewStripe(s.sectorSize)
-		if err != nil {
-			return err
-		}
-		for ord, cell := range s.dataCells {
-			copy(st.Sector(cell.Col, cell.Row), buf.data[ord])
-		}
-		if err := s.code.EncodeParallel(st, core.MethodAuto, s.workers); err != nil {
-			return err
-		}
-		// One vectored write per device covers the whole chunk. A
-		// cancelled context keeps the buffer (the retry re-encodes and
-		// rewrites every cell, so a half-landed stripe is made whole);
-		// per-device write failures are dropped — the stripe stays
-		// degraded there until repair or replacement, which is exactly
-		// what the code tolerates.
-		if err := s.writeFullStripe(ctx, stripe, st); err != nil {
-			return err
-		}
-		delete(sh.dirty, stripe)
-		s.dirtyCount.Add(-1)
-		// A full rewrite resurrects a previously unrecoverable stripe.
-		s.clearUnrecoverableLocked(sh, stripe)
-		s.c.fullFlushes.Add(1)
-		s.cache.invalidate(stripe)
-		return nil
-	}
-
-	st, lost, err := s.loadStripe(ctx, stripe)
-	if err != nil {
-		return err
-	}
-	if len(lost) > 0 {
-		if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
-			if errors.Is(err, ErrUnrecoverable) {
-				s.markUnrecoverableLocked(sh, stripe)
-			}
-			return fmt.Errorf("store: flushing stripe %d: %w", stripe, err)
-		}
-	}
-	touched := map[core.Cell]bool{}
-	for ord, data := range buf.data {
-		if data == nil {
-			continue
-		}
-		cell := s.dataCells[ord]
-		deps, err := s.code.ParityDependencies(cell)
-		if err != nil {
-			return err
-		}
-		if err := s.code.Update(st, cell, data); err != nil {
-			return err
-		}
-		touched[cell] = true
-		for _, p := range deps {
-			touched[p] = true
-		}
-	}
-	// Write back the dirty data cells and affected parity, plus any
-	// cells just repaired (healing their bad sectors in passing).
-	for _, cell := range lost {
-		touched[cell] = true
-	}
-	cells := make([]core.Cell, 0, len(touched))
-	for cell := range touched {
-		cells = append(cells, cell)
-	}
-	sortCells(cells)
-	if _, _, err := s.writeStripeCells(ctx, stripe, st, cells); err != nil {
-		// Cancelled mid-write-back: an unknown subset of the touched
-		// cells landed, so the incremental delta against current device
-		// state is no longer applicable on retry. Promote the buffer to
-		// a full stripe (st holds every cell's updated content) — the
-		// retry rewrites the whole stripe and restores consistency.
-		s.promoteToFullLocked(buf, st)
-		return err
-	}
-	delete(sh.dirty, stripe)
-	s.dirtyCount.Add(-1)
-	s.c.subFlushes.Add(1)
-	s.cache.invalidate(stripe)
-	return nil
-}
-
-// promoteToFullLocked fills a partial stripe buffer with every data
-// cell of st, so its next flush takes the full-stripe path. Callers
-// hold the stripe's shard mutex.
-func (s *Store) promoteToFullLocked(buf *stripeBuf, st *core.Stripe) {
-	for ord, cell := range s.dataCells {
-		if buf.data[ord] == nil {
-			buf.data[ord] = append([]byte(nil), st.Sector(cell.Col, cell.Row)...)
-			buf.count++
-		}
-	}
-}
-
-// sortCells orders cells by (Col, Row) so per-device contiguous runs
-// are adjacent.
-func sortCells(cells []core.Cell) {
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Col != cells[j].Col {
-			return cells[i].Col < cells[j].Col
-		}
-		return cells[i].Row < cells[j].Row
-	})
-}
-
-// writeFullStripe writes every cell of a stripe, one vectored call per
-// device. Only context cancellation is reported; per-device write
-// errors leave the stripe degraded there (repair heals it later).
-func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe) error {
-	rows := make([][]byte, s.r)
-	for col := 0; col < s.n; col++ {
-		for row := 0; row < s.r; row++ {
-			rows[row] = st.Sector(col, row)
-		}
-		_ = s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeStripeCells writes the given cells (sorted by Col, Row) of one
-// stripe back to their devices, grouped into one vectored call per
-// contiguous per-device run. It reports how many sectors landed and how
-// many failed; only context cancellation aborts the sweep with an
-// error.
-func (s *Store) writeStripeCells(ctx context.Context, stripe int, st *core.Stripe, cells []core.Cell) (wrote, failed int, err error) {
-	for i := 0; i < len(cells); {
-		j := i + 1
-		for j < len(cells) && cells[j].Col == cells[i].Col && cells[j].Row == cells[j-1].Row+1 {
-			j++
-		}
-		run := cells[i:j]
-		bufs := make([][]byte, len(run))
-		for k, cell := range run {
-			bufs[k] = st.Sector(cell.Col, cell.Row)
-		}
-		werr := s.devs[run[0].Col].WriteSectors(ctx, s.devSector(stripe, run[0].Row), bufs)
-		if cerr := ctx.Err(); cerr != nil {
-			return wrote, failed, cerr
-		}
-		switch se, ok := AsSectorErrors(werr); {
-		case werr == nil:
-			wrote += len(run)
-		case ok:
-			failed += len(se)
-			wrote += len(run) - len(se)
-		default:
-			failed += len(run)
-		}
-		i = j
-	}
-	return wrote, failed, nil
 }
 
 // loadStripe reads one stripe off the devices — one vectored call per
@@ -657,13 +620,23 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	} else if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
-	// Degraded read. A still-degraded stripe read before keeps its
-	// reconstruction cached, so neighbours on the same stripe skip the
-	// per-block decode. No repair is re-queued on a hit: the insert
-	// below already queued one if it could make progress, and a request
-	// dropped by the bounded queue is re-found by the next scrub pass —
-	// re-queuing per read would only churn full-stripe loads that end
-	// at repairStripeLocked's nothing-writable check.
+	// Degraded read. A stripe already marked unrecoverable is refused
+	// outright: re-running the decode could fabricate content (journal
+	// replay marks stripes whose post-crash parity relations cannot be
+	// trusted — reconstruction there solves contradictory equations
+	// into garbage). The mark is cleared by the events that actually
+	// change the stripe's standing: a full rewrite, a device
+	// replacement, or a successful roll-forward.
+	if sh.unrecoverable[stripe] {
+		return nil, fmt.Errorf("store: degraded read of block %d (stripe %d): %w", b, stripe, ErrUnrecoverable)
+	}
+	// A still-degraded stripe read before keeps its reconstruction
+	// cached, so neighbours on the same stripe skip the per-block
+	// decode. No repair is re-queued on a hit: the insert below already
+	// queued one if it could make progress, and a request dropped by
+	// the bounded queue is re-found by the next scrub pass — re-queuing
+	// per read would only churn full-stripe loads that end at
+	// repairStripeLocked's nothing-writable check.
 	if data := s.cache.block(stripe, cell); data != nil {
 		s.c.reads.Add(1)
 		s.c.degradedReads.Add(1)
@@ -688,9 +661,11 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	s.cache.putAt(stripe, st, epoch)
 	// Queue a repair only when it can land somewhere: lost cells
 	// confined to wholly failed devices wait for a replacement instead
-	// of spinning the workers.
+	// of spinning the workers. The stripe's full lost count is its
+	// queue priority — the closer to the coverage edge, the sooner a
+	// worker takes it.
 	if len(s.writableLost(lost)) > 0 {
-		s.enqueueRepairLocked(sh, stripe)
+		s.enqueueRepairLocked(sh, stripe, len(lost))
 	}
 	return append([]byte(nil), st.Sector(cell.Col, cell.Row)...), nil
 }
@@ -746,10 +721,13 @@ func (s *Store) UnrecoverableStripes() []int {
 	return out
 }
 
-// repairReq is one queued repair request; attempt counts retries after
-// partial write-back failures.
+// repairReq is one queued repair request: risk is the stripe's lost
+// sector count when it was queued (the repair queue serves
+// highest-risk first); attempt counts retries after partial write-back
+// failures.
 type repairReq struct {
 	stripe  int
+	risk    int
 	attempt int
 }
 
@@ -760,13 +738,13 @@ type repairReq struct {
 // re-finds the stripe.
 const maxRepairAttempts = 3
 
-// enqueueRepairLocked queues a stripe for background repair; the caller
-// holds the stripe's shard mutex. A full queue drops the request (a
-// later scrub pass re-finds the stripe). The repair channel is never
-// closed — shutdown is signalled on quit — so a racing enqueue after
-// Close can at worst park a request in a channel nobody drains.
-func (s *Store) enqueueRepairLocked(sh *lockShard, stripe int) {
-	s.enqueueAttemptLocked(sh, repairReq{stripe: stripe})
+// enqueueRepairLocked queues a stripe for background repair with the
+// given risk (its lost sector count — the repair queue serves
+// highest-risk first); the caller holds the stripe's shard mutex. A
+// full queue drops the request (a later scrub pass re-finds the
+// stripe).
+func (s *Store) enqueueRepairLocked(sh *lockShard, stripe, risk int) {
+	s.enqueueAttemptLocked(sh, repairReq{stripe: stripe, risk: risk})
 }
 
 func (s *Store) enqueueAttemptLocked(sh *lockShard, req repairReq) {
@@ -777,27 +755,24 @@ func (s *Store) enqueueAttemptLocked(sh *lockShard, req repairReq) {
 		s.c.repairDrops.Add(1)
 		return
 	}
-	select {
-	case s.repairCh <- req:
+	if s.repairQ.push(req) {
 		sh.pending[req.stripe] = true
 		s.pendingCount.Add(1)
-	default:
+	} else {
 		s.c.repairDrops.Add(1)
 	}
 }
 
-// repairLoop is one repair worker: it drains the repair queue until
-// Close. Workers proceed in parallel on stripes in different shards.
-// Repairs run under the store's own (background) context: they are not
-// tied to any caller's deadline.
+// repairLoop is one repair worker: it drains the repair queue —
+// highest-risk stripe first — until Close. Workers proceed in parallel
+// on stripes in different shards. Repairs run under the store's own
+// (background) context: they are not tied to any caller's deadline.
 func (s *Store) repairLoop() {
 	defer s.wg.Done()
 	for {
-		var req repairReq
-		select {
-		case <-s.quit:
+		req, ok := s.repairQ.pop()
+		if !ok {
 			return
-		case req = <-s.repairCh:
 		}
 		sh := s.shard(req.stripe)
 		sh.mu.Lock()
@@ -806,9 +781,12 @@ func (s *Store) repairLoop() {
 		if requeue {
 			// Re-enqueue before dropping this request's pending count so
 			// Quiesce never observes a spurious idle window.
-			s.enqueueAttemptLocked(sh, repairReq{stripe: req.stripe, attempt: req.attempt + 1})
+			s.enqueueAttemptLocked(sh, repairReq{stripe: req.stripe, risk: req.risk, attempt: req.attempt + 1})
 		}
 		sh.mu.Unlock()
+		if fn := s.testRepairObserve; fn != nil {
+			fn(req.stripe)
+		}
 		s.pendingCount.Add(-1)
 		s.stateMu.Lock()
 		s.idle.Broadcast()
@@ -1022,14 +1000,15 @@ func (s *Store) faultDevice(dev int) (FaultDevice, error) {
 	return fd, nil
 }
 
-// Close flushes buffered writes, drains the outstanding background
-// repairs, stops the scrubber and repair workers, and closes the
-// devices. New reads and writes are refused before the final flush, so
-// nothing can slip into the buffer and be lost; repairs already queued
-// (e.g. by a final scrub pass) complete before the workers shut down,
-// so a close does not strand a volume degraded that a queued repair
-// would have healed. Close is not bounded by a caller context — it
-// finishes the shutdown it started.
+// Close drains the flush pipeline, flushes buffered writes, drains the
+// outstanding background repairs, stops the scrubber, flush and repair
+// workers, and closes the devices. New reads and writes are refused
+// before the final flush, so nothing can slip into the buffer and be
+// lost; repairs already queued (e.g. by a final scrub pass) complete
+// before the workers shut down, so a close does not strand a volume
+// degraded that a queued repair would have healed. Close is not bounded
+// by a caller context — it finishes the shutdown it started. The
+// journal, if any, is left to its owner to close afterwards.
 func (s *Store) Close() error {
 	s.StopScrubber()
 	s.stateMu.Lock()
@@ -1039,7 +1018,13 @@ func (s *Store) Close() error {
 	}
 	s.closed.Store(true)
 	s.stateMu.Unlock()
-	flushErr := s.flushAll(context.Background())
+	// Let in-flight background flushes finish, then sweep what remains;
+	// a background failure recorded since the last Flush surfaces here.
+	_ = s.drainFlushPipeline(context.Background())
+	flushErr := s.takeAsyncFlushErr()
+	if err := s.flushAll(context.Background()); err != nil && flushErr == nil {
+		flushErr = err
+	}
 	// Nothing can enqueue past closed, so the pending count only drains
 	// from here; wait for the workers to finish what was queued.
 	s.stateMu.Lock()
@@ -1048,13 +1033,34 @@ func (s *Store) Close() error {
 	}
 	s.stateMu.Unlock()
 	close(s.quit)
+	s.repairQ.close()
 	s.wg.Wait()
 	// The drain left no pending repairs; one last broadcast wakes any
-	// Quiesce waiter so its loop re-checks closed.
+	// Quiesce waiter so its loop re-checks closed — and likewise any
+	// backpressure waiter parked on the (now fully drained) pipeline.
 	s.stateMu.Lock()
 	s.idle.Broadcast()
 	s.stateMu.Unlock()
+	s.flushMu.Lock()
+	s.flushIdle.Broadcast()
+	s.flushMu.Unlock()
 	firstErr := flushErr
+	// Durability barrier before the journal lets go of its intents: the
+	// checkpoint must not durably forget a write-back whose sectors are
+	// still in the page cache. No flush can race this Mark — the store
+	// is closed and the workers have exited.
+	var mark journal.Mark
+	if s.journal != nil {
+		mark = s.journal.Mark()
+	}
+	if err := s.syncDevices(context.Background()); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if s.journal != nil {
+		if err := s.journal.Checkpoint(mark); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, d := range s.devs {
 		if err := d.Close(); err != nil && firstErr == nil {
 			firstErr = err
