@@ -70,6 +70,25 @@ func BenchmarkFig9EncodeMethods(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeByKernel re-runs the canonical encode labelled by the
+// dispatched GF region kernel, so committed benchmark logs record which
+// kernel produced this file's numbers (sub-benchmark names carry it,
+// e.g. BenchmarkEncodeByKernel/kernel=avx2). Force the baseline with
+// STAIR_GF_KERNEL=portable for an A/B pair; the spread is the SIMD win
+// on every other benchmark in this file.
+func BenchmarkEncodeByKernel(b *testing.B) {
+	c := benchCode(b, core.Config{N: 8, R: 16, M: 2, E: []int{1, 1, 2}})
+	st := benchStripe(b, c, benchStripeBytes)
+	b.Run("kernel="+c.KernelName(), func(b *testing.B) {
+		b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+		for i := 0; i < b.N; i++ {
+			if err := c.Encode(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig11Encode: STAIR vs SD encoding speed at representative
 // (n, m, s) points of Figure 11 (r=16).
 func BenchmarkFig11Encode(b *testing.B) {

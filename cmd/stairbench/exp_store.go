@@ -49,6 +49,11 @@ type storeBenchConfig struct {
 	// between the two is the vectored-I/O win on remote-like media.
 	LatencyMS      float64 `json:"latency_ms"`
 	LatencyStripes int     `json:"latency_stripes"`
+	// GFKernel records which GF region kernel (internal/gf dispatch:
+	// avx2/ssse3/neon/portable, or a STAIR_GF_KERNEL override) computed
+	// every encode/decode in this run — throughput entries are only
+	// comparable across runs with the same kernel.
+	GFKernel string `json:"gf_kernel"`
 	// FlushWorkers is the pipeline width of the *-async-* scenarios:
 	// the same fill on the same LatencyMS media, flushed synchronously
 	// (async-off) versus through the background pipeline (async-<N>w),
@@ -143,6 +148,7 @@ func runStore(o options) error {
 		RepairWorkers: repairWorkers, LockShards: lockShards,
 		DegradedCache: degradedCache, LoadWorkers: loadWorkers,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GFKernel:   code.Field().KernelName(),
 	}
 	var results []storeBenchResult
 	add := func(op, note string, bytes int, fn func() error) error {

@@ -11,15 +11,22 @@
 // Speed experiments default to a 4 MiB stripe so that a complete run
 // finishes in minutes on a laptop; -full switches to the paper's 32 MiB
 // stripes and denser parameter grids (and -stripe overrides directly).
-// Absolute MB/s are lower than the paper's (portable table-driven
-// GF(2^8) instead of SIMD); the comparisons between codes are the point.
+// Like the paper's implementation, the hot GF region loops run as SIMD
+// split-table kernels where the CPU allows (see internal/gf); every run
+// banners which kernel produced its numbers, and BENCH_store.json
+// records it, so speed figures are never compared across kernels
+// unawares. STAIR_GF_KERNEL=portable forces the scalar baseline for A/B
+// runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+
+	"stair/internal/gf"
 )
 
 type options struct {
@@ -69,6 +76,11 @@ func main() {
 			o.stripeMiB = 4
 		}
 	}
+
+	// Every speed number below depends on which GF region kernel
+	// dispatch picked; say so once, up front.
+	fmt.Printf("gf kernel: %s (%s/%s, available: %v)\n\n",
+		gf.ActiveKernelName(), runtime.GOOS, runtime.GOARCH, gf.KernelNames())
 
 	run := func(e experiment) {
 		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)

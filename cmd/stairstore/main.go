@@ -471,6 +471,7 @@ func cmdStats(ctx context.Context, args []string) (err error) {
 	}()
 	n, stripes, r, sector := s.Geometry()
 	fmt.Printf("volume:   %s\n", s.Code().Config())
+	fmt.Printf("gf:       w=%d, region kernel %s\n", s.Code().Field().W(), s.Code().KernelName())
 	fmt.Printf("geometry: %d devices × %d stripes × %d sectors × %d B (%d blocks)\n",
 		n, stripes, r, sector, s.Blocks())
 	fmt.Printf("health:   failed devices %v, %d bad sectors, %d unrecoverable stripes\n",

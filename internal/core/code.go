@@ -321,6 +321,12 @@ func (c *Code) Config() Config { return c.cfg }
 // Field returns the Galois field in use.
 func (c *Code) Field() *gf.Field { return c.f }
 
+// KernelName reports which GF region kernel this code's Mult_XOR
+// schedules dispatch to (internal/gf runtime CPU dispatch, overridable
+// with STAIR_GF_KERNEL) — the single biggest factor in encode/decode
+// throughput, recorded alongside benchmark numbers.
+func (c *Code) KernelName() string { return c.f.KernelName() }
+
 // N returns the number of chunks per stripe.
 func (c *Code) N() int { return c.n }
 

@@ -5,11 +5,12 @@
 // The STAIR paper (§5.3) decomposes all encoding work into Mult_XOR
 // operations: multiply a region of bytes by a w-bit constant and XOR the
 // product into a target region. This package provides that primitive
-// (Field.MultXOR) plus plain region XOR and copy. The paper accelerates
-// GF(2^8) with SIMD via GF-Complete; this implementation substitutes
-// portable table lookups, which preserves the relative cost shape
-// (work ∝ number of Mult_XORs × region size) that the paper's evaluation
-// figures measure.
+// (Field.MultXOR) plus plain region XOR and copy. Like the paper's
+// implementation (which leans on GF-Complete), the hot GF(2^8) and
+// GF(2^4) region loops run as SIMD 4-bit split-table kernels — PSHUFB on
+// amd64, TBL on arm64 — selected at runtime by CPU feature detection and
+// overridable with STAIR_GF_KERNEL; see kernel.go. GF(2^16) and the
+// `purego` build use a widened-word portable path.
 //
 // Field values are immutable after construction and safe for concurrent
 // use.
@@ -42,9 +43,12 @@ type Field struct {
 	exp []uint16 // exp[i] = g^i, doubled length to avoid modular reduction
 	inv []uint32 // multiplicative inverses, inv[0] = 0 (unused)
 
-	// mul8 is the full 256×256 product table, built only for w == 8.
-	// Row c is the multiply-by-c lookup table used by region operations.
-	mul8 [][]byte
+	// tables holds the per-coefficient region-kernel lookup state, built
+	// for w == 8 (256 entries, the full 256×256 product table reshaped)
+	// and w == 4 (16 entries whose high-nibble split tables are zero, so
+	// the byte-oriented kernels apply unchanged). tables[c].Row is also
+	// the scalar Mul fast path for w == 8.
+	tables []MulTable
 }
 
 var (
@@ -117,15 +121,37 @@ func (f *Field) buildTables(poly uint32) {
 		f.inv[a] = uint32(f.exp[n-1-int(f.log[a])])
 	}
 
-	if f.w == 8 {
-		f.mul8 = make([][]byte, 256)
-		flat := make([]byte, 256*256)
+	switch f.w {
+	case 8:
+		// Full product table, reshaped per coefficient into the row the
+		// scalar paths index and the low/high nibble split tables the
+		// SIMD kernels shuffle against: Row[v] = Lo[v&0x0f] ^ Hi[v>>4]
+		// because v = (v&0x0f) ^ (v&0xf0) and multiplication is linear.
+		f.tables = make([]MulTable, 256)
 		for c := 0; c < 256; c++ {
-			row := flat[c*256 : (c+1)*256 : (c+1)*256]
+			t := &f.tables[c]
 			for a := 0; a < 256; a++ {
-				row[a] = byte(f.mulSlow(uint32(c), uint32(a)))
+				t.Row[a] = byte(f.mulSlow(uint32(c), uint32(a)))
 			}
-			f.mul8[c] = row
+			for x := 0; x < 16; x++ {
+				t.Lo[x] = t.Row[x]
+				t.Hi[x] = t.Row[x<<4]
+			}
+		}
+	case 4:
+		// GF(2^4) symbols live in the low nibble of each byte and region
+		// ops ignore the high nibble, so Row[v] = c·(v&0x0f) and the
+		// high-nibble split table is identically zero — which lets the
+		// same byte-oriented kernels serve w == 4.
+		f.tables = make([]MulTable, 16)
+		for c := 0; c < 16; c++ {
+			t := &f.tables[c]
+			for a := 0; a < 256; a++ {
+				t.Row[a] = byte(f.mulSlow(uint32(c), uint32(a&0x0f)))
+			}
+			for x := 0; x < 16; x++ {
+				t.Lo[x] = t.Row[x]
+			}
 		}
 	}
 }
@@ -154,8 +180,8 @@ func (f *Field) Mul(a, b uint32) uint32 {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	if f.mul8 != nil {
-		return uint32(f.mul8[a&0xff][b&0xff])
+	if f.w == 8 {
+		return uint32(f.tables[a&0xff].Row[b&0xff])
 	}
 	return uint32(f.exp[int(f.log[a&f.mask])+int(f.log[b&f.mask])])
 }
@@ -211,6 +237,17 @@ func (f *Field) checkRegions(dst, src []byte) {
 	}
 }
 
+// KernelName reports which region kernel this field's MultXOR/MultRegion
+// dispatch to: the CPU-selected (or STAIR_GF_KERNEL-forced) kernel for
+// the byte-symbol fields w == 4 and w == 8, and "portable" for w == 16,
+// whose two-byte symbols take the widened two-table path.
+func (f *Field) KernelName() string {
+	if f.tables != nil {
+		return ActiveKernelName()
+	}
+	return portableKernel{}.Name()
+}
+
 // MultXOR computes dst ^= c·src over the field, symbol by symbol. This is
 // the paper's Mult_XOR(src, dst, c) primitive (§5.3). dst and src must
 // have equal length, a multiple of SymbolBytes, and must not overlap
@@ -222,39 +259,37 @@ func (f *Field) MultXOR(dst, src []byte, c uint32) {
 	if c == 0 {
 		return
 	}
-	switch f.w {
-	case 8:
-		row := f.mul8[c]
-		if c == 1 {
-			XORRegion(dst, src)
-			return
-		}
-		for i, v := range src {
-			dst[i] ^= row[v]
-		}
-	case 4:
-		var tab [16]byte
-		for a := 0; a < 16; a++ {
-			tab[a] = byte(f.Mul(c, uint32(a)))
-		}
-		for i, v := range src {
-			dst[i] ^= tab[v&0x0f]
-		}
-	case 16:
-		if c == 1 {
-			XORRegion(dst, src)
-			return
-		}
-		var lo, hi [256]uint16
-		for a := 0; a < 256; a++ {
-			lo[a] = uint16(f.Mul(c, uint32(a)))
-			hi[a] = uint16(f.Mul(c, uint32(a)<<8))
-		}
-		for i := 0; i+1 < len(src); i += 2 {
-			v := lo[src[i]] ^ hi[src[i+1]]
-			dst[i] ^= byte(v)
-			dst[i+1] ^= byte(v >> 8)
-		}
+	// c == 1 is plain XOR — except for w == 4, where region bytes may
+	// carry arbitrary high nibbles that every product (including 1·v)
+	// masks away; its split table (zero Hi half) preserves that.
+	if c == 1 && f.w != 4 {
+		activeKernel().XORRegion(dst, src)
+		return
+	}
+	if f.tables != nil { // w == 4 or 8: split-table kernel dispatch
+		activeKernel().MultXOR(dst, src, &f.tables[c])
+		return
+	}
+	// w == 16: two-byte symbols via per-call low/high byte product
+	// tables, four symbols (one uint64) per iteration.
+	var lo, hi [256]uint16
+	for a := 0; a < 256; a++ {
+		lo[a] = uint16(f.Mul(c, uint32(a)))
+		hi[a] = uint16(f.Mul(c, uint32(a)<<8))
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := uint64(lo[src[i]]^hi[src[i+1]]) |
+			uint64(lo[src[i+2]]^hi[src[i+3]])<<16 |
+			uint64(lo[src[i+4]]^hi[src[i+5]])<<32 |
+			uint64(lo[src[i+6]]^hi[src[i+7]])<<48
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
+	}
+	for ; i+1 < n; i += 2 {
+		v := lo[src[i]] ^ hi[src[i+1]]
+		dst[i] ^= byte(v)
+		dst[i+1] ^= byte(v >> 8)
 	}
 }
 
@@ -266,31 +301,28 @@ func (f *Field) MultRegion(dst, src []byte, c uint32) {
 		Zero(dst)
 		return
 	}
-	switch f.w {
-	case 8:
-		row := f.mul8[c]
-		for i, v := range src {
-			dst[i] = row[v]
-		}
-	case 4:
-		var tab [16]byte
-		for a := 0; a < 16; a++ {
-			tab[a] = byte(f.Mul(c, uint32(a)))
-		}
-		for i, v := range src {
-			dst[i] = tab[v&0x0f]
-		}
-	case 16:
-		var lo, hi [256]uint16
-		for a := 0; a < 256; a++ {
-			lo[a] = uint16(f.Mul(c, uint32(a)))
-			hi[a] = uint16(f.Mul(c, uint32(a)<<8))
-		}
-		for i := 0; i+1 < len(src); i += 2 {
-			v := lo[src[i]] ^ hi[src[i+1]]
-			dst[i] = byte(v)
-			dst[i+1] = byte(v >> 8)
-		}
+	if f.tables != nil { // w == 4 or 8: split-table kernel dispatch
+		activeKernel().MulRegion(dst, src, &f.tables[c])
+		return
+	}
+	var lo, hi [256]uint16
+	for a := 0; a < 256; a++ {
+		lo[a] = uint16(f.Mul(c, uint32(a)))
+		hi[a] = uint16(f.Mul(c, uint32(a)<<8))
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := uint64(lo[src[i]]^hi[src[i+1]]) |
+			uint64(lo[src[i+2]]^hi[src[i+3]])<<16 |
+			uint64(lo[src[i+4]]^hi[src[i+5]])<<32 |
+			uint64(lo[src[i+6]]^hi[src[i+7]])<<48
+		binary.LittleEndian.PutUint64(dst[i:], p)
+	}
+	for ; i+1 < n; i += 2 {
+		v := lo[src[i]] ^ hi[src[i+1]]
+		dst[i] = byte(v)
+		dst[i+1] = byte(v >> 8)
 	}
 }
 
@@ -320,34 +352,15 @@ func (f *Field) SymbolsPerRegion(n int) int { return n / f.SymbolBytes() }
 // XORRegion computes dst ^= src. It is field-independent, and it is
 // the hot inner loop of every encode: the schedules decompose all
 // parity work into Mult_XORs, and the c==1 fast path (common, since
-// many STAIR coefficients are 1) is exactly this function.
-//
-// The loop XORs whole uint64 words via encoding/binary — on
-// little-endian targets the Uint64/PutUint64 pairs compile to single
-// unaligned loads and stores, so each iteration is one 64-bit XOR
-// instead of eight byte ops (the previous byte-wise unrolled loop).
-// BenchmarkXORRegionWide measures the win over that baseline.
+// many STAIR coefficients are 1) is exactly this function. It dispatches
+// to the active kernel — SIMD where available, the widened uint64-word
+// loop otherwise; BenchmarkXORRegionWide measures both against the old
+// byte-wise baseline.
 func XORRegion(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("gf: region length mismatch: dst=%d src=%d", len(dst), len(src)))
 	}
-	n := len(src)
-	i := 0
-	// Two words per iteration: enough ILP to keep the load/store ports
-	// busy without the compiler's bounds checks dominating.
-	for ; i+16 <= n; i += 16 {
-		a := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
-		b := binary.LittleEndian.Uint64(dst[i+8:]) ^ binary.LittleEndian.Uint64(src[i+8:])
-		binary.LittleEndian.PutUint64(dst[i:], a)
-		binary.LittleEndian.PutUint64(dst[i+8:], b)
-	}
-	for ; i+8 <= n; i += 8 {
-		binary.LittleEndian.PutUint64(dst[i:],
-			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	activeKernel().XORRegion(dst, src)
 }
 
 // Zero clears a region.

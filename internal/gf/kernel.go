@@ -1,0 +1,272 @@
+package gf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the pluggable kernel layer behind the region operations.
+//
+// The STAIR paper's implementation owes its speed numbers to GF-Complete's
+// SIMD split-table multiplication: §5.3 reduces all encoding work to
+// Mult_XOR region ops, and GF-Complete computes them 16–32 bytes at a time
+// with PSHUFB/TBL nibble lookups. This port reproduces that design as a
+// small Kernel interface with runtime CPU dispatch: assembly kernels for
+// amd64 (SSSE3 and AVX2) and arm64 (NEON) where the build allows them, and
+// a portable widened-word fallback everywhere else (including the `purego`
+// build tag and GOARCH targets without an assembly kernel).
+//
+// A kernel operates on GF(2^8) symbol regions through a MulTable — the
+// per-coefficient lookup state derived from the field's full product
+// table: the 256-entry row for scalar/tail work plus the 16-entry low-
+// and high-nibble split tables the SIMD paths shuffle against. GF(2^4)
+// regions reuse the same kernels (its split table has an all-zero high
+// half, see buildTables); GF(2^16) always takes the portable widened
+// two-table path in gf.go.
+
+// MulTable is the per-coefficient lookup state for GF(2^8)/GF(2^4) region
+// kernels: the full multiply-by-c row plus its 4-bit split tables.
+//
+// For every byte v, Row[v] == Lo[v&0x0f] ^ Hi[v>>4]; the SIMD kernels
+// exploit that identity to translate 16 or 32 bytes per shuffle while the
+// scalar paths index Row directly.
+type MulTable struct {
+	Row [256]byte // Row[v] = c·v
+	Lo  [16]byte  // Lo[x] = c·x            (low-nibble products)
+	Hi  [16]byte  // Hi[x] = c·(x<<4)       (high-nibble products)
+}
+
+// Kernel implements the three region primitives every encode and decode
+// schedule in this module decomposes into. Implementations may assume
+// dst and src have equal length (the Field front ends validate), must
+// handle any length including zero and misaligned slices, and must be
+// safe for concurrent use (kernels are stateless).
+type Kernel interface {
+	// Name identifies the kernel in benchmarks, BENCH_*.json entries and
+	// the STAIR_GF_KERNEL override ("avx2", "ssse3", "neon", "portable").
+	Name() string
+	// MultXOR computes dst ^= c·src, c described by t.
+	MultXOR(dst, src []byte, t *MulTable)
+	// MulRegion computes dst = c·src, c described by t.
+	MulRegion(dst, src []byte, t *MulTable)
+	// XORRegion computes dst ^= src.
+	XORRegion(dst, src []byte)
+}
+
+// registeredKernel pairs a kernel with its dispatch priority; higher wins.
+// The portable kernel registers at priority 0, architecture init()s add
+// their kernels above it when the CPU supports them.
+type registeredKernel struct {
+	k        Kernel
+	priority int
+}
+
+var (
+	kernelMu       sync.Mutex
+	kernelRegistry []registeredKernel
+	// kernelActive caches the dispatch choice. It is the only kernel
+	// state touched on the hot path: region ops are called per sector in
+	// tight encode loops, so selection must cost one atomic load, not a
+	// mutex (which would also bounce a contended cacheline across the
+	// store's flush/repair worker pools). nil means "not chosen yet".
+	kernelActive atomic.Pointer[chosenKernel]
+)
+
+// chosenKernel wraps the interface value so the atomic pointer has a
+// concrete type to point at.
+type chosenKernel struct{ k Kernel }
+
+// registerKernel adds a kernel to the dispatch table. It is called from
+// package init() functions only, before any region op can run.
+func registerKernel(k Kernel, priority int) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	kernelRegistry = append(kernelRegistry, registeredKernel{k, priority})
+	sort.SliceStable(kernelRegistry, func(i, j int) bool {
+		return kernelRegistry[i].priority > kernelRegistry[j].priority
+	})
+	kernelActive.Store(nil) // re-pick if registration races a Get (init order)
+}
+
+// activeKernel returns the dispatched kernel, honouring the
+// STAIR_GF_KERNEL environment override on first use.
+func activeKernel() Kernel {
+	if c := kernelActive.Load(); c != nil {
+		return c.k
+	}
+	return chooseKernel()
+}
+
+// chooseKernel is the cold path of activeKernel.
+func chooseKernel() Kernel {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if c := kernelActive.Load(); c != nil {
+		return c.k
+	}
+	k := pickKernel(os.Getenv("STAIR_GF_KERNEL"))
+	kernelActive.Store(&chosenKernel{k})
+	return k
+}
+
+// pickKernel resolves the dispatch choice: the highest-priority registered
+// kernel, unless the override names a specific one. An unknown override
+// panics — an A/B run measuring the wrong kernel is worse than no run.
+// Called with kernelMu held.
+func pickKernel(override string) Kernel {
+	if override == "" {
+		return kernelRegistry[0].k
+	}
+	for _, r := range kernelRegistry {
+		if r.k.Name() == override {
+			return r.k
+		}
+	}
+	panic(fmt.Sprintf("gf: STAIR_GF_KERNEL=%q does not name a usable kernel on this CPU (have %v)",
+		override, kernelNamesLocked()))
+}
+
+// KernelNames lists the usable kernels in dispatch-priority order (the
+// first entry is what runs unless STAIR_GF_KERNEL overrides it).
+func KernelNames() []string {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return kernelNamesLocked()
+}
+
+func kernelNamesLocked() []string {
+	names := make([]string, len(kernelRegistry))
+	for i, r := range kernelRegistry {
+		names[i] = r.k.Name()
+	}
+	return names
+}
+
+// ActiveKernelName reports which kernel region operations dispatch to.
+func ActiveKernelName() string { return activeKernel().Name() }
+
+// kernelByName fetches a registered kernel for tests and benchmarks that
+// exercise every code path regardless of dispatch.
+func kernelByName(name string) (Kernel, bool) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	for _, r := range kernelRegistry {
+		if r.k.Name() == name {
+			return r.k, true
+		}
+	}
+	return nil, false
+}
+
+// resetKernelForTest forces re-selection (re-reading STAIR_GF_KERNEL) on
+// the next region op. Test-only.
+func resetKernelForTest() {
+	kernelActive.Store(nil)
+}
+
+// ---------------------------------------------------------------------------
+// Shared scalar tails.
+//
+// Every kernel — assembly or portable — finishes through these helpers, so
+// ragged tails and sub-vector regions behave identically on every code
+// path. (Before the kernel layer, XORRegion's uint64 widening quietly fell
+// back to a private byte loop for unaligned/short tails; hoisting the tail
+// into one shared, tested helper is what keeps a 4097-byte region on AVX2
+// and the same region on purego byte-for-byte identical.)
+
+// xorTail computes dst ^= src for the len(dst) == len(src) remainder of a
+// region, uint64 words first, bytes for what's left. On little-endian
+// targets the Uint64/PutUint64 pairs compile to single unaligned loads and
+// stores, so each iteration is one 64-bit XOR instead of eight byte ops.
+func xorTail(dst, src []byte) {
+	n := len(src)
+	i := 0
+	// Two words per iteration: enough ILP to keep the load/store ports
+	// busy without the compiler's bounds checks dominating.
+	for ; i+16 <= n; i += 16 {
+		a := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		b := binary.LittleEndian.Uint64(dst[i+8:]) ^ binary.LittleEndian.Uint64(src[i+8:])
+		binary.LittleEndian.PutUint64(dst[i:], a)
+		binary.LittleEndian.PutUint64(dst[i+8:], b)
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// multXORTail computes dst ^= c·src through the table row, one byte at a
+// time. It is the tail helper behind every MultXOR kernel and the
+// reference the fuzz targets differential-test against.
+func multXORTail(dst, src []byte, t *MulTable) {
+	for i, v := range src {
+		dst[i] ^= t.Row[v]
+	}
+}
+
+// mulRegionTail computes dst = c·src through the table row.
+func mulRegionTail(dst, src []byte, t *MulTable) {
+	for i, v := range src {
+		dst[i] = t.Row[v]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Portable kernel.
+
+// portableKernel is the widened-word fallback: products are assembled
+// eight table lookups at a time into a uint64 so the read-modify-write
+// against dst happens once per word instead of once per byte. It is the
+// only kernel under the `purego` build tag and on architectures without
+// an assembly kernel, and the baseline the CI bench guard holds the
+// dispatched kernel against.
+type portableKernel struct{}
+
+func (portableKernel) Name() string { return "portable" }
+
+func (portableKernel) MultXOR(dst, src []byte, t *MulTable) {
+	row := &t.Row
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := uint64(row[src[i]]) |
+			uint64(row[src[i+1]])<<8 |
+			uint64(row[src[i+2]])<<16 |
+			uint64(row[src[i+3]])<<24 |
+			uint64(row[src[i+4]])<<32 |
+			uint64(row[src[i+5]])<<40 |
+			uint64(row[src[i+6]])<<48 |
+			uint64(row[src[i+7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
+	}
+	multXORTail(dst[i:], src[i:], t)
+}
+
+func (portableKernel) MulRegion(dst, src []byte, t *MulTable) {
+	row := &t.Row
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p := uint64(row[src[i]]) |
+			uint64(row[src[i+1]])<<8 |
+			uint64(row[src[i+2]])<<16 |
+			uint64(row[src[i+3]])<<24 |
+			uint64(row[src[i+4]])<<32 |
+			uint64(row[src[i+5]])<<40 |
+			uint64(row[src[i+6]])<<48 |
+			uint64(row[src[i+7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], p)
+	}
+	mulRegionTail(dst[i:], src[i:], t)
+}
+
+func (portableKernel) XORRegion(dst, src []byte) { xorTail(dst, src) }
+
+func init() { registerKernel(portableKernel{}, 0) }

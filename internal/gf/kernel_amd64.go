@@ -1,0 +1,119 @@
+//go:build amd64 && !purego
+
+package gf
+
+// amd64 SIMD kernels: the GF-Complete split-table scheme (Plank et al.),
+// 4-bit table lookups done 16 bytes per PSHUFB (SSSE3) or 32 bytes per
+// VPSHUFB (AVX2). Each 16-byte lane holds the low- and high-nibble
+// product tables of MulTable; a vector of source bytes is split into
+// nibbles, both halves are shuffled through the tables and XORed
+// together, yielding 16/32 products per iteration of the inner loop.
+//
+// The assembly handles only whole vectors; every wrapper finishes the
+// ragged remainder through the shared scalar tails in kernel.go so all
+// kernels agree byte-for-byte on every length.
+
+// Assembly routines (kernel_amd64.s). n must be a positive multiple of
+// the vector width: 16 for the SSSE3/SSE2 routines, 32 for AVX2.
+//
+//go:noescape
+func multXORSSSE3(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func mulRegionSSSE3(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func xorRegionSSE2(dst, src *byte, n int)
+
+//go:noescape
+func multXORAVX2(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func mulRegionAVX2(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func xorRegionAVX2(dst, src *byte, n int)
+
+// cpuid executes CPUID with the given leaf/subleaf; xgetbv reads
+// XCR0. Both are defined in kernel_amd64.s — the standard library's
+// feature flags live in internal packages this module cannot import.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+type ssse3Kernel struct{}
+
+func (ssse3Kernel) Name() string { return "ssse3" }
+
+func (ssse3Kernel) MultXOR(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 15
+	if n > 0 {
+		multXORSSSE3(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	multXORTail(dst[n:], src[n:], t)
+}
+
+func (ssse3Kernel) MulRegion(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 15
+	if n > 0 {
+		mulRegionSSSE3(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	mulRegionTail(dst[n:], src[n:], t)
+}
+
+func (ssse3Kernel) XORRegion(dst, src []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		xorRegionSSE2(&dst[0], &src[0], n)
+	}
+	xorTail(dst[n:], src[n:])
+}
+
+type avx2Kernel struct{}
+
+func (avx2Kernel) Name() string { return "avx2" }
+
+func (avx2Kernel) MultXOR(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 31
+	if n > 0 {
+		multXORAVX2(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	multXORTail(dst[n:], src[n:], t)
+}
+
+func (avx2Kernel) MulRegion(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 31
+	if n > 0 {
+		mulRegionAVX2(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	mulRegionTail(dst[n:], src[n:], t)
+}
+
+func (avx2Kernel) XORRegion(dst, src []byte) {
+	n := len(src) &^ 31
+	if n > 0 {
+		xorRegionAVX2(&dst[0], &src[0], n)
+	}
+	xorTail(dst[n:], src[n:])
+}
+
+func init() {
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidSSSE3   = 1 << 9
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidSSSE3 != 0 {
+		registerKernel(ssse3Kernel{}, 2)
+	}
+	// AVX2 needs the CPU bit, plus OSXSAVE and the OS having enabled
+	// XMM+YMM state in XCR0 (bits 1 and 2) — a kernel that context-
+	// switches without YMM state would corrupt our registers.
+	if ecx1&cpuidOSXSAVE != 0 && ecx1&cpuidAVX != 0 {
+		if xcr0, _ := xgetbv(); xcr0&0x6 == 0x6 {
+			if _, ebx7, _, _ := cpuid(7, 0); ebx7&(1<<5) != 0 {
+				registerKernel(avx2Kernel{}, 3)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// amd64 split-table GF region kernels. See kernel_amd64.go for the
+// dispatch wrappers and the scheme; the register conventions here are
+// shared by all routines:
+//
+//	DI  dst cursor        SI  src cursor        CX  bytes remaining
+//	X4/Y4  low-nibble product table   X5/Y5  high-nibble product table
+//	X6/Y6  0x0f byte mask
+//
+// Every n is a positive multiple of the vector width (asserted by the
+// Go wrappers), so the loops need no scalar epilogue.
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func multXORSSSE3(dst, src *byte, n int, lo, hi *byte)
+// dst[i:i+16] ^= shuffle(lo, src&0x0f) ^ shuffle(hi, src>>4)
+TEXT ·multXORSSSE3(SB), NOSPLIT, $0-40
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVQ  lo+24(FP), AX
+	MOVQ  hi+32(FP), BX
+	MOVOU (AX), X4
+	MOVOU (BX), X5
+	MOVOU nibbleMask<>(SB), X6
+
+ssse3mxloop:
+	MOVOU  (SI), X0
+	MOVOA  X0, X1
+	PSRLQ  $4, X1
+	PAND   X6, X0           // low nibbles
+	PAND   X6, X1           // high nibbles
+	MOVOA  X4, X2
+	MOVOA  X5, X3
+	PSHUFB X0, X2           // lo-table products
+	PSHUFB X1, X3           // hi-table products
+	PXOR   X3, X2
+	MOVOU  (DI), X0
+	PXOR   X0, X2
+	MOVOU  X2, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNE    ssse3mxloop
+	RET
+
+// func mulRegionSSSE3(dst, src *byte, n int, lo, hi *byte)
+// Same as multXORSSSE3 without the dst read-modify-write.
+TEXT ·mulRegionSSSE3(SB), NOSPLIT, $0-40
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), CX
+	MOVQ  lo+24(FP), AX
+	MOVQ  hi+32(FP), BX
+	MOVOU (AX), X4
+	MOVOU (BX), X5
+	MOVOU nibbleMask<>(SB), X6
+
+ssse3mrloop:
+	MOVOU  (SI), X0
+	MOVOA  X0, X1
+	PSRLQ  $4, X1
+	PAND   X6, X0
+	PAND   X6, X1
+	MOVOA  X4, X2
+	MOVOA  X5, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR   X3, X2
+	MOVOU  X2, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNE    ssse3mrloop
+	RET
+
+// func xorRegionSSE2(dst, src *byte, n int)
+TEXT ·xorRegionSSE2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+sse2xloop:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X1, X0
+	MOVOU X0, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNE   sse2xloop
+	RET
+
+// func multXORAVX2(dst, src *byte, n int, lo, hi *byte)
+// The 16-byte nibble tables are broadcast to both 128-bit lanes, so one
+// VPSHUFB translates 32 source bytes.
+TEXT ·multXORAVX2(SB), NOSPLIT, $0-40
+	MOVQ           dst+0(FP), DI
+	MOVQ           src+8(FP), SI
+	MOVQ           n+16(FP), CX
+	MOVQ           lo+24(FP), AX
+	MOVQ           hi+32(FP), BX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 nibbleMask<>(SB), Y6
+
+avx2mxloop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     avx2mxloop
+	VZEROUPPER
+	RET
+
+// func mulRegionAVX2(dst, src *byte, n int, lo, hi *byte)
+TEXT ·mulRegionAVX2(SB), NOSPLIT, $0-40
+	MOVQ           dst+0(FP), DI
+	MOVQ           src+8(FP), SI
+	MOVQ           n+16(FP), CX
+	MOVQ           lo+24(FP), AX
+	MOVQ           hi+32(FP), BX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VBROADCASTI128 nibbleMask<>(SB), Y6
+
+avx2mrloop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     avx2mrloop
+	VZEROUPPER
+	RET
+
+// func xorRegionAVX2(dst, src *byte, n int)
+TEXT ·xorRegionAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+avx2xloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNE     avx2xloop
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

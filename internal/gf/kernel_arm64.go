@@ -1,0 +1,51 @@
+//go:build arm64 && !purego
+
+package gf
+
+// arm64 NEON kernels: the same 4-bit split-table scheme as the amd64
+// PSHUFB kernels, using TBL — AdvSIMD's 16-byte table lookup — which is
+// baseline on every arm64 core, so registration is unconditional.
+// Assembly handles whole 16-byte vectors; the wrappers finish ragged
+// tails through the shared scalar helpers in kernel.go.
+
+// Assembly routines (kernel_arm64.s). n must be a positive multiple
+// of 16.
+//
+//go:noescape
+func multXORNEON(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func mulRegionNEON(dst, src *byte, n int, lo, hi *byte)
+
+//go:noescape
+func xorRegionNEON(dst, src *byte, n int)
+
+type neonKernel struct{}
+
+func (neonKernel) Name() string { return "neon" }
+
+func (neonKernel) MultXOR(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 15
+	if n > 0 {
+		multXORNEON(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	multXORTail(dst[n:], src[n:], t)
+}
+
+func (neonKernel) MulRegion(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 15
+	if n > 0 {
+		mulRegionNEON(&dst[0], &src[0], n, &t.Lo[0], &t.Hi[0])
+	}
+	mulRegionTail(dst[n:], src[n:], t)
+}
+
+func (neonKernel) XORRegion(dst, src []byte) {
+	n := len(src) &^ 15
+	if n > 0 {
+		xorRegionNEON(&dst[0], &src[0], n)
+	}
+	xorTail(dst[n:], src[n:])
+}
+
+func init() { registerKernel(neonKernel{}, 2) }

@@ -1,0 +1,77 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// arm64 NEON split-table GF region kernels. Register conventions:
+//
+//	R0  dst cursor     R1  src cursor     R2  bytes remaining
+//	V4  low-nibble product table          V5  high-nibble product table
+//	V6  0x0f byte mask
+//
+// Every n is a positive multiple of 16 (asserted by the Go wrappers),
+// so the loops need no scalar epilogue.
+
+// func multXORNEON(dst, src *byte, n int, lo, hi *byte)
+// dst[i:i+16] ^= tbl(lo, src&0x0f) ^ tbl(hi, src>>4)
+TEXT ·multXORNEON(SB), NOSPLIT, $0-40
+	MOVD  dst+0(FP), R0
+	MOVD  src+8(FP), R1
+	MOVD  n+16(FP), R2
+	MOVD  lo+24(FP), R3
+	MOVD  hi+32(FP), R4
+	VLD1  (R3), [V4.B16]
+	VLD1  (R4), [V5.B16]
+	VMOVI $15, V6.B16
+
+neonmxloop:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR  $4, V0.B16, V1.B16    // high nibbles
+	VAND   V6.B16, V0.B16, V0.B16 // low nibbles
+	VTBL   V0.B16, [V4.B16], V2.B16
+	VTBL   V1.B16, [V5.B16], V3.B16
+	VEOR   V3.B16, V2.B16, V2.B16
+	VLD1   (R0), [V0.B16]
+	VEOR   V0.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    neonmxloop
+	RET
+
+// func mulRegionNEON(dst, src *byte, n int, lo, hi *byte)
+// Same as multXORNEON without the dst read-modify-write.
+TEXT ·mulRegionNEON(SB), NOSPLIT, $0-40
+	MOVD  dst+0(FP), R0
+	MOVD  src+8(FP), R1
+	MOVD  n+16(FP), R2
+	MOVD  lo+24(FP), R3
+	MOVD  hi+32(FP), R4
+	VLD1  (R3), [V4.B16]
+	VLD1  (R4), [V5.B16]
+	VMOVI $15, V6.B16
+
+neonmrloop:
+	VLD1.P 16(R1), [V0.B16]
+	VUSHR  $4, V0.B16, V1.B16
+	VAND   V6.B16, V0.B16, V0.B16
+	VTBL   V0.B16, [V4.B16], V2.B16
+	VTBL   V1.B16, [V5.B16], V3.B16
+	VEOR   V3.B16, V2.B16, V2.B16
+	VST1.P [V2.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    neonmrloop
+	RET
+
+// func xorRegionNEON(dst, src *byte, n int)
+TEXT ·xorRegionNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+
+neonxloop:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1   (R0), [V1.B16]
+	VEOR   V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R0)
+	SUBS   $16, R2, R2
+	BNE    neonxloop
+	RET

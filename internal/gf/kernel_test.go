@@ -1,0 +1,290 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// refMulTable builds a MulTable for coefficient c straight from log/exp
+// arithmetic, independently of buildTables, so table construction and
+// kernels are both under test.
+func refMulTable(f *Field, c uint32) *MulTable {
+	t := &MulTable{}
+	for a := 0; a < 256; a++ {
+		t.Row[a] = byte(f.mulSlow(c, uint32(a)&uint32(f.mask)))
+	}
+	for x := 0; x < 16; x++ {
+		t.Lo[x] = t.Row[x]
+		t.Hi[x] = t.Row[(x<<4)&int(f.mask)]
+	}
+	return t
+}
+
+// refMultXOR is the plain byte loop every kernel must agree with.
+func refMultXOR(dst, src []byte, t *MulTable) {
+	for i, v := range src {
+		dst[i] ^= t.Row[v]
+	}
+}
+
+func refMulRegion(dst, src []byte, t *MulTable) {
+	for i, v := range src {
+		dst[i] = t.Row[v]
+	}
+}
+
+// allKernels returns every registered kernel (dispatch order).
+func allKernels() []Kernel {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	ks := make([]Kernel, len(kernelRegistry))
+	for i, r := range kernelRegistry {
+		ks[i] = r.k
+	}
+	return ks
+}
+
+// kernelLengths exercises sub-vector regions, exact vector multiples,
+// and ragged tails across the SSE (16), AVX (32) and word (8) widths.
+var kernelLengths = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 47, 63, 64, 65, 255, 256, 1000, 4096, 4097}
+
+// TestKernelsMatchReference differential-tests every registered kernel
+// against the byte-loop reference over random coefficients, all length
+// classes, and unaligned offsets (slicing 1..7 bytes into a buffer so
+// vector loads start off any natural boundary).
+func TestKernelsMatchReference(t *testing.T) {
+	f := Get(8)
+	rng := rand.New(rand.NewSource(41))
+	for _, k := range allKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			for _, n := range kernelLengths {
+				for _, off := range []int{0, 1, 5, 7} {
+					src := make([]byte, n+off)
+					base := make([]byte, n+off)
+					rng.Read(src)
+					rng.Read(base)
+					c := uint32(2 + rng.Intn(254))
+					tab := refMulTable(f, c)
+
+					want := append([]byte(nil), base...)
+					refMultXOR(want[off:], src[off:], tab)
+					got := append([]byte(nil), base...)
+					k.MultXOR(got[off:], src[off:], tab)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("MultXOR n=%d off=%d c=%d: kernel disagrees with reference", n, off, c)
+					}
+
+					want = append(want[:0:0], base...)
+					refMulRegion(want[off:], src[off:], tab)
+					got = append(got[:0:0], base...)
+					k.MulRegion(got[off:], src[off:], tab)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("MulRegion n=%d off=%d c=%d: kernel disagrees with reference", n, off, c)
+					}
+
+					want = append(want[:0:0], base...)
+					for i := off; i < len(want); i++ {
+						want[i] ^= src[i]
+					}
+					got = append(got[:0:0], base...)
+					k.XORRegion(got[off:], src[off:])
+					if !bytes.Equal(got, want) {
+						t.Fatalf("XORRegion n=%d off=%d: kernel disagrees with reference", n, off)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsMatchReferenceW4 repeats the differential test with w=4
+// tables: the zero Hi half must make every kernel mask high nibbles
+// exactly like the scalar row lookup.
+func TestKernelsMatchReferenceW4(t *testing.T) {
+	f := Get(4)
+	rng := rand.New(rand.NewSource(43))
+	for _, k := range allKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			for _, n := range []int{0, 1, 15, 16, 33, 256, 4097} {
+				src := make([]byte, n) // deliberately unmasked high nibbles
+				base := make([]byte, n)
+				rng.Read(src)
+				rng.Read(base)
+				c := uint32(1 + rng.Intn(15))
+				tab := &f.tables[c]
+				want := append([]byte(nil), base...)
+				refMultXOR(want, src, tab)
+				got := append([]byte(nil), base...)
+				k.MultXOR(got, src, tab)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("w=4 MultXOR n=%d c=%d: kernel disagrees with reference", n, c)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelDispatchOrder: the portable kernel is always registered, and
+// on amd64/arm64 default builds an assembly kernel must outrank it.
+func TestKernelDispatchOrder(t *testing.T) {
+	names := KernelNames()
+	found := false
+	for _, n := range names {
+		if n == "portable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("portable kernel missing from registry: %v", names)
+	}
+	if len(names) != len(uniqueStrings(names)) {
+		t.Fatalf("duplicate kernel names registered: %v", names)
+	}
+	if (runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64") && !testingPurego() {
+		if names[0] == "portable" {
+			t.Errorf("GOARCH=%s default build dispatched to portable; registry %v", runtime.GOARCH, names)
+		}
+	}
+}
+
+func uniqueStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// testingPurego reports whether this test binary was built with the
+// purego tag (the generic kernel file is the only registration source
+// then, so the registry holds exactly the portable kernel).
+func testingPurego() bool {
+	return len(KernelNames()) == 1
+}
+
+// TestKernelEnvOverride: STAIR_GF_KERNEL forces dispatch, and an unknown
+// name panics loudly rather than measuring the wrong kernel.
+func TestKernelEnvOverride(t *testing.T) {
+	t.Setenv("STAIR_GF_KERNEL", "portable")
+	resetKernelForTest()
+	defer func() {
+		os.Unsetenv("STAIR_GF_KERNEL")
+		resetKernelForTest()
+	}()
+	if got := ActiveKernelName(); got != "portable" {
+		t.Fatalf("override to portable: dispatched %q", got)
+	}
+	// The Field surface reports the forced kernel too.
+	if got := Get(8).KernelName(); got != "portable" {
+		t.Fatalf("Field.KernelName() = %q under portable override", got)
+	}
+
+	t.Setenv("STAIR_GF_KERNEL", "no-such-kernel")
+	resetKernelForTest()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown STAIR_GF_KERNEL did not panic")
+			}
+		}()
+		ActiveKernelName()
+	}()
+}
+
+// TestFieldKernelNameW16: two-byte symbols always take the portable
+// widened path.
+func TestFieldKernelNameW16(t *testing.T) {
+	if got := Get(16).KernelName(); got != "portable" {
+		t.Fatalf("w=16 KernelName() = %q, want portable", got)
+	}
+}
+
+// TestKernelSpeedGuard is the CI bench regression guard: gated behind
+// STAIR_GF_BENCHGUARD so routine test runs stay fast, it measures the
+// dispatched kernel against the portable baseline on a 4 KiB MultXOR
+// region and fails if dispatch made things slower. On default amd64
+// builds it also enforces the committed ≥4× SIMD speedup claim.
+func TestKernelSpeedGuard(t *testing.T) {
+	if os.Getenv("STAIR_GF_BENCHGUARD") == "" {
+		t.Skip("set STAIR_GF_BENCHGUARD=1 to run the kernel speed guard")
+	}
+	f := Get(8)
+	tab := &f.tables[0x53]
+	measure := func(k Kernel) float64 {
+		dst := make([]byte, 4096)
+		src := make([]byte, 4096)
+		rand.New(rand.NewSource(3)).Read(src)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.MultXOR(dst, src, tab)
+			}
+		})
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	portable, ok := kernelByName("portable")
+	if !ok {
+		t.Fatal("portable kernel not registered")
+	}
+	base := measure(portable)
+	active := activeKernel()
+	got := measure(active)
+	speedup := base / got
+	t.Logf("kernel %s: %.0f ns/op vs portable %.0f ns/op (%.1fx) on 4 KiB MultXOR", active.Name(), got, base, speedup)
+	if active.Name() == portable.Name() {
+		return // purego or no-SIMD target: nothing to guard
+	}
+	if speedup < 1 {
+		t.Fatalf("dispatched kernel %s is SLOWER than the portable baseline: %.2fx", active.Name(), speedup)
+	}
+	if runtime.GOARCH == "amd64" && speedup < 4 {
+		t.Errorf("amd64 SIMD kernel %s speedup %.1fx, want >= 4x (the committed claim)", active.Name(), speedup)
+	}
+}
+
+// BenchmarkMultXORKernels measures the 4 KiB MultXOR region op on every
+// registered kernel, so one run shows the whole dispatch ladder
+// (CI runs this as its bench smoke; sub-benchmark names carry the
+// kernel, e.g. BenchmarkMultXORKernels/avx2/4KiB).
+func BenchmarkMultXORKernels(b *testing.B) {
+	f := Get(8)
+	tab := &f.tables[0x53]
+	for _, k := range allKernels() {
+		for _, size := range benchSizes {
+			b.Run(k.Name()+"/"+byteSizeName(size), func(b *testing.B) {
+				benchXOR(b, size, func(dst, src []byte) { k.MultXOR(dst, src, tab) })
+			})
+		}
+	}
+}
+
+// BenchmarkXORRegionKernels is the same ladder for the c==1/XOR path.
+func BenchmarkXORRegionKernels(b *testing.B) {
+	for _, k := range allKernels() {
+		for _, size := range benchSizes {
+			b.Run(k.Name()+"/"+byteSizeName(size), func(b *testing.B) {
+				benchXOR(b, size, k.XORRegion)
+			})
+		}
+	}
+}
+
+// TestKernelNamesWellFormed keeps names usable as benchmark labels and
+// env override values.
+func TestKernelNamesWellFormed(t *testing.T) {
+	for _, n := range KernelNames() {
+		if n == "" || strings.ContainsAny(n, " /=") {
+			t.Errorf("kernel name %q not usable in benchmarks/env", n)
+		}
+	}
+	if ActiveKernelName() != Get(8).KernelName() {
+		t.Error("Field.KernelName() disagrees with package dispatch")
+	}
+}

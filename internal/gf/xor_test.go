@@ -52,6 +52,45 @@ func TestXORRegionMatchesByteWise(t *testing.T) {
 	}
 }
 
+// TestXORTailOddLengthsAndOffsets is the regression test for the tail
+// handling shared by every kernel: XORRegion's word widening (and the
+// SIMD kernels' vector loops) used to fall back to private byte loops on
+// unaligned or short tails; the shared xorTail helper now owns every
+// remainder. Odd lengths at odd offsets must agree with the byte-wise
+// oracle on each registered kernel and on the dispatched surface.
+func TestXORTailOddLengthsAndOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 2, 3, 5, 7, 9, 13, 17, 23, 31, 33, 47, 63, 65, 4097} {
+		for _, off := range []int{1, 3, 7} {
+			src := make([]byte, n+off)
+			base := make([]byte, n+off)
+			rng.Read(src)
+			rng.Read(base)
+			want := append([]byte(nil), base...)
+			xorRegionBytes(want[off:], src[off:])
+
+			for _, k := range allKernels() {
+				got := append([]byte(nil), base...)
+				k.XORRegion(got[off:], src[off:])
+				if !bytes.Equal(got, want) {
+					t.Fatalf("kernel %s: n=%d off=%d tail disagrees with byte-wise oracle", k.Name(), n, off)
+				}
+			}
+			got := append([]byte(nil), base...)
+			XORRegion(got[off:], src[off:])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("dispatched XORRegion: n=%d off=%d tail disagrees with byte-wise oracle", n, off)
+			}
+			// xorTail itself — the shared helper — on the raw slices.
+			got = append(got[:0:0], base...)
+			xorTail(got[off:], src[off:])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("xorTail: n=%d off=%d disagrees with byte-wise oracle", n, off)
+			}
+		}
+	}
+}
+
 func TestXORRegionLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

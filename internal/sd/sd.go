@@ -437,6 +437,12 @@ func (c *Code) patternSolvable(lost []Cell) bool {
 // N returns the number of chunks per stripe.
 func (c *Code) N() int { return c.n }
 
+// KernelName reports which GF region kernel this code's Mult_XOR region
+// ops dispatch to (internal/gf runtime CPU dispatch, overridable with
+// STAIR_GF_KERNEL). SD codes picked over GF(2^8)/GF(2^4) ride the SIMD
+// kernels; instances forced to GF(2^16) take the portable widened path.
+func (c *Code) KernelName() string { return c.f.KernelName() }
+
 // R returns the number of sectors per chunk.
 func (c *Code) R() int { return c.r }
 
