@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -76,6 +75,9 @@ type storeBenchResult struct {
 type storeBenchReport struct {
 	Config  storeBenchConfig   `json:"config"`
 	Results []storeBenchResult `json:"results"`
+	// Cluster holds the cluster experiment's section; each experiment
+	// rewrites only its own part of BENCH_store.json.
+	Cluster *clusterBenchReport `json:"cluster,omitempty"`
 }
 
 // runStore measures the internal/store data paths end to end — batched
@@ -434,13 +436,9 @@ func runStore(o options) error {
 	}
 	w.Flush()
 
-	report := storeBenchReport{Config: cfg, Results: results}
-	raw, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	raw = append(raw, '\n')
-	if err := os.WriteFile("BENCH_store.json", raw, 0o644); err != nil {
+	report := storeBenchReport{Config: cfg, Results: results,
+		Cluster: loadStoreReport().Cluster}
+	if err := writeStoreReport(report); err != nil {
 		return err
 	}
 	fmt.Println("\nwrote BENCH_store.json")

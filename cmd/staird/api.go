@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"stair/internal/cluster"
+	"stair/internal/store"
+)
+
+// api is the volume daemon's HTTP surface over one shared Volume. The
+// store is safe for concurrent use, so requests run on the server's
+// native per-connection concurrency with no extra locking here.
+type api struct {
+	v   *cluster.Volume
+	mux *http.ServeMux
+}
+
+func newAPI(v *cluster.Volume) *api {
+	a := &api{v: v, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /v1/blocks/{idx}", a.handleGetBlock)
+	a.mux.HandleFunc("PUT /v1/blocks/{idx}", a.handlePutBlock)
+	a.mux.HandleFunc("POST /v1/flush", a.handleFlush)
+	a.mux.HandleFunc("POST /v1/sync", a.handleSync)
+	a.mux.HandleFunc("POST /v1/scrub", a.handleScrub)
+	a.mux.HandleFunc("GET /v1/status", a.handleStatus)
+	a.mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
+	return a
+}
+
+func (a *api) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func (a *api) block(w http.ResponseWriter, r *http.Request) (int, bool) {
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil || idx < 0 || idx >= a.v.Blocks() {
+		http.Error(w, fmt.Sprintf("block index %q out of range [0, %d)", r.PathValue("idx"), a.v.Blocks()), http.StatusBadRequest)
+		return 0, false
+	}
+	return idx, true
+}
+
+func (a *api) handleGetBlock(w http.ResponseWriter, r *http.Request) {
+	idx, ok := a.block(w, r)
+	if !ok {
+		return
+	}
+	data, err := a.v.ReadBlock(r.Context(), idx)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (a *api) handlePutBlock(w http.ResponseWriter, r *http.Request) {
+	idx, ok := a.block(w, r)
+	if !ok {
+		return
+	}
+	size := a.v.BlockSize()
+	data, err := io.ReadAll(io.LimitReader(r.Body, int64(size)+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) != size {
+		http.Error(w, fmt.Sprintf("body is %d bytes; a block is exactly %d", len(data), size), http.StatusBadRequest)
+		return
+	}
+	if err := a.v.WriteBlock(r.Context(), idx, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (a *api) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := a.v.Flush(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (a *api) handleSync(w http.ResponseWriter, r *http.Request) {
+	if err := a.v.Sync(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (a *api) handleScrub(w http.ResponseWriter, r *http.Request) {
+	rep, err := a.v.Scrub(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// statusReport is the /v1/status shape.
+type statusReport struct {
+	Blocks    int                    `json:"blocks"`
+	BlockSize int                    `json:"block_size"`
+	Placement []cluster.Server       `json:"placement"`
+	Health    []cluster.ColumnHealth `json:"health"`
+}
+
+func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statusReport{
+		Blocks:    a.v.Blocks(),
+		BlockSize: a.v.BlockSize(),
+		Placement: a.v.Placement(),
+		Health:    a.v.Health(),
+	})
+}
+
+// metricsReport is the /v1/metrics shape: the store's counters and the
+// cluster layer's, side by side.
+type metricsReport struct {
+	Store   store.Stats   `json:"store"`
+	Cluster cluster.Stats `json:"cluster"`
+}
+
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, metricsReport{Store: a.v.StoreStats(), Cluster: a.v.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,229 @@
+// Command staird runs the distributed STAIR volume service.
+//
+// Two roles share the binary. A device server exports one local
+// (memory- or file-backed) device over the NetDevice wire protocol,
+// optionally latency-shaped to emulate remote media:
+//
+//	staird device -listen :9000 -sectors 4096 -sector 4096 \
+//	    [-file dev.img] [-latency 2ms -jitter 1ms -spike 40ms -spike-prob 0.02 -serial]
+//
+// A volume daemon places a STAIR volume's columns across a fleet of
+// such device servers, watches their health, fails over to spares with
+// background rebuild, and serves a concurrent block API to clients:
+//
+//	staird serve -listen :8080 -fleet fleet.json -volume myvol \
+//	    -n 6 -r 4 -m 2 -e 1,2 -stripes 64 -sector 4096 \
+//	    [-flush-workers 4] [-coalesce] [-hedge] \
+//	    [-heartbeat 1s] [-fail-after 3]
+//
+// The fleet file lists servers and spares:
+//
+//	{"servers": [
+//	  {"name": "dev0", "url": "http://127.0.0.1:9000"},
+//	  {"name": "dev6", "url": "http://127.0.0.1:9006", "spare": true}
+//	]}
+//
+// Volume API: GET/PUT /v1/blocks/{idx} move one block; POST
+// /v1/flush, /v1/sync, /v1/scrub drive maintenance; GET /v1/status
+// reports geometry, placement and per-column health; GET /v1/metrics
+// returns the store and cluster counters as JSON.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"stair/internal/cluster"
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var err error
+	switch os.Args[1] {
+	case "device":
+		err = cmdDevice(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "staird:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  staird device -listen :9000 -sectors N -sector S [-file dev.img] [-latency d -jitter d -spike d -spike-prob p -serial]
+  staird serve  -listen :8080 -fleet fleet.json -n 6 -r 4 -m 2 -e 1,2 -stripes N -sector S [flags]`)
+	os.Exit(2)
+}
+
+// parseE parses the comma-separated e vector (e.g. "1,2").
+func parseE(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad e vector %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// serveHTTP runs one HTTP server until ctx is cancelled, then shuts it
+// down gracefully.
+func serveHTTP(ctx context.Context, listen string, handler http.Handler) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening on %s\n", ln.Addr())
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cmdDevice(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("device", flag.ExitOnError)
+	listen := fs.String("listen", ":9000", "address to serve the device on")
+	sectors := fs.Int("sectors", 4096, "device capacity in sectors")
+	sector := fs.Int("sector", 4096, "sector size in bytes")
+	file := fs.String("file", "", "back the device with this image file (default: in-memory)")
+	latency := fs.Duration("latency", 0, "fixed per-call latency")
+	jitter := fs.Duration("jitter", 0, "uniform extra latency in [0, jitter]")
+	spike := fs.Duration("spike", 0, "heavy-tail extra latency on a spike-prob fraction of calls")
+	spikeProb := fs.Float64("spike-prob", 0, "fraction of calls hit by the spike")
+	serial := fs.Bool("serial", false, "queue concurrent calls like a single spindle")
+	fs.Parse(args)
+
+	var dev store.Device
+	if *file != "" {
+		fd, err := store.OpenFileDevice(*file, *sectors, *sector)
+		if err != nil {
+			return err
+		}
+		dev = fd
+	} else {
+		dev = store.NewMemDevice(*sectors, *sector)
+	}
+	defer dev.Close()
+	profile := store.LatencyProfile{
+		Latency: *latency, Jitter: *jitter,
+		Spike: *spike, SpikeProb: *spikeProb,
+		Serial: *serial,
+	}
+	if profile != (store.LatencyProfile{}) {
+		dev = store.NewLatencyDeviceProfile(dev, profile)
+	}
+	return serveHTTP(ctx, *listen, store.NewDeviceServer(dev))
+}
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":8080", "address to serve the volume API on")
+	fleetPath := fs.String("fleet", "", "fleet file (required)")
+	volume := fs.String("volume", "volume", "volume name (keys placement)")
+	n := fs.Int("n", 6, "stripe columns")
+	r := fs.Int("r", 4, "rows per stripe column")
+	m := fs.Int("m", 2, "device failures tolerated")
+	eStr := fs.String("e", "1,2", "sector-failure vector, comma separated")
+	stripes := fs.Int("stripes", 64, "stripes in the volume")
+	sector := fs.Int("sector", 4096, "sector (= block) size in bytes")
+	workers := fs.Int("workers", 0, "encode/repair parallelism (0 = GOMAXPROCS)")
+	flushWorkers := fs.Int("flush-workers", 4, "asynchronous flush pipeline width (0 = synchronous)")
+	coalesce := fs.Bool("coalesce", true, "merge adjacent stripe extents per backend")
+	coalesceWindow := fs.Duration("coalesce-window", 200*time.Microsecond, "coalescer batch window")
+	hedge := fs.Bool("hedge", true, "hedge slow column reads via sibling reconstruction")
+	hedgePercentile := fs.Float64("hedge-percentile", 0.9, "latency percentile that launches a hedge")
+	heartbeat := fs.Duration("heartbeat", time.Second, "health sweep interval")
+	failAfter := fs.Int("fail-after", 3, "consecutive missed probes that declare a server dead")
+	fs.Parse(args)
+
+	if *fleetPath == "" {
+		return errors.New("serve: -fleet is required")
+	}
+	fleet, err := cluster.LoadFleet(*fleetPath)
+	if err != nil {
+		return err
+	}
+	e, err := parseE(*eStr)
+	if err != nil {
+		return err
+	}
+	code, err := core.New(core.Config{N: *n, R: *r, M: *m, E: e})
+	if err != nil {
+		return err
+	}
+
+	cfg := cluster.Config{
+		Fleet:        fleet,
+		VolumeName:   *volume,
+		Code:         code,
+		SectorSize:   *sector,
+		Stripes:      *stripes,
+		Workers:      *workers,
+		FlushWorkers: *flushWorkers,
+		Monitor:      cluster.MonitorConfig{Interval: *heartbeat, FailAfter: *failAfter},
+	}
+	if *coalesce {
+		cfg.Coalesce = &store.CoalesceOptions{Window: *coalesceWindow}
+	}
+	if *hedge {
+		cfg.Hedge = &cluster.HedgeConfig{Percentile: *hedgePercentile}
+	}
+
+	v, err := cluster.Open(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("volume %q: %d columns × %d stripes, block %d B\n", *volume, *n, *stripes, v.BlockSize())
+	for _, p := range v.Placement() {
+		fmt.Printf("  column on %s (%s)\n", p.Name, p.URL)
+	}
+	serveErr := serveHTTP(ctx, *listen, newAPI(v))
+	// Drain buffered writes to the fleet before closing.
+	syncCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	syncErr := v.Sync(syncCtx)
+	cancel()
+	closeErr := v.Close()
+	if serveErr != nil {
+		return serveErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stair/internal/cluster"
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+// testVolume builds an in-process cluster volume over local devices.
+func testVolume(t *testing.T) *cluster.Volume {
+	t.Helper()
+	code, err := core.New(core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []cluster.Server
+	for i := 0; i < 6; i++ {
+		servers = append(servers, cluster.Server{Name: fmt.Sprintf("s%d", i), URL: "local://"})
+	}
+	v, err := cluster.Open(context.Background(), cluster.Config{
+		Fleet:      &cluster.Fleet{Servers: servers},
+		Code:       code,
+		SectorSize: 64,
+		Stripes:    4,
+		Dial: func(ctx context.Context, server cluster.Server) (store.Device, error) {
+			return store.NewMemDevice(4*code.R(), 64), nil
+		},
+		Monitor: cluster.MonitorConfig{Interval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
+
+func TestAPIBlockRoundTrip(t *testing.T) {
+	v := testVolume(t)
+	srv := httptest.NewServer(newAPI(v))
+	t.Cleanup(srv.Close)
+
+	block := bytes.Repeat([]byte{0xAB}, v.BlockSize())
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/blocks/3", bytes.NewReader(block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT block: status %d", resp.StatusCode)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/v1/blocks/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatal("GET returned different bytes than PUT stored")
+	}
+
+	// Out-of-range and wrong-size requests are client errors.
+	resp, err = srv.Client().Get(srv.URL + "/v1/blocks/999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range GET: status %d, want 400", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/blocks/0", bytes.NewReader([]byte("short")))
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short PUT: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAPIMaintenanceAndMetrics(t *testing.T) {
+	v := testVolume(t)
+	srv := httptest.NewServer(newAPI(v))
+	t.Cleanup(srv.Close)
+
+	block := bytes.Repeat([]byte{7}, v.BlockSize())
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/blocks/0", bytes.NewReader(block))
+	if resp, err := srv.Client().Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	for _, ep := range []string{"/v1/flush", "/v1/sync", "/v1/scrub"} {
+		resp, err := srv.Client().Post(srv.URL+ep, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", ep, resp.StatusCode)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status statusReport
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Blocks != v.Blocks() || len(status.Health) != 6 || len(status.Placement) != 6 {
+		t.Fatalf("status %+v", status)
+	}
+	for _, h := range status.Health {
+		if !h.Alive {
+			t.Fatalf("healthy column reported dead: %+v", h)
+		}
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics metricsReport
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Store.Writes == 0 {
+		t.Fatalf("metrics report zero writes after a PUT: %+v", metrics.Store)
+	}
+}
+
+func TestParseE(t *testing.T) {
+	e, err := parseE("1, 2,3")
+	if err != nil || len(e) != 3 || e[0] != 1 || e[1] != 2 || e[2] != 3 {
+		t.Fatalf("parseE = %v, %v", e, err)
+	}
+	if _, err := parseE("1,x"); err == nil {
+		t.Fatal("parseE accepted garbage")
+	}
+}

@@ -13,6 +13,7 @@
 //	stairstore scrub       -dir vol
 //	stairstore recover     -dir vol
 //	stairstore stats       -dir vol
+//	stairstore stats       -url http://127.0.0.1:8080
 //
 // Layout: dir/volume.json records geometry plus cumulative stats;
 // dir/dev_<i>.img holds device i's sectors, with a dev_<i>.img.faults
@@ -27,10 +28,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -456,9 +459,13 @@ func cmdRecover(ctx context.Context, args []string) (err error) {
 func cmdStats(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("dir", "", "volume directory")
+	url := fs.String("url", "", "fetch /v1/metrics from a remote staird or device server instead")
 	fs.Parse(args)
+	if *url != "" {
+		return remoteStats(ctx, *url)
+	}
 	if *dir == "" {
-		return errors.New("stats: -dir required")
+		return errors.New("stats: -dir or -url required")
 	}
 	s, meta, err := openVolume(*dir)
 	if err != nil {
@@ -483,6 +490,35 @@ func cmdStats(ctx context.Context, args []string) (err error) {
 		t.ScrubbedStripes, t.ScrubHits, t.RepairedSectors, t.RepairedStripes, t.RepairDrops, t.UnrecoverableStripes)
 	fmt.Printf("          journaled flushes=%d crash-recovered stripes=%d\n",
 		t.JournaledFlushes, t.RecoveredStripes)
+	return nil
+}
+
+// remoteStats fetches and pretty-prints a /v1/metrics endpoint — a
+// staird volume daemon's (store + cluster counters) or a single device
+// server's (request counters).
+func remoteStats(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(base, "/")+"/v1/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s answered %s", base, resp.Status)
+	}
+	var metrics any
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		return fmt.Errorf("stats: bad metrics from %s: %w", base, err)
+	}
+	out, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
 	return nil
 }
 

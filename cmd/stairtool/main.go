@@ -10,6 +10,7 @@
 //	stairtool repair  -dir shards
 //	stairtool decode  -dir shards -out restored.bin
 //	stairtool verify  -dir shards
+//	stairtool fleet   -n 6 -spares 1 -base-port 9000 -out fleet.json
 //
 // Layout: dir/chunk_<d>.bin holds device d's sectors back to back;
 // dir/manifest.json records geometry, file length, a SHA-256 of the
@@ -63,6 +64,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	default:
 		usage()
 	}
@@ -73,8 +76,50 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stairtool {encode|corrupt|repair|decode|verify|status} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stairtool {encode|corrupt|repair|decode|verify|status|fleet} [flags]")
 	os.Exit(2)
+}
+
+// cmdFleet generates a cluster fleet file for staird: n active device
+// servers plus the requested spares, on consecutive ports of one host.
+//
+//	stairtool fleet -n 6 -spares 1 -host 127.0.0.1 -base-port 9000 -out fleet.json
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	n := fs.Int("n", 6, "active device servers")
+	spares := fs.Int("spares", 1, "spare device servers")
+	host := fs.String("host", "127.0.0.1", "device server host")
+	basePort := fs.Int("base-port", 9000, "first device server port")
+	out := fs.String("out", "", "output path (default: stdout)")
+	fs.Parse(args)
+	if *n < 1 || *spares < 0 {
+		return fmt.Errorf("fleet: need n ≥ 1 actives and spares ≥ 0 (got %d, %d)", *n, *spares)
+	}
+	type server struct {
+		Name  string `json:"name"`
+		URL   string `json:"url"`
+		Spare bool   `json:"spare,omitempty"`
+	}
+	var fleet struct {
+		Servers []server `json:"servers"`
+	}
+	for i := 0; i < *n+*spares; i++ {
+		fleet.Servers = append(fleet.Servers, server{
+			Name:  fmt.Sprintf("dev%d", i),
+			URL:   fmt.Sprintf("http://%s:%d", *host, *basePort+i),
+			Spare: i >= *n,
+		})
+	}
+	enc, err := json.MarshalIndent(fleet, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
 }
 
 func parseE(s string) ([]int, error) {

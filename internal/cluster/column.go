@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"stair/internal/store"
+)
+
+// column is one stripe column's swappable backend: the device the
+// store talks to, the server it currently lives on, and the dead flag
+// the failure detector flips. A dead column fails every data operation
+// fast with store.ErrDeviceFailed — the same answer a locally failed
+// device gives — so the store's degraded-read path takes over without
+// burning a transport timeout per request. Failover swaps a freshly
+// dialled spare in with adopt, after which the column is live again
+// and store.ReplaceDevice/RebuildDevice run their usual course.
+//
+// column implements store.FaultDevice and store.Syncer; fault-plane
+// calls forward to the current device (over the wire for NetDevice).
+type column struct {
+	idx int
+	// wrap decorates every adopted device (the per-backend coalescer
+	// hooks in here); nil means no decoration.
+	wrap func(store.Device) store.Device
+	// onSuspect reports a transport-level error on live I/O to the
+	// failure detector. Typed results — SectorErrors, ErrDeviceFailed —
+	// are device states, not transport blips, and are not reported.
+	onSuspect func(col int, err error)
+
+	mu     sync.RWMutex
+	dev    store.Device
+	raw    store.Device // pre-wrap device: the transport itself (probes)
+	server Server
+	dead   bool
+
+	sectors    int
+	sectorSize int
+}
+
+func newColumn(idx int, server Server, dev store.Device, wrap func(store.Device) store.Device) *column {
+	raw := dev
+	if wrap != nil {
+		dev = wrap(dev)
+	}
+	return &column{
+		idx:        idx,
+		wrap:       wrap,
+		dev:        dev,
+		raw:        raw,
+		server:     server,
+		sectors:    dev.Sectors(),
+		sectorSize: dev.SectorSize(),
+	}
+}
+
+// snapshot returns the current device, or ErrDeviceFailed when dead.
+func (c *column) snapshot() (store.Device, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dead {
+		return nil, store.ErrDeviceFailed
+	}
+	return c.dev, nil
+}
+
+// rawDev returns the pre-wrap transport device (nil when dead) — the
+// monitor probes it directly, bypassing coalescing/wrapping layers.
+func (c *column) rawDev() store.Device {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.dead {
+		return nil
+	}
+	return c.raw
+}
+
+// markDead flips the column to fast-failing degraded state and drops
+// the dead transport. In-flight calls holding the old device surface
+// their own transport errors; new calls never touch the network.
+func (c *column) markDead() {
+	c.mu.Lock()
+	dev := c.dev
+	c.dead = true
+	c.dev = nil
+	c.raw = nil
+	c.mu.Unlock()
+	if dev != nil {
+		dev.Close()
+	}
+}
+
+// adopt swaps in a freshly dialled replacement and revives the column.
+func (c *column) adopt(dev store.Device, server Server) {
+	raw := dev
+	if c.wrap != nil {
+		dev = c.wrap(dev)
+	}
+	c.mu.Lock()
+	old := c.dev
+	c.dev = dev
+	c.raw = raw
+	c.server = server
+	c.dead = false
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// state reports the column's current endpoint and liveness.
+func (c *column) state() (Server, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.server, !c.dead
+}
+
+// observe classifies an I/O error: anything that is not a typed device
+// answer (partial-loss SectorErrors, ErrDeviceFailed) and not the
+// caller's own cancellation looks like transport trouble and is
+// reported to the failure detector.
+func (c *column) observe(ctx context.Context, err error) {
+	if err == nil || c.onSuspect == nil {
+		return
+	}
+	if _, ok := store.AsSectorErrors(err); ok {
+		return
+	}
+	if errors.Is(err, store.ErrDeviceFailed) || ctx.Err() != nil {
+		return
+	}
+	c.onSuspect(c.idx, err)
+}
+
+// Sectors returns the column's capacity (stable across swaps: every
+// fleet member serves the same geometry).
+func (c *column) Sectors() int { return c.sectors }
+
+// SectorSize returns the column's sector size.
+func (c *column) SectorSize() int { return c.sectorSize }
+
+// ReadSectors forwards the vectored read to the current device.
+func (c *column) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	dev, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	err = dev.ReadSectors(ctx, start, bufs)
+	c.observe(ctx, err)
+	return err
+}
+
+// WriteSectors forwards the vectored write to the current device.
+func (c *column) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	dev, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	err = dev.WriteSectors(ctx, start, data)
+	c.observe(ctx, err)
+	return err
+}
+
+// Sync forwards the durability barrier. The store skips devices whose
+// Failed() reports true, so a dead column is never asked.
+func (c *column) Sync(ctx context.Context) error {
+	dev, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	err = store.SyncDevice(ctx, dev)
+	c.observe(ctx, err)
+	return err
+}
+
+// Close closes the current device.
+func (c *column) Close() error {
+	c.mu.Lock()
+	dev := c.dev
+	c.dev = nil
+	c.raw = nil
+	c.mu.Unlock()
+	if dev == nil {
+		return nil
+	}
+	return dev.Close()
+}
+
+// faultDev returns the current device's fault plane.
+func (c *column) faultDev() (store.FaultDevice, error) {
+	dev, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if fd, ok := dev.(store.FaultDevice); ok {
+		return fd, nil
+	}
+	return nil, errors.New("cluster: column device does not support fault injection")
+}
+
+// Fail forwards to the current device's fault plane.
+func (c *column) Fail() error {
+	fd, err := c.faultDev()
+	if err != nil {
+		return err
+	}
+	return fd.Fail()
+}
+
+// Failed reports whether the column is dead or its device has failed.
+func (c *column) Failed() bool {
+	dev, err := c.snapshot()
+	if err != nil {
+		return true // dead column
+	}
+	if fd, ok := dev.(store.FaultDevice); ok {
+		return fd.Failed()
+	}
+	return false
+}
+
+// Replace forwards to the current device's fault plane (after a
+// failover swap this is the fresh spare, so the store's
+// replace-comes-back-bad semantics apply to it).
+func (c *column) Replace() error {
+	fd, err := c.faultDev()
+	if err != nil {
+		return err
+	}
+	return fd.Replace()
+}
+
+// InjectSectorError forwards to the current device's fault plane.
+func (c *column) InjectSectorError(idx int) error {
+	fd, err := c.faultDev()
+	if err != nil {
+		return err
+	}
+	return fd.InjectSectorError(idx)
+}
+
+// BadSectors reports the current device's latent-error count (zero
+// when the column is dead: there is no device to ask).
+func (c *column) BadSectors() int {
+	fd, err := c.faultDev()
+	if err != nil {
+		return 0
+	}
+	return fd.BadSectors()
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+	"stair/internal/store/devtest"
+)
+
+// The cluster-backed device — a placement column dialled over the
+// NetDevice transport, with the per-backend coalescer in the stack —
+// must present the exact same Device contract as a local backend.
+func TestDeviceConformanceClusterColumn(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, sectors, sectorSize int) store.FaultDevice {
+		srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(sectors, sectorSize)))
+		t.Cleanup(srv.Close)
+		dev, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrap := func(d store.Device) store.Device {
+			return store.NewCoalescingDevice(d, store.CoalesceOptions{Window: 50 * time.Microsecond})
+		}
+		return newColumn(0, Server{Name: "s0", URL: srv.URL}, dev, wrap)
+	})
+}
+
+// A dead column answers exactly like a wholly failed device: fast
+// ErrDeviceFailed on I/O, Failed() true, no transport touched.
+func TestColumnDeadFastFail(t *testing.T) {
+	srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(8, 64)))
+	t.Cleanup(srv.Close)
+	dev, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newColumn(0, Server{Name: "s0", URL: srv.URL}, dev, nil)
+	col.markDead()
+	begin := time.Now()
+	err = col.ReadSectors(context.Background(), 0, [][]byte{make([]byte, 64)})
+	if err != store.ErrDeviceFailed {
+		t.Fatalf("dead column read: %v, want ErrDeviceFailed", err)
+	}
+	if took := time.Since(begin); took > 100*time.Millisecond {
+		t.Fatalf("dead column took %v to answer — did it touch the transport?", took)
+	}
+	if !col.Failed() {
+		t.Fatal("dead column reports healthy")
+	}
+}
+
+// Transport errors on live I/O reach the failure detector; typed
+// device answers do not.
+func TestColumnSuspicion(t *testing.T) {
+	srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(8, 64)))
+	dev, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetRetryPolicy(store.RetryPolicy{MaxAttempts: 1})
+	col := newColumn(0, Server{Name: "s0", URL: srv.URL}, dev, nil)
+	suspects := make(chan int, 4)
+	col.onSuspect = func(c int, err error) { suspects <- c }
+
+	// A typed partial loss is a device state, not transport trouble.
+	if err := col.InjectSectorError(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.ReadSectors(context.Background(), 2, [][]byte{make([]byte, 64)}); err == nil {
+		t.Fatal("read of bad sector succeeded")
+	}
+	select {
+	case <-suspects:
+		t.Fatal("SectorErrors raised a transport suspicion")
+	default:
+	}
+
+	// Kill the server: the transport error must raise a suspicion.
+	srv.CloseClientConnections()
+	srv.Close()
+	if err := col.ReadSectors(context.Background(), 0, [][]byte{make([]byte, 64)}); err == nil {
+		t.Fatal("read through dead transport succeeded")
+	}
+	select {
+	case c := <-suspects:
+		if c != 0 {
+			t.Fatalf("suspicion names column %d, want 0", c)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("transport error raised no suspicion")
+	}
+}

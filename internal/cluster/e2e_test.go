@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+)
+
+// The PR's acceptance scenario: six device servers plus one spare,
+// kill a placed server mid-workload, and the volume must keep serving
+// (degraded), fail over to the spare, rebuild in the background, and
+// come out of a scrub with zero lost sectors.
+func TestClusterKillFailoverRebuild(t *testing.T) {
+	code := testCode(t)
+	const sectorSize, stripes = 64, 6
+
+	srvs := map[string]*httptest.Server{}
+	var servers []Server
+	for i := 0; i < 7; i++ {
+		name := fmt.Sprintf("s%d", i)
+		hs := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(stripes*code.R(), sectorSize)))
+		t.Cleanup(hs.Close)
+		srvs[name] = hs
+		servers = append(servers, Server{Name: name, URL: hs.URL, Spare: i == 6})
+	}
+
+	v, err := Open(context.Background(), Config{
+		Fleet:        &Fleet{Servers: servers},
+		VolumeName:   "e2e",
+		Code:         code,
+		SectorSize:   sectorSize,
+		Stripes:      stripes,
+		FlushWorkers: 2,
+		Coalesce:     &store.CoalesceOptions{Window: 100 * time.Microsecond},
+		Monitor:      MonitorConfig{Interval: 50 * time.Millisecond, Timeout: 40 * time.Millisecond, FailAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	ctx := context.Background()
+	pattern := func(b, gen int) []byte {
+		out := make([]byte, sectorSize)
+		for i := range out {
+			out[i] = byte(b*13 + gen*101 + i)
+		}
+		return out
+	}
+	blocks := v.Blocks()
+	for b := 0; b < blocks; b++ {
+		if err := v.WriteBlock(ctx, b, pattern(b, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server backing column 2, abruptly.
+	victim := v.Placement()[2].Name
+	srvs[victim].CloseClientConnections()
+	srvs[victim].Close()
+
+	// Degraded service must continue: every block stays readable with
+	// its content, and writes keep landing.
+	for b := 0; b < blocks; b++ {
+		got, err := v.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("degraded read of block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, pattern(b, 0)) {
+			t.Fatalf("degraded read of block %d returned wrong content", b)
+		}
+	}
+	for b := 0; b < blocks/2; b++ {
+		if err := v.WriteBlock(ctx, b, pattern(b, 1)); err != nil {
+			t.Fatalf("degraded write of block %d: %v", b, err)
+		}
+	}
+	if err := v.Sync(ctx); err != nil {
+		t.Fatalf("degraded sync: %v", err)
+	}
+
+	// The failure detector must declare the death, swap in the spare,
+	// and finish the background rebuild.
+	deadline := time.Now().Add(15 * time.Second)
+	for v.Stats().Rebuilds == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no rebuild completed; stats %+v, health %+v", v.Stats(), v.Health())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	v.WaitRebuilds()
+
+	st := v.Stats()
+	if st.Deaths == 0 || st.Failovers == 0 {
+		t.Fatalf("stats %+v, want ≥1 death and ≥1 failover", st)
+	}
+	health := v.Health()
+	if !health[2].Alive || health[2].Server != "s6" {
+		t.Fatalf("column 2 health %+v, want alive on spare s6", health[2])
+	}
+
+	// Zero data loss, verified by scrub and a full read-back.
+	rep, err := v.Scrub(ctx)
+	if err != nil {
+		t.Fatalf("post-rebuild scrub: %v", err)
+	}
+	if rep.SectorsLost != 0 || rep.StripesDamaged != 0 {
+		t.Fatalf("post-rebuild scrub found damage: %+v", rep)
+	}
+	for b := 0; b < blocks; b++ {
+		gen := 0
+		if b < blocks/2 {
+			gen = 1
+		}
+		got, err := v.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("post-rebuild read of block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, pattern(b, gen)) {
+			t.Fatalf("post-rebuild block %d holds wrong content", b)
+		}
+	}
+}
+
+// With no spare left, a death degrades the volume but service
+// continues; the spare-exhaustion counter records the unmet need.
+func TestClusterSpareExhaustion(t *testing.T) {
+	code := testCode(t)
+	const sectorSize, stripes = 64, 2
+
+	srvs := map[string]*httptest.Server{}
+	var servers []Server
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("s%d", i)
+		hs := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(stripes*code.R(), sectorSize)))
+		t.Cleanup(hs.Close)
+		srvs[name] = hs
+		servers = append(servers, Server{Name: name, URL: hs.URL})
+	}
+	v, err := Open(context.Background(), Config{
+		Fleet:      &Fleet{Servers: servers},
+		Code:       code,
+		SectorSize: sectorSize,
+		Stripes:    stripes,
+		Monitor:    MonitorConfig{Interval: 50 * time.Millisecond, Timeout: 40 * time.Millisecond, FailAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	ctx := context.Background()
+	for b := 0; b < v.Blocks(); b++ {
+		if err := v.WriteBlock(ctx, b, bytes.Repeat([]byte{byte(b)}, sectorSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := v.Placement()[0].Name
+	srvs[victim].CloseClientConnections()
+	srvs[victim].Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for v.Stats().SpareExhausted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("death never hit spare exhaustion; stats %+v", v.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for b := 0; b < v.Blocks(); b++ {
+		got, err := v.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("degraded read of block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(b)}, sectorSize)) {
+			t.Fatalf("degraded block %d holds wrong content", b)
+		}
+	}
+	if health := v.Health(); health[0].Alive {
+		t.Fatalf("column 0 still alive after its server died: %+v", health)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Place maps a volume's n stripe columns onto n distinct servers by
+// per-column rendezvous (highest-random-weight) hashing: every server
+// scores against the (volume, column) key, the best unused server wins
+// the column. The mapping is deterministic in (volume, fleet) — two
+// daemons with the same fleet file agree on it without coordination —
+// and stable: adding or removing an unrelated server moves only the
+// columns that server won.
+func Place(volume string, n int, servers []Server) ([]Server, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: placement for %d columns", n)
+	}
+	if len(servers) < n {
+		return nil, fmt.Errorf("cluster: placing %d columns on %d servers; need at least one server per column", n, len(servers))
+	}
+	used := make(map[string]bool, n)
+	out := make([]Server, n)
+	for col := range out {
+		best, bestScore := -1, uint64(0)
+		for i, s := range servers {
+			if used[s.Name] {
+				continue
+			}
+			score := placementScore(volume, col, s.Name)
+			if best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		out[col] = servers[best]
+		used[servers[best].Name] = true
+	}
+	return out, nil
+}
+
+// placementScore is the rendezvous weight of one server for one
+// (volume, column) key.
+func placementScore(volume string, col int, server string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(volume))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(col)))
+	h.Write([]byte{0})
+	h.Write([]byte(server))
+	return h.Sum64()
+}

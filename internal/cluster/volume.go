@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"stair/internal/core"
+	"stair/internal/store"
+	"stair/internal/store/journal"
+)
+
+// Config describes a cluster volume.
+type Config struct {
+	// Fleet is the set of device servers (actives + spares).
+	Fleet *Fleet
+	// VolumeName keys placement; two daemons opening the same name over
+	// the same fleet agree on the column → server mapping. Empty
+	// selects "volume".
+	VolumeName string
+	// Code/SectorSize/Stripes fix the volume geometry, exactly as for
+	// store.Config. Every fleet server must serve Stripes×Code.R()
+	// sectors of SectorSize bytes.
+	Code       *core.Code
+	SectorSize int
+	Stripes    int
+	// Dial connects one placed server. Nil selects store.DialNetDevice
+	// with the default HTTP client. Tests and benchmarks inject local
+	// or latency-shaped devices here.
+	Dial func(ctx context.Context, server Server) (store.Device, error)
+	// Coalesce, when non-nil, wraps every column in a per-backend
+	// request coalescer merging adjacent stripe extents into single
+	// vectored calls.
+	Coalesce *store.CoalesceOptions
+	// Hedge, when non-nil, enables hedged column reads.
+	Hedge *HedgeConfig
+	// Monitor tunes the failure detector (zero values select defaults).
+	Monitor MonitorConfig
+	// Store tuning passthrough; see store.Config.
+	Workers         int
+	MaxDirtyStripes int
+	FlushWorkers    int
+	RepairWorkers   int
+	Journal         *journal.Journal
+}
+
+// ColumnHealth is one column's view in Health().
+type ColumnHealth struct {
+	Col    int    `json:"col"`
+	Server string `json:"server"`
+	URL    string `json:"url"`
+	Alive  bool   `json:"alive"`
+	Misses int    `json:"misses"`
+}
+
+// Volume is a STAIR store whose columns live on a fleet of device
+// servers: placement, health, failover and rebuild on the outside, the
+// unchanged store.Store on the inside.
+type Volume struct {
+	code       *core.Code
+	n, r       int
+	sectorSize int
+	stripes    int
+	workers    int
+	name       string
+
+	dial func(ctx context.Context, server Server) (store.Device, error)
+
+	cols     []*column
+	devs     []store.Device // what the store sees: hedged or raw columns
+	st       *store.Store
+	mon      *monitor
+	counters clusterCounters
+
+	spareMu sync.Mutex
+	spares  []Server
+
+	rebuildCtx    context.Context
+	rebuildCancel context.CancelFunc
+	rebuildWG     sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open places the volume's columns on the fleet, dials them, and opens
+// the store over the resulting devices.
+func Open(ctx context.Context, cfg Config) (*Volume, error) {
+	if cfg.Fleet == nil {
+		return nil, errors.New("cluster: Config.Fleet is required")
+	}
+	if cfg.Code == nil {
+		return nil, errors.New("cluster: Config.Code is required")
+	}
+	name := cfg.VolumeName
+	if name == "" {
+		name = "volume"
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, server Server) (store.Device, error) {
+			return store.DialNetDevice(ctx, server.URL, nil)
+		}
+	}
+	n := cfg.Code.N()
+	placed, err := Place(name, n, cfg.Fleet.Actives())
+	if err != nil {
+		return nil, err
+	}
+
+	v := &Volume{
+		code:       cfg.Code,
+		n:          n,
+		r:          cfg.Code.R(),
+		sectorSize: cfg.SectorSize,
+		stripes:    cfg.Stripes,
+		workers:    cfg.Workers,
+		name:       name,
+		spares:     cfg.Fleet.Spares(),
+	}
+	v.rebuildCtx, v.rebuildCancel = context.WithCancel(context.Background())
+	v.dial = dial
+
+	var wrap func(store.Device) store.Device
+	if cfg.Coalesce != nil {
+		opts := *cfg.Coalesce
+		wrap = func(d store.Device) store.Device { return store.NewCoalescingDevice(d, opts) }
+	}
+
+	v.cols = make([]*column, n)
+	v.devs = make([]store.Device, n)
+	for col := 0; col < n; col++ {
+		dev, err := dial(ctx, placed[col])
+		if err != nil {
+			for _, c := range v.cols[:col] {
+				c.Close()
+			}
+			v.rebuildCancel()
+			return nil, fmt.Errorf("cluster: dialing %s (%s) for column %d: %w", placed[col].Name, placed[col].URL, col, err)
+		}
+		v.cols[col] = newColumn(col, placed[col], dev, wrap)
+		if cfg.Hedge != nil {
+			v.devs[col] = newHedgedColumn(v.cols[col], v, *cfg.Hedge)
+		} else {
+			v.devs[col] = v.cols[col]
+		}
+	}
+
+	v.mon = newMonitor(v, cfg.Monitor)
+	for _, c := range v.cols {
+		c.onSuspect = v.mon.noteSuspicion
+	}
+
+	st, err := store.Open(store.Config{
+		Code:       cfg.Code,
+		SectorSize: cfg.SectorSize,
+		Stripes:    cfg.Stripes,
+		// The pluggable seam: the store builds its device list from the
+		// cluster's placed, health-tracked, possibly hedged columns.
+		DeviceFactory:   func(col int) (store.Device, error) { return v.devs[col], nil },
+		Workers:         cfg.Workers,
+		MaxDirtyStripes: cfg.MaxDirtyStripes,
+		FlushWorkers:    cfg.FlushWorkers,
+		RepairWorkers:   cfg.RepairWorkers,
+		Journal:         cfg.Journal,
+	})
+	if err != nil {
+		for _, c := range v.cols {
+			c.Close()
+		}
+		v.rebuildCancel()
+		return nil, err
+	}
+	v.st = st
+	go v.mon.run()
+	return v, nil
+}
+
+// Store exposes the wrapped store for operations the Volume does not
+// re-export.
+func (v *Volume) Store() *store.Store { return v.st }
+
+// ReadBlock reads one logical block (degraded if its column is dead).
+func (v *Volume) ReadBlock(ctx context.Context, b int) ([]byte, error) {
+	return v.st.ReadBlock(ctx, b)
+}
+
+// WriteBlock writes one logical block.
+func (v *Volume) WriteBlock(ctx context.Context, b int, data []byte) error {
+	return v.st.WriteBlock(ctx, b, data)
+}
+
+// Flush flushes buffered stripes to the fleet.
+func (v *Volume) Flush(ctx context.Context) error { return v.st.Flush(ctx) }
+
+// Sync flushes and barriers the fleet.
+func (v *Volume) Sync(ctx context.Context) error { return v.st.Sync(ctx) }
+
+// Scrub sweeps every stripe, verifying and repairing.
+func (v *Volume) Scrub(ctx context.Context) (store.ScrubReport, error) { return v.st.Scrub(ctx) }
+
+// BlockSize returns the logical block size.
+func (v *Volume) BlockSize() int { return v.st.BlockSize() }
+
+// Blocks returns the volume's logical capacity in blocks.
+func (v *Volume) Blocks() int { return v.st.Blocks() }
+
+// StoreStats snapshots the wrapped store's counters.
+func (v *Volume) StoreStats() store.Stats { return v.st.Stats() }
+
+// Stats snapshots the cluster layer's counters.
+func (v *Volume) Stats() Stats {
+	s := Stats{
+		Heartbeats:       v.counters.heartbeats.Load(),
+		MissedHeartbeats: v.counters.missedHeartbeats.Load(),
+		Deaths:           v.counters.deaths.Load(),
+		Failovers:        v.counters.failovers.Load(),
+		SpareExhausted:   v.counters.spareExhausted.Load(),
+		Rebuilds:         v.counters.rebuilds.Load(),
+		RebuildErrors:    v.counters.rebuildErrors.Load(),
+		HedgesLaunched:   v.counters.hedgesLaunched.Load(),
+		HedgeWins:        v.counters.hedgeWins.Load(),
+		HedgeLosses:      v.counters.hedgeLosses.Load(),
+		HedgeFails:       v.counters.hedgeFails.Load(),
+	}
+	for _, c := range v.cols {
+		dev, err := c.snapshot()
+		if err != nil {
+			continue
+		}
+		if cd, ok := dev.(*store.CoalescingDevice); ok {
+			cs := cd.Stats()
+			s.Coalesce.Reads += cs.Reads
+			s.Coalesce.Writes += cs.Writes
+			s.Coalesce.InnerReads += cs.InnerReads
+			s.Coalesce.InnerWrites += cs.InnerWrites
+			s.Coalesce.MergedReads += cs.MergedReads
+			s.Coalesce.MergedWrites += cs.MergedWrites
+		}
+	}
+	return s
+}
+
+// Health reports every column's endpoint and liveness.
+func (v *Volume) Health() []ColumnHealth {
+	out := make([]ColumnHealth, len(v.cols))
+	for i, c := range v.cols {
+		server, alive := c.state()
+		out[i] = ColumnHealth{
+			Col:    i,
+			Server: server.Name,
+			URL:    server.URL,
+			Alive:  alive,
+			Misses: v.mon.columnMisses(i),
+		}
+	}
+	return out
+}
+
+// Placement reports the current column → server mapping.
+func (v *Volume) Placement() []Server {
+	out := make([]Server, len(v.cols))
+	for i, c := range v.cols {
+		out[i], _ = c.state()
+	}
+	return out
+}
+
+// WaitRebuilds blocks until every background rebuild in flight has
+// finished (tests and orderly shutdown).
+func (v *Volume) WaitRebuilds() { v.rebuildWG.Wait() }
+
+// takeSpare pops the next spare, or false when the pool is empty.
+func (v *Volume) takeSpare() (Server, bool) {
+	v.spareMu.Lock()
+	defer v.spareMu.Unlock()
+	if len(v.spares) == 0 {
+		return Server{}, false
+	}
+	s := v.spares[0]
+	v.spares = v.spares[1:]
+	return s, true
+}
+
+// returnSpare puts a spare back after a failed dial, so the next sweep
+// retries it.
+func (v *Volume) returnSpare(s Server) {
+	v.spareMu.Lock()
+	v.spares = append([]Server{s}, v.spares...)
+	v.spareMu.Unlock()
+}
+
+// failover swaps a dead column onto a spare and starts the background
+// rebuild. Called from the monitor goroutine only.
+func (v *Volume) failover(col int) {
+	c := v.cols[col]
+	if _, alive := c.state(); alive {
+		return
+	}
+	spare, ok := v.takeSpare()
+	if !ok {
+		v.counters.spareExhausted.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(v.rebuildCtx, v.mon.cfg.Interval)
+	dev, err := v.dial(ctx, spare)
+	cancel()
+	if err != nil {
+		v.returnSpare(spare)
+		return
+	}
+	c.adopt(dev, spare)
+	v.counters.failovers.Add(1)
+	// Replace-comes-back-bad: the fresh spare holds nothing, so every
+	// sector it owns is marked lost and the unrecoverable bookkeeping
+	// is re-evaluated — then the rebuild sweep reconstructs them.
+	if err := v.st.ReplaceDevice(col); err != nil {
+		return
+	}
+	v.rebuildWG.Add(1)
+	go func() {
+		defer v.rebuildWG.Done()
+		if err := v.st.RebuildDevice(v.rebuildCtx, col); err != nil {
+			v.counters.rebuildErrors.Add(1)
+			return
+		}
+		v.counters.rebuilds.Add(1)
+	}()
+}
+
+// reconstructExtent rebuilds one column's extent [start, start+len(dst))
+// from the n−1 sibling columns: for every stripe the extent touches,
+// read the siblings' rows (raw columns — no hedge recursion), feed the
+// code's repair path with the hedged column (plus any sibling losses)
+// marked lost, and copy the requested rows out. It runs under the same
+// shard lock the primary read holds, so the sibling reads cannot
+// observe a torn flush of the stripe.
+func (v *Volume) reconstructExtent(ctx context.Context, col, start int, dst [][]byte) error {
+	end := start + len(dst)
+	for stripe := start / v.r; stripe*v.r < end; stripe++ {
+		st, err := v.code.NewStripe(v.sectorSize)
+		if err != nil {
+			return err
+		}
+		lost := make([]core.Cell, 0, v.r*2)
+		for row := 0; row < v.r; row++ {
+			lost = append(lost, core.Cell{Col: col, Row: row})
+		}
+		var (
+			mu   sync.Mutex
+			hard error
+			wg   sync.WaitGroup
+		)
+		for sib := 0; sib < v.n; sib++ {
+			if sib == col {
+				continue
+			}
+			wg.Add(1)
+			go func(sib int) {
+				defer wg.Done()
+				bufs := make([][]byte, v.r)
+				for row := range bufs {
+					bufs[row] = st.Sector(sib, row)
+				}
+				err := v.cols[sib].ReadSectors(ctx, stripe*v.r, bufs)
+				if err == nil {
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if se, ok := store.AsSectorErrors(err); ok {
+					for _, s := range se {
+						lost = append(lost, core.Cell{Col: sib, Row: s.Index - stripe*v.r})
+					}
+					return
+				}
+				if errors.Is(err, store.ErrDeviceFailed) {
+					for row := 0; row < v.r; row++ {
+						lost = append(lost, core.Cell{Col: sib, Row: row})
+					}
+					return
+				}
+				hard = err
+			}(sib)
+		}
+		wg.Wait()
+		if hard != nil {
+			return hard
+		}
+		if err := v.code.RepairParallel(st, lost, v.workers); err != nil {
+			return err
+		}
+		for row := 0; row < v.r; row++ {
+			sector := stripe*v.r + row
+			if sector >= start && sector < end {
+				copy(dst[sector-start], st.Sector(col, row))
+			}
+		}
+	}
+	return nil
+}
+
+// Quiesce waits out background store activity (tests).
+func (v *Volume) Quiesce() { v.st.Quiesce() }
+
+// Close stops the monitor, aborts in-flight rebuilds, and closes the
+// store (which closes the columns and their devices).
+func (v *Volume) Close() error {
+	v.closeOnce.Do(func() {
+		v.mon.shutdown()
+		v.rebuildCancel()
+		v.rebuildWG.Wait()
+		v.closeErr = v.st.Close()
+	})
+	return v.closeErr
+}

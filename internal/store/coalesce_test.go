@@ -1,0 +1,301 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+	"stair/internal/store/devtest"
+)
+
+// countingDevice counts inner vectored calls, to measure what the
+// coalescer merged away.
+type countingDevice struct {
+	store.FaultDevice
+	reads, writes atomic.Int64
+}
+
+func (d *countingDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	d.reads.Add(1)
+	return d.FaultDevice.ReadSectors(ctx, start, bufs)
+}
+
+func (d *countingDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
+	d.writes.Add(1)
+	return d.FaultDevice.WriteSectors(ctx, start, data)
+}
+
+// The coalescer must present the exact same device contract as the
+// backend it wraps.
+func TestDeviceConformanceCoalescing(t *testing.T) {
+	devtest.Run(t, func(t *testing.T, sectors, sectorSize int) store.FaultDevice {
+		return store.NewCoalescingDevice(store.NewMemDevice(sectors, sectorSize),
+			store.CoalesceOptions{Window: 100 * time.Microsecond})
+	})
+}
+
+// Concurrent adjacent writes arriving within one batch window must
+// merge into a single inner call, and every sector must still land.
+func TestCoalesceMergesAdjacentWrites(t *testing.T) {
+	inner := &countingDevice{FaultDevice: store.NewMemDevice(16, 64)}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: 100 * time.Millisecond})
+	defer d.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := make([][]byte, 2)
+			for i := range data {
+				idx := w*2 + i
+				data[i] = make([]byte, 64)
+				for j := range data[i] {
+					data[i][j] = byte(idx*31 + j)
+				}
+			}
+			if err := d.WriteSectors(context.Background(), w*2, data); err != nil {
+				t.Errorf("writer %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := inner.writes.Load(); got != 1 {
+		t.Fatalf("adjacent concurrent writes issued %d inner calls, want 1", got)
+	}
+	st := d.Stats()
+	if st.Writes != writers || st.InnerWrites != 1 || st.MergedWrites != writers {
+		t.Fatalf("stats = %+v, want Writes=%d InnerWrites=1 MergedWrites=%d", st, writers, writers)
+	}
+
+	// Every sector must read back with the pattern its writer wrote.
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	if err := d.ReadSectors(context.Background(), 0, bufs); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	for idx, buf := range bufs {
+		for j, b := range buf {
+			if b != byte(idx*31+j) {
+				t.Fatalf("sector %d byte %d = %d, want %d", idx, j, b, byte(idx*31+j))
+			}
+		}
+	}
+}
+
+// Concurrent adjacent reads merge into one inner call and each caller
+// sees exactly its own extent's data.
+func TestCoalesceMergesAdjacentReads(t *testing.T) {
+	mem := store.NewMemDevice(16, 64)
+	fill := make([][]byte, 16)
+	for i := range fill {
+		fill[i] = make([]byte, 64)
+		for j := range fill[i] {
+			fill[i][j] = byte(i*7 + j*3)
+		}
+	}
+	if err := mem.WriteSectors(context.Background(), 0, fill); err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingDevice{FaultDevice: mem}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: 100 * time.Millisecond})
+	defer d.Close()
+
+	const readers = 4
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			bufs := make([][]byte, 2)
+			for i := range bufs {
+				bufs[i] = make([]byte, 64)
+			}
+			if err := d.ReadSectors(context.Background(), r*2, bufs); err != nil {
+				t.Errorf("reader %d: %v", r, err)
+				return
+			}
+			for i, buf := range bufs {
+				idx := r*2 + i
+				for j, b := range buf {
+					if b != byte(idx*7+j*3) {
+						t.Errorf("reader %d sector %d byte %d = %d, want %d", r, idx, j, b, byte(idx*7+j*3))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := inner.reads.Load(); got != 1 {
+		t.Fatalf("adjacent concurrent reads issued %d inner calls, want 1", got)
+	}
+}
+
+// Extents separated by a gap must not merge: the coalescer merges round
+// trips, it does not read sectors nobody asked for.
+func TestCoalesceKeepsDisjointExtentsApart(t *testing.T) {
+	inner := &countingDevice{FaultDevice: store.NewMemDevice(16, 64)}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: 100 * time.Millisecond})
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	for _, start := range []int{0, 8} {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			data := [][]byte{make([]byte, 64), make([]byte, 64)}
+			if err := d.WriteSectors(context.Background(), start, data); err != nil {
+				t.Errorf("write at %d: %v", start, err)
+			}
+		}(start)
+	}
+	wg.Wait()
+
+	if got := inner.writes.Load(); got != 2 {
+		t.Fatalf("disjoint writes issued %d inner calls, want 2", got)
+	}
+	if st := d.Stats(); st.MergedWrites != 0 {
+		t.Fatalf("disjoint writes counted as merged: %+v", st)
+	}
+}
+
+// A merged read spanning a latent sector error must report the loss
+// only to the member whose extent contains it.
+func TestCoalescePartialErrorRouting(t *testing.T) {
+	mem := store.NewMemDevice(16, 64)
+	if err := mem.InjectSectorError(3); err != nil {
+		t.Fatal(err)
+	}
+	inner := &countingDevice{FaultDevice: mem}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: 100 * time.Millisecond})
+	defer d.Close()
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			bufs := [][]byte{make([]byte, 64), make([]byte, 64)}
+			errs[r] = d.ReadSectors(context.Background(), r*2, bufs)
+		}(r)
+	}
+	wg.Wait()
+
+	if got := inner.reads.Load(); got != 1 {
+		t.Fatalf("reads issued %d inner calls, want 1", got)
+	}
+	if errs[0] != nil {
+		t.Fatalf("clean member got error %v", errs[0])
+	}
+	se, ok := store.AsSectorErrors(errs[1])
+	if !ok || len(se) != 1 || se[0].Index != 3 {
+		t.Fatalf("lossy member got %v, want SectorErrors{3}", errs[1])
+	}
+}
+
+// An already-cancelled context is rejected before joining a batch.
+func TestCoalesceRejectsDeadContext(t *testing.T) {
+	inner := &countingDevice{FaultDevice: store.NewMemDevice(8, 64)}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: time.Millisecond})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := d.ReadSectors(ctx, 0, [][]byte{make([]byte, 64)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("read with dead context: %v, want context.Canceled", err)
+	}
+	if got := inner.reads.Load(); got != 0 {
+		t.Fatalf("dead-context read still issued %d inner calls", got)
+	}
+}
+
+// A caller abandoning a batched operation returns promptly; the merged
+// call continues for the surviving member and its data lands.
+func TestCoalesceCancelWhileBatched(t *testing.T) {
+	inner := &countingDevice{FaultDevice: store.NewMemDevice(8, 64)}
+	d := store.NewCoalescingDevice(inner, store.CoalesceOptions{Window: 300 * time.Millisecond})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() {
+		abandoned <- d.WriteSectors(ctx, 0, [][]byte{make([]byte, 64)})
+	}()
+	survivorErr := make(chan error, 1)
+	go func() {
+		data := []byte{1, 2, 3}
+		buf := make([]byte, 64)
+		copy(buf, data)
+		survivorErr <- d.WriteSectors(context.Background(), 1, [][]byte{buf})
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let both join the window
+	cancel()
+	select {
+	case err := <-abandoned:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned caller got %v, want context.Canceled", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("abandoned caller did not return promptly on cancel")
+	}
+	if err := <-survivorErr; err != nil {
+		t.Fatalf("surviving member: %v", err)
+	}
+	buf := make([]byte, 64)
+	if err := d.ReadSectors(context.Background(), 1, [][]byte{buf}); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("survivor's write lost: got % x", buf[:3])
+	}
+}
+
+// Spike and Serial latency profiles must actually shape timing: a
+// certain spike delays a single call, and a serial device queues
+// concurrent calls instead of overlapping them.
+func TestLatencyProfileSpikeAndSerial(t *testing.T) {
+	spiky := store.NewLatencyDeviceProfile(store.NewMemDevice(4, 64), store.LatencyProfile{
+		Spike: 30 * time.Millisecond, SpikeProb: 1,
+	})
+	defer spiky.Close()
+	begin := time.Now()
+	if err := spiky.ReadSectors(context.Background(), 0, [][]byte{make([]byte, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(begin); took < 30*time.Millisecond {
+		t.Fatalf("certain spike: read took %v, want ≥ 30ms", took)
+	}
+
+	serial := store.NewLatencyDeviceProfile(store.NewMemDevice(4, 64), store.LatencyProfile{
+		Latency: 20 * time.Millisecond, Serial: true,
+	})
+	defer serial.Close()
+	begin = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := serial.ReadSectors(context.Background(), i, [][]byte{make([]byte, 64)}); err != nil {
+				t.Errorf("serial read %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if took := time.Since(begin); took < 40*time.Millisecond {
+		t.Fatalf("serial device overlapped concurrent calls: %v, want ≥ 40ms", took)
+	}
+}

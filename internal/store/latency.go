@@ -69,43 +69,77 @@ func (w innerFaults) BadSectors() int {
 	return fd.BadSectors()
 }
 
-// LatencyDevice wraps a Device and charges a fixed latency (plus
-// optional uniform jitter) per vectored call, simulating remote media
-// where every operation is a round trip. Because the cost is per call,
-// not per sector, it makes the value of vectored I/O measurable: a
-// full-stripe flush pays one latency hit per device instead of R.
+// LatencyProfile describes the timing behaviour of a simulated remote
+// or spinning backend, charged per vectored call (not per sector).
+type LatencyProfile struct {
+	// Latency is the fixed cost of every call.
+	Latency time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter] per call.
+	Jitter time.Duration
+	// Spike adds a large extra delay to a SpikeProb fraction of calls —
+	// the heavy-tailed "hiccup" regime (GC pause, network stall,
+	// background compaction) that tail-tolerant reads hedge against.
+	// Uniform jitter alone cannot model it: with a uniform tail the p99
+	// is barely above the median and hedging has nothing to win.
+	Spike     time.Duration
+	SpikeProb float64
+	// Serial queues calls behind each other, like a single-spindle disk
+	// or a one-connection transport: two concurrent calls cost two
+	// latencies of wall clock, not one. This is the regime where
+	// coalescing adjacent extents into one call is a real win — with
+	// concurrent service, overlapped calls already hide each other.
+	Serial bool
+}
+
+// LatencyDevice wraps a Device and charges a per-call latency profile,
+// simulating remote media where every operation is a round trip. Because
+// the cost is per call, not per sector, it makes the value of vectored
+// I/O (and of merging adjacent extents) measurable: a full-stripe flush
+// pays one latency hit per device instead of R.
 //
 // The sleep honors context cancellation, so a slow simulated backend
 // cannot wedge a store operation past its deadline. Fault-injection
 // hooks pass through to the wrapped device.
 type LatencyDevice struct {
 	innerFaults
-	latency time.Duration
-	jitter  time.Duration
+	profile LatencyProfile
 
-	mu  sync.Mutex
+	mu  sync.Mutex // guards rng, and spans the sleep when profile.Serial
 	rng *rand.Rand
 }
 
 // NewLatencyDevice wraps inner, delaying every data operation by
 // latency plus a uniform random addition in [0, jitter].
 func NewLatencyDevice(inner Device, latency, jitter time.Duration) *LatencyDevice {
+	return NewLatencyDeviceProfile(inner, LatencyProfile{Latency: latency, Jitter: jitter})
+}
+
+// NewLatencyDeviceProfile wraps inner with the full timing profile.
+func NewLatencyDeviceProfile(inner Device, profile LatencyProfile) *LatencyDevice {
 	return &LatencyDevice{
 		innerFaults: innerFaults{inner: inner},
-		latency:     latency,
-		jitter:      jitter,
+		profile:     profile,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
 // delay sleeps one operation's latency, aborting early when ctx is
-// cancelled.
+// cancelled. A Serial profile holds the device mutex across the sleep,
+// so concurrent calls queue behind each other instead of overlapping.
 func (d *LatencyDevice) delay(ctx context.Context) error {
-	wait := d.latency
-	if d.jitter > 0 {
-		d.mu.Lock()
-		wait += time.Duration(d.rng.Int63n(int64(d.jitter) + 1))
+	p := d.profile
+	d.mu.Lock()
+	wait := p.Latency
+	if p.Jitter > 0 {
+		wait += time.Duration(d.rng.Int63n(int64(p.Jitter) + 1))
+	}
+	if p.Spike > 0 && p.SpikeProb > 0 && d.rng.Float64() < p.SpikeProb {
+		wait += p.Spike
+	}
+	if !p.Serial {
 		d.mu.Unlock()
+	} else {
+		defer d.mu.Unlock()
 	}
 	if wait <= 0 {
 		return ctx.Err()

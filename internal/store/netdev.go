@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // The NetDevice wire protocol. One vectored store operation is one HTTP
@@ -49,11 +52,32 @@ type netFaultStatus struct {
 	BadSectors int  `json:"bad_sectors"`
 }
 
+// DeviceServerMetrics is the JSON shape of a device server's
+// /v1/metrics endpoint: cumulative request counters since process
+// start, plus the device's current fault state.
+type DeviceServerMetrics struct {
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	Syncs          uint64 `json:"syncs"`
+	ReadSectors    uint64 `json:"read_sectors"`
+	WrittenSectors uint64 `json:"written_sectors"`
+	ReadErrors     uint64 `json:"read_errors"`
+	WriteErrors    uint64 `json:"write_errors"`
+	LostSectors    uint64 `json:"lost_sectors"`
+	Failed         bool   `json:"failed"`
+	BadSectors     int    `json:"bad_sectors"`
+}
+
 // DeviceServer exports a Device over HTTP for NetDevice clients. Fault
 // endpoints work when the wrapped device implements FaultDevice.
 type DeviceServer struct {
 	dev Device
 	mux *http.ServeMux
+
+	reads, writes, syncs        atomic.Uint64
+	readSectors, writtenSectors atomic.Uint64
+	readErrors, writeErrors     atomic.Uint64
+	lostSectors                 atomic.Uint64
 }
 
 // NewDeviceServer builds the HTTP handler exporting dev.
@@ -63,11 +87,35 @@ func NewDeviceServer(dev Device) *DeviceServer {
 	s.mux.HandleFunc("GET /v1/read", s.handleRead)
 	s.mux.HandleFunc("POST /v1/write", s.handleWrite)
 	s.mux.HandleFunc("POST /v1/sync", s.handleSync)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/fault/fail", s.handleFaultOp)
 	s.mux.HandleFunc("POST /v1/fault/replace", s.handleFaultOp)
 	s.mux.HandleFunc("POST /v1/fault/inject", s.handleFaultOp)
 	s.mux.HandleFunc("GET /v1/fault", s.handleFaultStatus)
 	return s
+}
+
+// Metrics snapshots the server's request counters and fault state.
+func (s *DeviceServer) Metrics() DeviceServerMetrics {
+	m := DeviceServerMetrics{
+		Reads:          s.reads.Load(),
+		Writes:         s.writes.Load(),
+		Syncs:          s.syncs.Load(),
+		ReadSectors:    s.readSectors.Load(),
+		WrittenSectors: s.writtenSectors.Load(),
+		ReadErrors:     s.readErrors.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+		LostSectors:    s.lostSectors.Load(),
+	}
+	if fd, ok := s.dev.(FaultDevice); ok {
+		m.Failed = fd.Failed()
+		m.BadSectors = fd.BadSectors()
+	}
+	return m
+}
+
+func (s *DeviceServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Metrics())
 }
 
 // ServeHTTP implements http.Handler.
@@ -122,10 +170,14 @@ func (s *DeviceServer) handleRead(w http.ResponseWriter, r *http.Request) {
 	for i := range bufs {
 		bufs[i] = flat[i*s.dev.SectorSize() : (i+1)*s.dev.SectorSize()]
 	}
+	s.reads.Add(1)
+	s.readSectors.Add(uint64(count))
 	err := s.dev.ReadSectors(r.Context(), start, bufs)
 	if lost, ok := AsSectorErrors(err); ok {
+		s.lostSectors.Add(uint64(len(lost)))
 		w.Header().Set(lostSectorsHeader, sectorList(lost))
 	} else if err != nil {
+		s.readErrors.Add(1)
 		s.writeError(w, err)
 		return
 	}
@@ -164,10 +216,14 @@ func (s *DeviceServer) handleWrite(w http.ResponseWriter, r *http.Request) {
 	for i := range data {
 		data[i] = flat[i*size : (i+1)*size]
 	}
+	s.writes.Add(1)
+	s.writtenSectors.Add(uint64(len(data)))
 	err = s.dev.WriteSectors(r.Context(), start, data)
 	if failed, ok := AsSectorErrors(err); ok {
+		s.lostSectors.Add(uint64(len(failed)))
 		w.Header().Set(failedSectorsHeader, sectorList(failed))
 	} else if err != nil {
+		s.writeErrors.Add(1)
 		s.writeError(w, err)
 		return
 	}
@@ -178,6 +234,7 @@ func (s *DeviceServer) handleWrite(w http.ResponseWriter, r *http.Request) {
 // device without the Syncer capability syncs trivially — the endpoint
 // still answers 200 so remote callers need not probe capabilities.
 func (s *DeviceServer) handleSync(w http.ResponseWriter, r *http.Request) {
+	s.syncs.Add(1)
 	if err := SyncDevice(r.Context(), s.dev); err != nil {
 		s.writeError(w, err)
 		return
@@ -238,16 +295,58 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// RetryPolicy bounds the NetDevice client's retries of transient
+// failures: transport errors (connection reset, refused, EOF) and 5xx
+// responses other than the device-failed signal. 4xx responses (the
+// request itself is wrong), ErrDeviceFailed (a state, not a blip) and
+// context cancellation are never retried. Sector reads and writes are
+// idempotent, so re-issuing a request whose response was lost is safe.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included);
+	// values < 1 mean one attempt, i.e. no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay, with ±50% jitter so a fleet
+	// of clients recovering together does not stampede the server.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. 0 means uncapped.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is what DialNetDevice installs: three attempts,
+// 5 ms base backoff, capped at 100 ms.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
+// delay computes the backoff before retry attempt (1-based), with
+// jitter.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	// ±50% jitter.
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+}
+
 // NetDevice is an HTTP client for a DeviceServer: a Device (and
 // FaultDevice) whose every vectored call is one round trip. It is the
 // remote-backend existence proof for the vectored API — with the old
 // one-sector-at-a-time interface, a full-stripe flush against it would
 // cost R round trips per device instead of one.
+//
+// Transient transport errors and 5xx responses are retried with
+// exponential backoff per the device's RetryPolicy (SetRetryPolicy to
+// tune; Retries() counts what happened).
 type NetDevice struct {
 	base       string
 	hc         *http.Client
 	sectors    int
 	sectorSize int
+	retry      RetryPolicy
+	retries    atomic.Uint64
 }
 
 // DialNetDevice connects to a DeviceServer at baseURL (no trailing
@@ -257,19 +356,16 @@ func DialNetDevice(ctx context.Context, baseURL string, client *http.Client) (*N
 	if client == nil {
 		client = http.DefaultClient
 	}
-	d := &NetDevice{base: strings.TrimSuffix(baseURL, "/"), hc: client}
+	d := &NetDevice{base: strings.TrimSuffix(baseURL, "/"), hc: client, retry: DefaultRetryPolicy}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/geometry", nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := d.hc.Do(req)
+	resp, err := d.do(req)
 	if err != nil {
 		return nil, fmt.Errorf("store: dialing device server %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("store: device server %s: geometry returned %s", baseURL, resp.Status)
-	}
 	var geo netGeometry
 	if err := json.NewDecoder(resp.Body).Decode(&geo); err != nil {
 		return nil, fmt.Errorf("store: device server %s: bad geometry: %w", baseURL, err)
@@ -287,21 +383,85 @@ func (d *NetDevice) Sectors() int { return d.sectors }
 // SectorSize returns the remote device's sector size.
 func (d *NetDevice) SectorSize() int { return d.sectorSize }
 
-// do runs one request and maps transport- and device-level failures.
+// SetRetryPolicy replaces the device's retry policy (DefaultRetryPolicy
+// after dial). It must not race in-flight calls; configure the device
+// before handing it to a store.
+func (d *NetDevice) SetRetryPolicy(p RetryPolicy) { d.retry = p }
+
+// Retries counts retry attempts the client has issued (not the first
+// tries) since dial.
+func (d *NetDevice) Retries() uint64 { return d.retries.Load() }
+
+// do runs one request and maps transport- and device-level failures,
+// retrying transient ones per the device's RetryPolicy.
 func (d *NetDevice) do(req *http.Request) (*http.Response, error) {
-	resp, err := d.hc.Do(req)
+	attempts := d.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err, transient := d.doOnce(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !transient || attempt >= attempts {
+			return nil, lastErr
+		}
+		d.retries.Add(1)
+		// Context-aware backoff: a caller cancelling mid-wait aborts the
+		// retry loop immediately instead of sleeping it out.
+		if wait := d.retry.delay(attempt); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				return nil, req.Context().Err()
+			case <-t.C:
+			}
+		} else if cerr := req.Context().Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+}
+
+// doOnce issues one attempt; transient reports whether a retry could
+// help (transport errors and 5xx short of the device-failed signal).
+func (d *NetDevice) doOnce(req *http.Request) (resp *http.Response, err error, transient bool) {
+	attempt := req
+	if req.GetBody != nil {
+		// Rewind the body for this attempt (http.NewRequest with a
+		// *bytes.Reader installs GetBody; the first attempt may have
+		// consumed it).
+		body, berr := req.GetBody()
+		if berr != nil {
+			return nil, berr, false
+		}
+		attempt = req.Clone(req.Context())
+		attempt.Body = body
+	}
+	resp, err = d.hc.Do(attempt)
 	if err != nil {
-		return nil, err
+		// Transport failure. Context cancellation is the caller's
+		// decision, not a blip.
+		if cerr := req.Context().Err(); cerr != nil {
+			return nil, cerr, false
+		}
+		return nil, err, true
 	}
 	if resp.StatusCode == http.StatusOK {
-		return resp, nil
+		return resp, nil, false
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	if resp.Header.Get(netErrHeader) == netErrDeviceFailed {
-		return nil, ErrDeviceFailed
+		// A wholly failed device is a state the control plane must
+		// change; retrying cannot help and only delays the degraded path.
+		return nil, ErrDeviceFailed, false
 	}
-	return nil, fmt.Errorf("store: device server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	err = fmt.Errorf("store: device server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	return nil, err, resp.StatusCode >= 500
 }
 
 // ReadSectors fetches the extent in one round trip. Remotely lost
@@ -394,6 +554,25 @@ func (d *NetDevice) Sync(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	resp.Body.Close()
+	return nil
+}
+
+// Ping probes the server's liveness with one unretried round trip (a
+// health check that silently retried would hide exactly the flakiness a
+// failure detector exists to count). Any response at all — even an
+// error status — proves the process is alive; only transport failure
+// (or cancellation) reports it down.
+func (d *NetDevice) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+"/v1/geometry", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
 	resp.Body.Close()
 	return nil
 }

@@ -1,0 +1,216 @@
+package store_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+)
+
+// flakyHandler fails the first failN data-path requests with status,
+// then forwards to the real device server. Geometry and control-plane
+// requests always pass, so dialing is unaffected.
+type flakyHandler struct {
+	inner  http.Handler
+	status int
+	failN  int64
+	seen   atomic.Int64
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/read") || strings.HasPrefix(r.URL.Path, "/v1/write") {
+		if h.seen.Add(1) <= h.failN {
+			http.Error(w, "injected flake", h.status)
+			return
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func dialFlaky(t *testing.T, status int, failN int64) (*store.NetDevice, *flakyHandler) {
+	t.Helper()
+	h := &flakyHandler{
+		inner:  store.NewDeviceServer(store.NewMemDevice(8, 64)),
+		status: status,
+		failN:  failN,
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	d.SetRetryPolicy(store.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	return d, h
+}
+
+// A server that 500s twice then recovers must be survived by the
+// default three-attempt policy, transparently to the caller.
+func TestNetDeviceRetriesTransient5xx(t *testing.T) {
+	d, _ := dialFlaky(t, http.StatusInternalServerError, 2)
+	buf := make([]byte, 64)
+	if err := d.ReadSectors(context.Background(), 0, [][]byte{buf}); err != nil {
+		t.Fatalf("read through recovering server: %v", err)
+	}
+	if got := d.Retries(); got != 2 {
+		t.Fatalf("client issued %d retries, want 2", got)
+	}
+}
+
+// Writes are idempotent sector stores, so they retry too.
+func TestNetDeviceRetriesWrite(t *testing.T) {
+	d, _ := dialFlaky(t, http.StatusBadGateway, 1)
+	if err := d.WriteSectors(context.Background(), 0, [][]byte{make([]byte, 64)}); err != nil {
+		t.Fatalf("write through recovering server: %v", err)
+	}
+	if got := d.Retries(); got != 1 {
+		t.Fatalf("client issued %d retries, want 1", got)
+	}
+}
+
+// A 4xx means the request itself is wrong; retrying it would just
+// repeat the mistake.
+func TestNetDeviceNeverRetries4xx(t *testing.T) {
+	d, h := dialFlaky(t, http.StatusBadRequest, 1<<30)
+	err := d.ReadSectors(context.Background(), 0, [][]byte{make([]byte, 64)})
+	if err == nil {
+		t.Fatal("read against 4xx server succeeded")
+	}
+	if got := d.Retries(); got != 0 {
+		t.Fatalf("client retried a 4xx %d times", got)
+	}
+	if got := h.seen.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// ErrDeviceFailed is a state, not a blip: the 503 + Stair-Error answer
+// must surface immediately so the store can switch to degraded reads
+// instead of burning the backoff budget.
+func TestNetDeviceNeverRetriesDeviceFailed(t *testing.T) {
+	srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(8, 64)))
+	t.Cleanup(srv.Close)
+	d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	if err := d.Fail(); err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	err = d.ReadSectors(context.Background(), 0, [][]byte{make([]byte, 64)})
+	if !errors.Is(err, store.ErrDeviceFailed) {
+		t.Fatalf("read of failed device: %v, want ErrDeviceFailed", err)
+	}
+	if d.Retries() != 0 {
+		t.Fatalf("client retried a failed device %d times", d.Retries())
+	}
+	if took := time.Since(begin); took > time.Second {
+		t.Fatalf("failed-device answer took %v — did it back off?", took)
+	}
+}
+
+// Cancelling the caller's context mid-backoff aborts the retry loop
+// immediately instead of sleeping out the schedule.
+func TestNetDeviceCancelDuringBackoff(t *testing.T) {
+	d, _ := dialFlaky(t, http.StatusInternalServerError, 1<<30)
+	d.SetRetryPolicy(store.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- d.ReadSectors(ctx, 0, [][]byte{make([]byte, 64)})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled read: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read slept out its 10s backoff despite cancellation")
+	}
+}
+
+// Ping reports liveness, not health: any HTTP answer (even an error
+// status) proves the process is up; only transport failure is down.
+func TestNetDevicePing(t *testing.T) {
+	d, _ := dialFlaky(t, http.StatusInternalServerError, 0)
+	if err := d.Ping(context.Background()); err != nil {
+		t.Fatalf("ping of live server: %v", err)
+	}
+
+	srv := httptest.NewServer(store.NewDeviceServer(store.NewMemDevice(8, 64)))
+	dead, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := dead.Ping(context.Background()); err == nil {
+		t.Fatal("ping of closed server succeeded")
+	}
+}
+
+// /v1/metrics must reflect the traffic the server actually served.
+func TestDeviceServerMetrics(t *testing.T) {
+	mem := store.NewMemDevice(8, 64)
+	ds := store.NewDeviceServer(mem)
+	srv := httptest.NewServer(ds)
+	t.Cleanup(srv.Close)
+	d, err := store.DialNetDevice(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+
+	ctx := context.Background()
+	if err := d.WriteSectors(ctx, 0, [][]byte{make([]byte, 64), make([]byte, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadSectors(ctx, 0, [][]byte{make([]byte, 64)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InjectSectorError(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadSectors(ctx, 5, [][]byte{make([]byte, 64)}); err == nil {
+		t.Fatal("read of bad sector succeeded")
+	}
+	if err := store.SyncDevice(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m store.DeviceServerMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reads != 2 || m.Writes != 1 || m.Syncs != 1 {
+		t.Fatalf("metrics %+v, want 2 reads / 1 write / 1 sync", m)
+	}
+	if m.ReadSectors != 2 || m.WrittenSectors != 2 {
+		t.Fatalf("metrics %+v, want 2 sectors each way", m)
+	}
+	if m.LostSectors != 1 || m.BadSectors != 1 {
+		t.Fatalf("metrics %+v, want 1 lost + 1 bad sector", m)
+	}
+	if m.Failed {
+		t.Fatalf("metrics report failure on a healthy device: %+v", m)
+	}
+	if snap := ds.Metrics(); snap != m {
+		t.Fatalf("in-process snapshot %+v differs from endpoint %+v", snap, m)
+	}
+}

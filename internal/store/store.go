@@ -72,8 +72,15 @@ type Config struct {
 	// Stripes is the number of stripes in the volume.
 	Stripes int
 	// Devices supplies the Code.N() backing devices, each with
-	// Stripes×Code.R() sectors. Nil allocates in-memory devices.
+	// Stripes×Code.R() sectors. Nil consults DeviceFactory, then falls
+	// back to in-memory devices.
 	Devices []Device
+	// DeviceFactory, when non-nil and Devices is nil, builds the backing
+	// device for each stripe column — the pluggable seam the cluster
+	// layer (and any custom backend wiring: wrappers, remote dials)
+	// hooks into without materialising a slice up front. A factory error
+	// aborts Open; devices built so far are closed.
+	DeviceFactory func(col int) (Device, error)
 	// Workers bounds the per-stripe encode/repair parallelism
 	// (internal/core's region splitting); 0 selects GOMAXPROCS.
 	Workers int
@@ -229,6 +236,19 @@ func Open(cfg Config) (*Store, error) {
 	}
 	n, r := cfg.Code.N(), cfg.Code.R()
 	devs := cfg.Devices
+	if devs == nil && cfg.DeviceFactory != nil {
+		devs = make([]Device, n)
+		for i := range devs {
+			d, err := cfg.DeviceFactory(i)
+			if err != nil {
+				for _, prev := range devs[:i] {
+					prev.Close()
+				}
+				return nil, fmt.Errorf("store: device factory (column %d): %w", i, err)
+			}
+			devs[i] = d
+		}
+	}
 	if devs == nil {
 		devs = make([]Device, n)
 		for i := range devs {
