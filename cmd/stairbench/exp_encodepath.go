@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"stair/internal/core"
+	"stair/internal/gf"
+)
+
+func init() {
+	register("encpath", "full-stripe encode: fused source-major planner vs per-op legacy walk (updates BENCH_store.json)", runEncodePath)
+}
+
+// encodePathEntry is one kernel's fused-vs-per-op full-stripe encode
+// baseline: the same canonical code (n=8, r=16, m=2, e=[1,1,2]) encoded
+// through the source-major plan and through the PR 5 op-by-op schedule
+// walk (STAIR_PLAN_MODE=legacy). Throughput is raw stripe bytes.
+// BENCH_store.json keeps one entry per kernel — run the experiment under
+// each STAIR_GF_KERNEL of interest and only that kernel's row is
+// replaced, so the per-kernel ladder accumulates without clobbering.
+type encodePathEntry struct {
+	Kernel     string  `json:"kernel"`
+	StripeMiB  int     `json:"stripe_mib"`
+	TileBytes  int     `json:"tile_bytes"`
+	Stages     int     `json:"stages"`
+	FusedCalls int     `json:"fused_calls"`
+	MaxFanout  int     `json:"max_fanout"`
+	FusedMiBps float64 `json:"fused_mib_per_s"`
+	PerOpMiBps float64 `json:"per_op_mib_per_s"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// runEncodePath measures the data-path A/B the planner exists for: one
+// stripe, one kernel, encoded fused and per-op.
+func runEncodePath(o options) error {
+	const (
+		n, r, m = 8, 16, 2
+	)
+	e := []int{1, 1, 2}
+
+	// STAIR_PLAN_MODE is read at construction time, so the A/B is two
+	// constructors; the caller's own setting is restored afterwards.
+	prevMode, hadMode := os.LookupEnv("STAIR_PLAN_MODE")
+	defer func() {
+		if hadMode {
+			os.Setenv("STAIR_PLAN_MODE", prevMode)
+		} else {
+			os.Unsetenv("STAIR_PLAN_MODE")
+		}
+	}()
+	build := func(mode string) (*core.Code, error) {
+		os.Setenv("STAIR_PLAN_MODE", mode)
+		return core.New(core.Config{N: n, R: r, M: m, E: e})
+	}
+	fused, err := build("fused")
+	if err != nil {
+		return err
+	}
+	legacy, err := build("legacy")
+	if err != nil {
+		return err
+	}
+	pi := fused.PlanInfo()
+	if pi.Mode != "fused" {
+		return fmt.Errorf("encpath: expected a fused plan, got %q", pi.Mode)
+	}
+
+	sector := sectorSizeFor(o.stripeMiB<<20, n, r, fused.Field().SymbolBytes())
+	rawBytes := sector * n * r
+	measure := func(c *core.Code) (float64, error) {
+		st, err := c.NewStripe(sector)
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(1))
+		for _, cell := range c.DataCells() {
+			rng.Read(st.Sector(cell.Col, cell.Row))
+		}
+		return timeOp(rawBytes, func() error { return c.Encode(st) })
+	}
+	fusedMiBps, err := measure(fused)
+	if err != nil {
+		return fmt.Errorf("fused encode: %w", err)
+	}
+	perOpMiBps, err := measure(legacy)
+	if err != nil {
+		return fmt.Errorf("per-op encode: %w", err)
+	}
+
+	entry := encodePathEntry{
+		Kernel:     gf.ActiveKernelName(),
+		StripeMiB:  o.stripeMiB,
+		TileBytes:  pi.TileBytes,
+		Stages:     pi.Stages,
+		FusedCalls: pi.FusedCalls,
+		MaxFanout:  pi.MaxFanout,
+		FusedMiBps: fusedMiBps,
+		PerOpMiBps: perOpMiBps,
+		Speedup:    fusedMiBps / perOpMiBps,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "kernel\tstripe\tfused MiB/s\tper-op MiB/s\tspeedup\tplan\n")
+	fmt.Fprintf(w, "%s\t%d MiB\t%.1f\t%.1f\t%.2fx\t%d stages, %d fused calls, fan-out ≤%d, %d B tiles\n",
+		entry.Kernel, entry.StripeMiB, entry.FusedMiBps, entry.PerOpMiBps, entry.Speedup,
+		entry.Stages, entry.FusedCalls, entry.MaxFanout, entry.TileBytes)
+	w.Flush()
+
+	// Merge into BENCH_store.json, replacing only this kernel's row.
+	report := loadStoreReport()
+	replaced := false
+	for i := range report.EncodePath {
+		if report.EncodePath[i].Kernel == entry.Kernel {
+			report.EncodePath[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		report.EncodePath = append(report.EncodePath, entry)
+	}
+	if err := writeStoreReport(report); err != nil {
+		return err
+	}
+	fmt.Printf("\nupdated BENCH_store.json (encode_path entry for %q)\n", entry.Kernel)
+	return nil
+}

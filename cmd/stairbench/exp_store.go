@@ -75,9 +75,11 @@ type storeBenchResult struct {
 type storeBenchReport struct {
 	Config  storeBenchConfig   `json:"config"`
 	Results []storeBenchResult `json:"results"`
-	// Cluster holds the cluster experiment's section; each experiment
-	// rewrites only its own part of BENCH_store.json.
-	Cluster *clusterBenchReport `json:"cluster,omitempty"`
+	// Cluster and EncodePath hold the cluster and encpath experiments'
+	// sections; each experiment rewrites only its own part of
+	// BENCH_store.json.
+	Cluster    *clusterBenchReport `json:"cluster,omitempty"`
+	EncodePath []encodePathEntry   `json:"encode_path,omitempty"`
 }
 
 // runStore measures the internal/store data paths end to end — batched
@@ -436,8 +438,9 @@ func runStore(o options) error {
 	}
 	w.Flush()
 
+	prev := loadStoreReport()
 	report := storeBenchReport{Config: cfg, Results: results,
-		Cluster: loadStoreReport().Cluster}
+		Cluster: prev.Cluster, EncodePath: prev.EncodePath}
 	if err := writeStoreReport(report); err != nil {
 		return err
 	}

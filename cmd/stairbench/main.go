@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 
+	"stair/internal/core"
 	"stair/internal/gf"
 )
 
@@ -55,6 +56,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Resolve GF kernel dispatch before any measurement: a typo'd
+	// STAIR_GF_KERNEL must die here, not mid-benchmark.
+	if err := gf.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "stairbench:", err)
+		os.Exit(1)
+	}
+
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
 
 	if *list || *name == "" {
@@ -78,9 +86,16 @@ func main() {
 	}
 
 	// Every speed number below depends on which GF region kernel
-	// dispatch picked; say so once, up front.
-	fmt.Printf("gf kernel: %s (%s/%s, available: %v)\n\n",
+	// dispatch picked and which stripe data path executes the schedules;
+	// say so once, up front.
+	fmt.Printf("gf kernel: %s (%s/%s, available: %v)\n",
 		gf.ActiveKernelName(), runtime.GOOS, runtime.GOARCH, gf.KernelNames())
+	if dp, err := core.PlanDefaults(); err != nil {
+		fmt.Fprintln(os.Stderr, "stairbench:", err)
+		os.Exit(1)
+	} else {
+		fmt.Printf("data path: %s planner, tile %d B (STAIR_PLAN_MODE/STAIR_PLAN_TILE)\n\n", dp.Mode, dp.TileBytes)
+	}
 
 	run := func(e experiment) {
 		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"stair/internal/cluster"
+	"stair/internal/core"
 	"stair/internal/store"
 )
 
@@ -120,15 +121,21 @@ func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// metricsReport is the /v1/metrics shape: the store's counters and the
-// cluster layer's, side by side.
+// metricsReport is the /v1/metrics shape: the store's counters, the
+// cluster layer's, and the active encode data path (plan shape + GF
+// kernel) the numbers were produced under.
 type metricsReport struct {
 	Store   store.Stats   `json:"store"`
 	Cluster cluster.Stats `json:"cluster"`
+	Plan    core.PlanInfo `json:"plan"`
 }
 
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, metricsReport{Store: a.v.StoreStats(), Cluster: a.v.Stats()})
+	writeJSON(w, metricsReport{
+		Store:   a.v.StoreStats(),
+		Cluster: a.v.Stats(),
+		Plan:    a.v.Store().Code().PlanInfo(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

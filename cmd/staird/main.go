@@ -44,12 +44,19 @@ import (
 
 	"stair/internal/cluster"
 	"stair/internal/core"
+	"stair/internal/gf"
 	"stair/internal/store"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+	}
+	// Resolve GF kernel dispatch up front: a typo'd STAIR_GF_KERNEL must
+	// fail startup, not surface mid-flush deep in the cluster layer.
+	if err := gf.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "staird:", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -41,11 +41,18 @@ import (
 	"strings"
 
 	"stair/internal/core"
+	"stair/internal/gf"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+	}
+	// Surface a typo'd STAIR_GF_KERNEL as a clean startup error rather
+	// than a panic inside the first encode.
+	if err := gf.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "stairstore:", err)
+		os.Exit(1)
 	}
 	// Every store operation runs under a signal-cancelled context: an
 	// interrupt aborts in-flight device I/O (including a blocked remote
@@ -477,8 +484,14 @@ func cmdStats(ctx context.Context, args []string) (err error) {
 		}
 	}()
 	n, stripes, r, sector := s.Geometry()
+	pi := s.Code().PlanInfo()
 	fmt.Printf("volume:   %s\n", s.Code().Config())
 	fmt.Printf("gf:       w=%d, region kernel %s\n", s.Code().Field().W(), s.Code().KernelName())
+	fmt.Printf("plan:     %s data path, tile %d B", pi.Mode, pi.TileBytes)
+	if pi.Mode == "fused" {
+		fmt.Printf(" (%d stages, %d fused calls, max fan-out %d per encode)", pi.Stages, pi.FusedCalls, pi.MaxFanout)
+	}
+	fmt.Println()
 	fmt.Printf("geometry: %d devices × %d stripes × %d sectors × %d B (%d blocks)\n",
 		n, stripes, r, sector, s.Blocks())
 	fmt.Printf("health:   failed devices %v, %d bad sectors, %d unrecoverable stripes\n",

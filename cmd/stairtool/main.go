@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"stair"
+	"stair/internal/gf"
 )
 
 type manifest struct {
@@ -49,6 +50,11 @@ type manifest struct {
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+	}
+	// A typo'd STAIR_GF_KERNEL should fail before any shard is touched.
+	if err := gf.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "stairtool:", err)
+		os.Exit(1)
 	}
 	var err error
 	switch os.Args[1] {

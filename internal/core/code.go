@@ -78,6 +78,14 @@ type Code struct {
 	stdSched  *schedule
 	method    Method // resolved (never MethodAuto)
 
+	// Source-major fused plans compiled from the schedules above, plus
+	// the data-path knobs they were compiled under (see plan.go).
+	planMode planMode
+	planTile int
+	upPlan   *plan
+	downPlan *plan
+	stdPlan  *plan
+
 	// dataDeps[ord] lists the parity cells affected by data cell ord,
 	// derived from the standard-encoding generator (§5.2 uneven parity
 	// relations). Used by Update and the update-penalty analysis.
@@ -91,7 +99,7 @@ type Code struct {
 	scratch sync.Pool // *[]byte buffers of tempCount × sectorSize
 
 	decodeMu    sync.Mutex
-	decodeCache map[string]*schedule // nil entry = proven unrecoverable
+	decodeCache map[string]*plan // nil entry = proven unrecoverable
 }
 
 // New compiles a STAIR code for the given configuration.
@@ -124,6 +132,11 @@ func New(cfg Config) (*Code, error) {
 		return nil, fmt.Errorf("core: building Ccol: %w", err)
 	}
 
+	c.planMode, c.planTile, err = planConfigFromEnv()
+	if err != nil {
+		return nil, err
+	}
+
 	c.indexCells()
 	if err := c.buildEncodeSchedules(); err != nil {
 		return nil, err
@@ -131,7 +144,10 @@ func New(cfg Config) (*Code, error) {
 	c.buildStandardSchedule()
 	c.chooseMethod()
 	c.indexScratch()
-	c.decodeCache = make(map[string]*schedule)
+	c.upPlan = c.compilePlan(c.upSched)
+	c.downPlan = c.compilePlan(c.downSched)
+	c.stdPlan = c.compilePlan(c.stdSched)
+	c.decodeCache = make(map[string]*plan)
 	return c, nil
 }
 

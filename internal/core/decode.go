@@ -46,28 +46,33 @@ func lostKey(idxs []int) string {
 	return b.String()
 }
 
-// decodeSchedule returns (building and caching as needed) the repair
-// schedule for a lost-cell pattern, or nil if the pattern is
-// unrecoverable.
-func (c *Code) decodeSchedule(idxs []int) (*schedule, error) {
+// decodePlan returns (building, compiling and caching as needed) the
+// repair plan for a lost-cell pattern, or nil if the pattern is
+// unrecoverable. Caching the compiled plan — not just the schedule —
+// means repeated repairs of the same pattern (the scrubber draining a
+// failed chunk stripe by stripe) pay the source-major compilation once.
+func (c *Code) decodePlan(idxs []int) (*plan, error) {
 	key := lostKey(idxs)
 	c.decodeMu.Lock()
-	sch, hit := c.decodeCache[key]
+	pl, hit := c.decodeCache[key]
 	c.decodeMu.Unlock()
 	if hit {
-		return sch, nil
+		return pl, nil
 	}
 	sch, err := c.buildDecodeSchedule(idxs)
 	if err != nil {
 		return nil, err
 	}
+	if sch != nil {
+		pl = c.compilePlan(sch)
+	}
 	c.decodeMu.Lock()
 	if len(c.decodeCache) >= maxDecodeCacheEntries {
-		c.decodeCache = make(map[string]*schedule)
+		c.decodeCache = make(map[string]*plan)
 	}
-	c.decodeCache[key] = sch
+	c.decodeCache[key] = pl
 	c.decodeMu.Unlock()
-	return sch, nil
+	return pl, nil
 }
 
 // seedDecodeKnowns marks surviving real cells and the global parities as
@@ -158,16 +163,16 @@ func (c *Code) Repair(st *Stripe, lost []Cell) error {
 	if len(idxs) == 0 {
 		return nil
 	}
-	sch, err := c.decodeSchedule(idxs)
+	pl, err := c.decodePlan(idxs)
 	if err != nil {
 		return err
 	}
-	if sch == nil {
+	if pl == nil {
 		return fmt.Errorf("%w: %d lost cells", ErrUnrecoverable, len(idxs))
 	}
 	cells, release := c.env(st)
 	defer release()
-	c.run(sch, cells)
+	c.runPlan(pl, cells)
 	return nil
 }
 
@@ -179,11 +184,11 @@ func (c *Code) CanRecover(lost []Cell) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	sch, err := c.decodeSchedule(idxs)
+	pl, err := c.decodePlan(idxs)
 	if err != nil {
 		return false, err
 	}
-	return sch != nil, nil
+	return pl != nil, nil
 }
 
 // RepairCost returns the number of Mult_XORs actually executed to repair
@@ -193,14 +198,14 @@ func (c *Code) RepairCost(lost []Cell) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	sch, err := c.decodeSchedule(idxs)
+	pl, err := c.decodePlan(idxs)
 	if err != nil {
 		return 0, err
 	}
-	if sch == nil {
+	if pl == nil {
 		return 0, ErrUnrecoverable
 	}
-	return sch.actualCost, nil
+	return pl.sch.actualCost, nil
 }
 
 // CoverageContains reports whether a failure pattern lies within the

@@ -90,13 +90,13 @@ func (c *Code) EncodeWith(st *Stripe, m Method) error {
 	if err := c.validateStripe(st); err != nil {
 		return err
 	}
-	sch, err := c.scheduleFor(m)
+	p, err := c.planFor(m)
 	if err != nil {
 		return err
 	}
 	cells, release := c.env(st)
 	defer release()
-	c.run(sch, cells)
+	c.runPlan(p, cells)
 	return nil
 }
 

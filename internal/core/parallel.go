@@ -7,12 +7,13 @@ import (
 )
 
 // Schedules are linear over sector contents byte-for-byte, so a stripe
-// can be encoded or repaired by running the same schedule independently
+// can be encoded or repaired by running the same plan independently
 // over disjoint sub-ranges of every sector — the multi-core
 // parallelisation the paper points at in §6.2.1. Ranges are aligned to
-// the field's symbol width; each worker sees an environment whose cell
-// regions are sliced to its range, so workers never touch the same
-// bytes.
+// the plan tile size on the fused path (so each worker sweeps whole
+// tiles) and to the field's symbol width on the legacy path; each worker
+// sees an environment whose cell regions are sliced to its range, so
+// workers never touch the same bytes.
 
 // sliceCells returns a view of the environment restricted to [lo, hi).
 func sliceCells(cells [][]byte, lo, hi int) [][]byte {
@@ -55,11 +56,20 @@ func splitRanges(size, align, workers int) [][2]int {
 	return out
 }
 
-// runParallel executes a schedule across workers over the environment.
-func (c *Code) runParallel(sch *schedule, cells [][]byte, sectorSize, workers int) {
-	ranges := splitRanges(sectorSize, c.f.SymbolBytes(), workers)
+// runParallel executes a plan across workers over the environment. Fused
+// plans split on tile boundaries so every worker sweeps whole tiles and
+// the per-tile cache-residency reasoning still holds; the legacy path
+// keeps the old symbol-aligned split. When the sector is too small to
+// give every worker a tile, the split degrades gracefully toward fewer
+// workers (splitRanges caps workers at the unit count).
+func (c *Code) runParallel(p *plan, cells [][]byte, sectorSize, workers int) {
+	align := c.f.SymbolBytes()
+	if !p.legacy && sectorSize >= 2*c.planTile {
+		align = c.planTile
+	}
+	ranges := splitRanges(sectorSize, align, workers)
 	if len(ranges) == 1 {
-		c.run(sch, cells)
+		c.runPlan(p, cells)
 		return
 	}
 	var wg sync.WaitGroup
@@ -67,7 +77,7 @@ func (c *Code) runParallel(sch *schedule, cells [][]byte, sectorSize, workers in
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			c.run(sch, sliceCells(cells, lo, hi))
+			c.runPlan(p, sliceCells(cells, lo, hi))
 		}(rg[0], rg[1])
 	}
 	wg.Wait()
@@ -81,7 +91,7 @@ func (c *Code) EncodeParallel(st *Stripe, m Method, workers int) error {
 	if err := c.validateStripe(st); err != nil {
 		return err
 	}
-	sch, err := c.scheduleFor(m)
+	p, err := c.planFor(m)
 	if err != nil {
 		return err
 	}
@@ -93,7 +103,7 @@ func (c *Code) EncodeParallel(st *Stripe, m Method, workers int) error {
 	}
 	cells, release := c.env(st)
 	defer release()
-	c.runParallel(sch, cells, st.SectorSize, workers)
+	c.runParallel(p, cells, st.SectorSize, workers)
 	return nil
 }
 
@@ -110,11 +120,11 @@ func (c *Code) RepairParallel(st *Stripe, lost []Cell, workers int) error {
 	if len(idxs) == 0 {
 		return nil
 	}
-	sch, err := c.decodeSchedule(idxs)
+	pl, err := c.decodePlan(idxs)
 	if err != nil {
 		return err
 	}
-	if sch == nil {
+	if pl == nil {
 		return fmt.Errorf("%w: %d lost cells", ErrUnrecoverable, len(idxs))
 	}
 	if workers == 0 {
@@ -125,6 +135,6 @@ func (c *Code) RepairParallel(st *Stripe, lost []Cell, workers int) error {
 	}
 	cells, release := c.env(st)
 	defer release()
-	c.runParallel(sch, cells, st.SectorSize, workers)
+	c.runParallel(pl, cells, st.SectorSize, workers)
 	return nil
 }

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"stair/internal/gf"
+)
+
+// A plan is the source-major, tiled execution form of a schedule — the
+// ISA-L ec_encode_data shape. The op-list run() walks destination by
+// destination, so every source region is streamed from memory once per
+// parity row; a plan regroups the same Mult_XORs by *source* and executes
+// one fused kernel call per source cell, updating all of its destinations
+// while the source tile is register/cache-resident. The whole stripe is
+// then swept tile-by-tile (an L1/L2-sized block of every cell at the same
+// byte range) so sources and destinations both stay cache-hot across the
+// plan — region ops are byte-wise linear, so running all stages over one
+// byte range before advancing is identical to running each op full-width.
+//
+// Correct regrouping must respect producer→consumer order: an op may read
+// cells written by earlier ops. Compilation levels the op DAG into
+// stages — an op's stage is one past the deepest stage producing any of
+// its sources (plan inputs are stage 0) — so within a stage no op reads
+// another's destination and the fused calls of a stage can run in any
+// order. Each destination's first term runs as an overwrite (init) call
+// and the rest accumulate — equivalent to run()'s overwrite semantics
+// without zero-filling or re-reading fresh output regions.
+//
+// Plans fall back to the op-list executor (plan.legacy) when the field
+// has multi-byte symbols (w=16 has no byte-oriented split tables) or when
+// STAIR_PLAN_MODE=legacy forces the PR 5 data path for A/B comparison.
+
+// planMode selects the stripe data-path executor.
+type planMode int
+
+const (
+	planFused  planMode = iota // source-major fused kernels, tiled
+	planLegacy                 // op-by-op schedule walk (PR 5 path)
+)
+
+func (m planMode) String() string {
+	if m == planLegacy {
+		return "legacy"
+	}
+	return "fused"
+}
+
+// defaultPlanTile is the per-cell tile size the stripe sweep uses. One
+// fused call touches 1 source + up-to-maxFan destination tiles, so the
+// working set is (fanout+1)·tile bytes: 8 KiB keeps a typical 4-wide
+// group inside a 48 KiB L1 and even the widest schedules inside L2.
+const defaultPlanTile = 8192
+
+// planConfigFromEnv resolves the data-path knobs: STAIR_PLAN_MODE
+// (fused|legacy) and STAIR_PLAN_TILE (bytes per cell tile). Both are
+// validated here so a typo is a constructor error, mirroring the
+// STAIR_GF_KERNEL handling in internal/gf.
+func planConfigFromEnv() (planMode, int, error) {
+	mode := planFused
+	switch v := os.Getenv("STAIR_PLAN_MODE"); v {
+	case "", "fused":
+	case "legacy":
+		mode = planLegacy
+	default:
+		return 0, 0, fmt.Errorf("core: STAIR_PLAN_MODE=%q is not a plan mode (want fused or legacy)", v)
+	}
+	tile := defaultPlanTile
+	if v := os.Getenv("STAIR_PLAN_TILE"); v != "" {
+		t, err := strconv.Atoi(v)
+		if err != nil || t < 64 || t%64 != 0 {
+			return 0, 0, fmt.Errorf("core: STAIR_PLAN_TILE=%q must be a multiple of 64 bytes ≥ 64", v)
+		}
+		tile = t
+	}
+	return mode, tile, nil
+}
+
+// fusedGroup is one fused kernel call: every destination cell the plan
+// accumulates coeff·src into within one stage, with the coefficient
+// tables pre-resolved at compile time.
+type fusedGroup struct {
+	src  int32
+	dsts []int32
+	tabs []*gf.MulTable
+}
+
+type planStage struct {
+	zero   []int32      // destinations with no surviving terms (rare)
+	inits  []fusedGroup // overwrite calls: each destination's first term
+	groups []fusedGroup // accumulate calls for the remaining terms
+}
+
+type plan struct {
+	sch    *schedule // the schedule this plan executes (costs, legacy path)
+	stages []planStage
+	legacy bool // run op-by-op through Code.run instead
+	maxFan int  // widest fused group, sizes the per-run dst scratch
+	calls  int  // fused calls per full execution (observability)
+}
+
+// compilePlan lowers a schedule into its source-major plan.
+func (c *Code) compilePlan(sch *schedule) *plan {
+	p := &plan{sch: sch}
+	if c.planMode == planLegacy || c.f.SymbolBytes() != 1 {
+		p.legacy = true
+		return p
+	}
+	// Stage leveling: plan inputs sit at stage 0, an op lands one past
+	// the deepest producer it reads. Schedules are in execution order and
+	// write each cell exactly once, so one forward pass suffices.
+	stageOf := make([]int32, c.rows*c.cols)
+	maxStage := int32(0)
+	opStage := make([]int32, len(sch.ops))
+	for i := range sch.ops {
+		o := &sch.ops[i]
+		s := int32(1)
+		for _, t := range o.terms {
+			if ps := stageOf[t.src] + 1; ps > s {
+				s = ps
+			}
+		}
+		opStage[i] = s
+		stageOf[o.dst] = s
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	p.stages = make([]planStage, maxStage)
+	// groupIx maps a stage's source cell to its group index in that stage.
+	groupIx := make([]map[int32]int, maxStage)
+	for i := range groupIx {
+		groupIx[i] = make(map[int32]int)
+	}
+	for i := range sch.ops {
+		o := &sch.ops[i]
+		st := &p.stages[opStage[i]-1]
+		st.zero = append(st.zero, o.dst)
+		for _, t := range o.terms {
+			coeff := t.coeff & uint32(c.f.Size()-1)
+			if coeff == 0 {
+				continue
+			}
+			ix, ok := groupIx[opStage[i]-1][t.src]
+			if !ok {
+				ix = len(st.groups)
+				groupIx[opStage[i]-1][t.src] = ix
+				st.groups = append(st.groups, fusedGroup{src: t.src})
+			}
+			g := &st.groups[ix]
+			// Merge duplicate (src,dst) terms: c1·v ^ c2·v = (c1^c2)·v.
+			// The fused kernels forbid overlapping destinations, and a
+			// merged term is cheaper anyway.
+			merged := false
+			for di, d := range g.dsts {
+				if d == o.dst {
+					// Recover the existing coefficient via the table row
+					// of 1 (Row[1] = c) and re-resolve.
+					prev := uint32(g.tabs[di].Row[1])
+					g.tabs[di] = c.f.Table(prev ^ coeff)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				g.dsts = append(g.dsts, o.dst)
+				g.tabs = append(g.tabs, c.f.Table(coeff))
+			}
+		}
+	}
+	// Drop terms merged down to coefficient zero, then split each
+	// destination's first surviving term into an overwrite (init) group:
+	// outputs are written by their first term instead of zero-filled and
+	// accumulated, saving one write plus one read of every destination
+	// region per execution. st.zero keeps only destinations every term of
+	// which merged away — those still need the explicit clear.
+	for si := range p.stages {
+		st := &p.stages[si]
+		claimed := make(map[int32]bool, len(st.zero))
+		kept := st.groups[:0]
+		for _, g := range st.groups {
+			var initDsts []int32
+			var initTabs []*gf.MulTable
+			dsts, tabs := g.dsts[:0], g.tabs[:0]
+			for i := range g.dsts {
+				if g.tabs[i].Row[1] == 0 {
+					continue
+				}
+				if !claimed[g.dsts[i]] {
+					claimed[g.dsts[i]] = true
+					initDsts = append(initDsts, g.dsts[i])
+					initTabs = append(initTabs, g.tabs[i])
+				} else {
+					dsts = append(dsts, g.dsts[i])
+					tabs = append(tabs, g.tabs[i])
+				}
+			}
+			if len(initDsts) > 0 {
+				st.inits = append(st.inits, fusedGroup{src: g.src, dsts: initDsts, tabs: initTabs})
+				if len(initDsts) > p.maxFan {
+					p.maxFan = len(initDsts)
+				}
+				p.calls++
+			}
+			g.dsts, g.tabs = dsts, tabs
+			if len(g.dsts) == 0 {
+				continue
+			}
+			if len(g.dsts) > p.maxFan {
+				p.maxFan = len(g.dsts)
+			}
+			p.calls++
+			kept = append(kept, g)
+		}
+		st.groups = kept
+		zero := st.zero[:0]
+		for _, d := range st.zero {
+			if !claimed[d] {
+				zero = append(zero, d)
+			}
+		}
+		st.zero = zero
+	}
+	return p
+}
+
+// runPlan executes a plan over the environment, sweeping all stages over
+// one tile of every cell before advancing to the next tile.
+func (c *Code) runPlan(p *plan, cells [][]byte) {
+	if p.legacy {
+		c.run(p.sch, cells)
+		return
+	}
+	size := 0
+	for _, s := range cells {
+		if s != nil {
+			size = len(s)
+			break
+		}
+	}
+	dstbuf := make([][]byte, p.maxFan)
+	for lo := 0; lo < size; lo += c.planTile {
+		hi := lo + c.planTile
+		if hi > size {
+			hi = size
+		}
+		for si := range p.stages {
+			st := &p.stages[si]
+			for _, d := range st.zero {
+				gf.Zero(cells[d][lo:hi])
+			}
+			for gi := range st.inits {
+				g := &st.inits[gi]
+				dsts := dstbuf[:len(g.dsts)]
+				for i, d := range g.dsts {
+					dsts[i] = cells[d][lo:hi]
+				}
+				gf.MulRegionFused(dsts, cells[g.src][lo:hi], g.tabs)
+			}
+			for gi := range st.groups {
+				g := &st.groups[gi]
+				dsts := dstbuf[:len(g.dsts)]
+				for i, d := range g.dsts {
+					dsts[i] = cells[d][lo:hi]
+				}
+				gf.MultXORFused(dsts, cells[g.src][lo:hi], g.tabs)
+			}
+		}
+	}
+}
+
+// planFor resolves a method to its compiled plan.
+func (c *Code) planFor(m Method) (*plan, error) {
+	switch m {
+	case MethodAuto:
+		return c.planFor(c.method)
+	case MethodUpstairs:
+		return c.upPlan, nil
+	case MethodDownstairs:
+		return c.downPlan, nil
+	case MethodStandard:
+		return c.stdPlan, nil
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+}
+
+// PlanInfo describes the active stripe data path for observability
+// surfaces (stairstore stats, the stairbench banner, staird metrics).
+// Stages, FusedCalls and MaxFanout describe the auto-method encode plan.
+type PlanInfo struct {
+	Mode       string `json:"mode"` // "fused" or "legacy"
+	Kernel     string `json:"kernel"`
+	TileBytes  int    `json:"tile_bytes"`
+	Stages     int    `json:"stages"`
+	FusedCalls int    `json:"fused_calls"`
+	MaxFanout  int    `json:"max_fanout"`
+}
+
+// PlanDefaults reports the data-path configuration codes built in this
+// process will use — mode, tile size and the dispatched kernel — without
+// needing a compiled Code. Banner/startup surfaces use it; per-code shape
+// (stages, fan-out) comes from Code.PlanInfo. The error mirrors New's
+// validation of STAIR_PLAN_MODE/STAIR_PLAN_TILE.
+func PlanDefaults() (PlanInfo, error) {
+	mode, tile, err := planConfigFromEnv()
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	return PlanInfo{
+		Mode:      mode.String(),
+		Kernel:    gf.ActiveKernelName(),
+		TileBytes: tile,
+	}, nil
+}
+
+// PlanInfo reports the shape of the encode data path: which executor
+// stripes run through (fused source-major vs the legacy op walk), the
+// tile size, the dispatched GF kernel, and the compiled shape of the
+// auto-method encode plan.
+func (c *Code) PlanInfo() PlanInfo {
+	p, _ := c.planFor(MethodAuto)
+	info := PlanInfo{
+		Mode:      planFused.String(),
+		Kernel:    c.KernelName(),
+		TileBytes: c.planTile,
+	}
+	if p.legacy {
+		info.Mode = planLegacy.String()
+		return info
+	}
+	info.Stages = len(p.stages)
+	info.FusedCalls = p.calls
+	info.MaxFanout = p.maxFan
+	return info
+}

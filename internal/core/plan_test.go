@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The source-major fused plan must be byte-identical to the op-list
+// legacy executor on every public surface: encode (all methods), repair,
+// and incremental update, at sector sizes that are smaller than, equal
+// to, and ragged against the tile size.
+
+func planTestConfigs() []Config {
+	return []Config{
+		{N: 8, R: 4, M: 2, E: []int{1, 1, 2}},
+		{N: 8, R: 4, M: 2, E: []int{1, 1, 2}, Placement: Outside},
+		{N: 6, R: 4, M: 1, E: []int{4}},
+		{N: 5, R: 4, M: 0, E: []int{1, 2}},
+		{N: 6, R: 4, M: 1, E: []int{1, 2}, W: 4},
+		{N: 8, R: 4, M: 2, E: []int{1, 2}, W: 16},
+	}
+}
+
+// newPlanPair builds the same code twice: once on the fused data path,
+// once forced legacy.
+func newPlanPair(t *testing.T, cfg Config) (fused, legacy *Code) {
+	t.Helper()
+	t.Setenv("STAIR_PLAN_MODE", "fused")
+	fused, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("STAIR_PLAN_MODE", "legacy")
+	legacy, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("STAIR_PLAN_MODE", "")
+	return fused, legacy
+}
+
+func TestPlanFusedMatchesLegacyEncode(t *testing.T) {
+	// Sector sizes chosen against a 256-byte tile: sub-tile, exact
+	// multiple, and ragged tail.
+	t.Setenv("STAIR_PLAN_TILE", "256")
+	for _, cfg := range planTestConfigs() {
+		t.Run(cfg.String(), func(t *testing.T) {
+			fused, legacy := newPlanPair(t, cfg)
+			sb := fused.Field().SymbolBytes()
+			for _, sectorSize := range []int{2 * sb, 64, 256, 256 + 64, 1024 + 128} {
+				for _, m := range []Method{MethodUpstairs, MethodDownstairs, MethodStandard} {
+					stF, err := fused.NewStripe(sectorSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stL, err := legacy.NewStripe(sectorSize)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fillData(t, fused, stF, 7)
+					fillData(t, legacy, stL, 7)
+					if err := fused.EncodeWith(stF, m); err != nil {
+						t.Fatalf("fused EncodeWith(%v): %v", m, err)
+					}
+					if err := legacy.EncodeWith(stL, m); err != nil {
+						t.Fatalf("legacy EncodeWith(%v): %v", m, err)
+					}
+					if !stripesEqual(stF, stL) {
+						t.Fatalf("sector=%d method=%v: fused and legacy encodes differ", sectorSize, m)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPlanFusedMatchesLegacyRepair(t *testing.T) {
+	t.Setenv("STAIR_PLAN_TILE", "256")
+	for _, cfg := range planTestConfigs() {
+		t.Run(cfg.String(), func(t *testing.T) {
+			fused, legacy := newPlanPair(t, cfg)
+			rng := rand.New(rand.NewSource(11))
+			st, err := fused.NewStripe(256 + 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillData(t, fused, st, 9)
+			if err := fused.Encode(st); err != nil {
+				t.Fatal(err)
+			}
+			// A handful of in-coverage patterns: single sectors, a whole
+			// chunk, chunk + extra sectors.
+			patterns := [][]Cell{
+				{{Col: 0, Row: 0}},
+				{{Col: 1, Row: 2}, {Col: 3, Row: 1}},
+			}
+			wholeChunk := make([]Cell, fused.R())
+			for row := 0; row < fused.R(); row++ {
+				wholeChunk[row] = Cell{Col: 0, Row: row}
+			}
+			patterns = append(patterns, wholeChunk)
+			for pi, lost := range patterns {
+				ok, err := fused.CanRecover(lost)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				run := func(c *Code) *Stripe {
+					cl := st.Clone()
+					for _, cell := range lost {
+						rng.Read(cl.Sector(cell.Col, cell.Row)) // clobber
+					}
+					if err := c.Repair(cl, lost); err != nil {
+						t.Fatalf("pattern %d: %v", pi, err)
+					}
+					return cl
+				}
+				if !stripesEqual(run(fused), run(legacy)) {
+					t.Fatalf("pattern %d: fused and legacy repairs differ", pi)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanFusedMatchesLegacyUpdate(t *testing.T) {
+	for _, cfg := range planTestConfigs() {
+		t.Run(cfg.String(), func(t *testing.T) {
+			fused, legacy := newPlanPair(t, cfg)
+			rng := rand.New(rand.NewSource(13))
+			sectorSize := 96 * fused.Field().SymbolBytes()
+			stF, err := fused.NewStripe(sectorSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillData(t, fused, stF, 17)
+			if err := fused.Encode(stF); err != nil {
+				t.Fatal(err)
+			}
+			stL := stF.Clone()
+			cell := fused.DataCells()[0]
+			newData := make([]byte, sectorSize)
+			rng.Read(newData)
+			if err := fused.Update(stF, cell, newData); err != nil {
+				t.Fatal(err)
+			}
+			if err := legacy.Update(stL, cell, newData); err != nil {
+				t.Fatal(err)
+			}
+			if !stripesEqual(stF, stL) {
+				t.Fatal("fused and legacy updates differ")
+			}
+			// The updated stripe must still verify.
+			ok, err := fused.Verify(stF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("stripe does not verify after fused update")
+			}
+		})
+	}
+}
+
+func TestPlanConfigErrors(t *testing.T) {
+	cfg := Config{N: 6, R: 4, M: 1, E: []int{2}}
+	t.Setenv("STAIR_PLAN_MODE", "turbo")
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "STAIR_PLAN_MODE") {
+		t.Errorf("bad STAIR_PLAN_MODE: got err %v", err)
+	}
+	t.Setenv("STAIR_PLAN_MODE", "")
+	for _, tile := range []string{"0", "-64", "100", "abc"} {
+		t.Setenv("STAIR_PLAN_TILE", tile)
+		if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "STAIR_PLAN_TILE") {
+			t.Errorf("STAIR_PLAN_TILE=%q: got err %v", tile, err)
+		}
+	}
+}
+
+func TestPlanInfo(t *testing.T) {
+	c, err := New(Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := c.PlanInfo()
+	if info.Mode != "fused" {
+		t.Errorf("Mode = %q, want fused", info.Mode)
+	}
+	if info.TileBytes != defaultPlanTile {
+		t.Errorf("TileBytes = %d, want %d", info.TileBytes, defaultPlanTile)
+	}
+	if info.Stages == 0 || info.FusedCalls == 0 || info.MaxFanout == 0 {
+		t.Errorf("fused plan shape empty: %+v", info)
+	}
+	if info.Kernel == "" {
+		t.Error("Kernel empty")
+	}
+
+	// w=16 has no byte split tables: the plan must report legacy.
+	c16, err := New(Config{N: 8, R: 4, M: 2, E: []int{1, 2}, W: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := c16.PlanInfo(); info.Mode != "legacy" {
+		t.Errorf("w=16 Mode = %q, want legacy", info.Mode)
+	}
+
+	t.Setenv("STAIR_PLAN_MODE", "legacy")
+	cl, err := New(Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := cl.PlanInfo(); info.Mode != "legacy" || info.Stages != 0 {
+		t.Errorf("forced legacy PlanInfo = %+v", info)
+	}
+}
+
+// TestPlanFusedCoversDecodeCache: repairing twice through the cache must
+// reuse the compiled plan (same pointer) rather than recompiling.
+func TestPlanDecodeCacheReusesPlan(t *testing.T) {
+	c, err := New(Config{N: 8, R: 4, M: 2, E: []int{1, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs, err := c.checkLost([]Cell{{Col: 2, Row: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.decodePlan(idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.decodePlan(idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == nil || p1 != p2 {
+		t.Fatalf("decode plan not cached: %p vs %p", p1, p2)
+	}
+	if p1.legacy {
+		t.Error("w=8 decode plan compiled to legacy")
+	}
+}

@@ -29,15 +29,26 @@ func (c *Code) Update(st *Stripe, cell Cell, newData []byte) error {
 	delta := make([]byte, st.SectorSize)
 	copy(delta, old)
 	gf.XORRegion(delta, newData)
-	for _, pr := range c.dataDeps[ord] {
+	deps := c.dataDeps[ord]
+	dsts := make([][]byte, len(deps))
+	coeffs := make([]uint32, len(deps))
+	for i, pr := range deps {
 		row, col := c.cellRC(int(pr.cell))
-		var sector []byte
 		if l, h, ok := c.globalOf(row, col); ok {
-			sector = st.Globals[c.globalOrd(l, h)]
+			dsts[i] = st.Globals[c.globalOrd(l, h)]
 		} else {
-			sector = st.Sector(col, row)
+			dsts[i] = st.Sector(col, row)
 		}
-		c.f.MultXOR(sector, delta, pr.coeff)
+		coeffs[i] = pr.coeff
+	}
+	if c.planMode == planLegacy {
+		for i := range dsts {
+			c.f.MultXOR(dsts[i], delta, coeffs[i])
+		}
+	} else {
+		// One fused pass: the delta region is read once for all affected
+		// parity sectors (§5.2 uneven parity relations, source-major).
+		c.f.MultXORFused(dsts, delta, coeffs)
 	}
 	copy(old, newData)
 	return nil

@@ -1,0 +1,273 @@
+package gf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential coverage for the fused region op: every registered kernel
+// must agree byte-for-byte with composing the portable per-op kernel,
+// over random destination counts, ragged tails, and unaligned offsets.
+
+// refMultXORFused composes the per-destination byte-loop reference — the
+// semantics MultXORFused must reproduce exactly.
+func refMultXORFused(dsts [][]byte, src []byte, tabs []*MulTable) {
+	for i, d := range dsts {
+		refMultXOR(d, src, tabs[i])
+	}
+}
+
+// fusedCase builds a randomized fused call: ndst destinations of length
+// n, each sliced off bytes into its own backing array so vector loads
+// start off any natural boundary.
+func fusedCase(rng *rand.Rand, f *Field, ndst, n, off int) (dsts [][]byte, base [][]byte, src []byte, tabs []*MulTable) {
+	src = make([]byte, n+off)
+	rng.Read(src)
+	src = src[off:]
+	cmax := int64(f.mask)
+	for i := 0; i < ndst; i++ {
+		b := make([]byte, n+off)
+		rng.Read(b)
+		base = append(base, append([]byte(nil), b...))
+		dsts = append(dsts, b[off:])
+		c := uint32(1 + rng.Int63n(cmax)) // nonzero: plans drop zero coefficients
+		tabs = append(tabs, refMulTable(f, c))
+	}
+	return dsts, base, src, tabs
+}
+
+// TestKernelsMatchReferenceFused differential-tests MultXORFused on every
+// registered kernel against the composed byte-loop reference for w=8,
+// across destination counts 1..6, all tail classes, and unaligned
+// offsets.
+func TestKernelsMatchReferenceFused(t *testing.T) {
+	f := Get(8)
+	rng := rand.New(rand.NewSource(47))
+	for _, k := range allKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			for _, ndst := range []int{1, 2, 3, 4, 6} {
+				for _, n := range kernelLengths {
+					for _, off := range []int{0, 1, 5, 7} {
+						dsts, base, src, tabs := fusedCase(rng, f, ndst, n, off)
+						want := make([][]byte, ndst)
+						for i := range want {
+							want[i] = append([]byte(nil), base[i]...)
+						}
+						wantSl := make([][]byte, ndst)
+						for i := range want {
+							wantSl[i] = want[i][off:]
+						}
+						refMultXORFused(wantSl, src, tabs)
+						k.MultXORFused(dsts, src, tabs)
+						for i := range dsts {
+							if !bytes.Equal(dsts[i], wantSl[i]) {
+								t.Fatalf("ndst=%d n=%d off=%d dst[%d]: fused kernel disagrees with composed reference",
+									ndst, n, off, i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsMatchReferenceFusedW4 repeats the fused differential test
+// with w=4 tables: unmasked high nibbles in both source and destinations
+// must come out identical to the scalar row lookups.
+func TestKernelsMatchReferenceFusedW4(t *testing.T) {
+	f := Get(4)
+	rng := rand.New(rand.NewSource(53))
+	for _, k := range allKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			for _, ndst := range []int{1, 3, 5} {
+				for _, n := range []int{0, 1, 15, 31, 32, 33, 64, 255, 4097} {
+					dsts, base, src, tabs := fusedCase(rng, f, ndst, n, 0)
+					want := make([][]byte, ndst)
+					for i := range want {
+						want[i] = append([]byte(nil), base[i]...)
+					}
+					refMultXORFused(want, src, tabs)
+					k.MultXORFused(dsts, src, tabs)
+					for i := range dsts {
+						if !bytes.Equal(dsts[i], want[i]) {
+							t.Fatalf("w=4 ndst=%d n=%d dst[%d]: fused kernel disagrees with composed reference", ndst, n, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsMatchReferenceMulRegionFused differential-tests the
+// overwrite form on every registered kernel against composed byte-loop
+// MulRegion, for w=8 and w=4, over destination counts, tail classes and
+// unaligned offsets. Destinations start with random garbage: the op must
+// fully overwrite, never accumulate.
+func TestKernelsMatchReferenceMulRegionFused(t *testing.T) {
+	for _, w := range []int{8, 4} {
+		f := Get(w)
+		rng := rand.New(rand.NewSource(int64(67 + w)))
+		for _, k := range allKernels() {
+			t.Run(fmt.Sprintf("w%d/%s", w, k.Name()), func(t *testing.T) {
+				for _, ndst := range []int{1, 2, 4, 5, 9} {
+					for _, n := range kernelLengths {
+						for _, off := range []int{0, 3} {
+							dsts, base, src, tabs := fusedCase(rng, f, ndst, n, off)
+							want := make([][]byte, ndst)
+							for i := range want {
+								want[i] = append([]byte(nil), base[i]...)
+								refMulRegion(want[i][off:], src, tabs[i])
+							}
+							k.MulRegionFused(dsts, src, tabs)
+							for i := range dsts {
+								if !bytes.Equal(dsts[i], want[i][off:]) {
+									t.Fatalf("w=%d ndst=%d n=%d off=%d dst[%d]: MulRegionFused disagrees with composed reference",
+										w, ndst, n, off, i)
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFieldMultXORFused covers the Field-level surface: zero coefficients
+// skipped, arity validation, and the w=16 per-destination fallback.
+func TestFieldMultXORFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for _, w := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("w%d", w), func(t *testing.T) {
+			f := Get(w)
+			n := 130 * f.SymbolBytes()
+			src := make([]byte, n)
+			rng.Read(src)
+			coeffs := []uint32{0, 1, 2, uint32(f.mask), 0}
+			dsts := make([][]byte, len(coeffs))
+			want := make([][]byte, len(coeffs))
+			for i := range dsts {
+				b := make([]byte, n)
+				rng.Read(b)
+				dsts[i] = b
+				want[i] = append([]byte(nil), b...)
+				f.MultXOR(want[i], src, coeffs[i])
+			}
+			f.MultXORFused(dsts, src, coeffs)
+			for i := range dsts {
+				if !bytes.Equal(dsts[i], want[i]) {
+					t.Fatalf("w=%d dst[%d] (c=%d): fused disagrees with per-op MultXOR", w, i, coeffs[i])
+				}
+			}
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	Get(8).MultXORFused(make([][]byte, 2), make([]byte, 8), []uint32{1})
+}
+
+// FuzzMultXORFused: the fuzzer owns the destination count, coefficients,
+// region bytes and alignment offset; every kernel must agree with the
+// composed portable per-op reference.
+func FuzzMultXORFused(f *testing.F) {
+	f.Add(byte(3), byte(0), []byte{0x53, 0x01, 0xff}, make([]byte, 256))
+	f.Add(byte(1), byte(7), []byte{0x02}, bytes.Repeat([]byte{0xa5}, 100))
+	f.Add(byte(5), byte(3), []byte{1, 2, 3, 4, 5}, make([]byte, 4099))
+	field := Get(8)
+	portable := portableKernel{}
+	f.Fuzz(func(t *testing.T, ndst, off byte, cs, data []byte) {
+		k := int(ndst&7) + 1
+		o := int(off & 7)
+		if len(cs) < k || len(data) < (k+1)*o+k+1 {
+			t.Skip()
+		}
+		n := (len(data) - (k+1)*o) / (k + 1)
+		src := data[o : o+n]
+		var dsts [][]byte
+		var tabs []*MulTable
+		for i := 0; i < k; i++ {
+			lo := (i+1)*(o+n) + o
+			dsts = append(dsts, data[lo:lo+n:lo+n])
+			c := uint32(cs[i])
+			if c == 0 {
+				c = 1
+			}
+			tabs = append(tabs, refMulTable(field, c))
+		}
+		want := make([][]byte, k)
+		wantOver := make([][]byte, k)
+		for i := range want {
+			want[i] = append([]byte(nil), dsts[i]...)
+			portable.MultXOR(want[i], src, tabs[i])
+			wantOver[i] = append([]byte(nil), dsts[i]...)
+			portable.MulRegion(wantOver[i], src, tabs[i])
+		}
+		for _, kern := range allKernels() {
+			got := make([][]byte, k)
+			for i := range got {
+				got[i] = append([]byte(nil), dsts[i]...)
+			}
+			kern.MultXORFused(got, src, tabs)
+			for i := range got {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("kernel %s MultXORFused(ndst=%d, n=%d, off=%d) dst[%d] diverges from composed portable",
+						kern.Name(), k, n, o, i)
+				}
+				copy(got[i], dsts[i])
+			}
+			kern.MulRegionFused(got, src, tabs)
+			for i := range got {
+				if !bytes.Equal(got[i], wantOver[i]) {
+					t.Fatalf("kernel %s MulRegionFused(ndst=%d, n=%d, off=%d) dst[%d] diverges from composed portable",
+						kern.Name(), k, n, o, i)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMultXORFusedKernels measures the fused op against its per-op
+// composition on every registered kernel: <kernel>/fused/<dsts>x<size> vs
+// <kernel>/perop/<dsts>x<size>. The fused/perop ratio is the win the
+// source-major planner banks on, and the CI bench smoke picks this up
+// through its BenchmarkMultXOR regex.
+func BenchmarkMultXORFusedKernels(b *testing.B) {
+	f := Get(8)
+	rng := rand.New(rand.NewSource(61))
+	for _, k := range allKernels() {
+		for _, ndst := range []int{4} {
+			for _, size := range benchSizes {
+				src := make([]byte, size)
+				rng.Read(src)
+				dsts := make([][]byte, ndst)
+				tabs := make([]*MulTable, ndst)
+				for i := range dsts {
+					dsts[i] = make([]byte, size)
+					tabs[i] = &f.tables[0x35+i]
+				}
+				name := fmt.Sprintf("%dx%s", ndst, byteSizeName(size))
+				b.Run(k.Name()+"/fused/"+name, func(b *testing.B) {
+					b.SetBytes(int64(size * ndst))
+					for i := 0; i < b.N; i++ {
+						k.MultXORFused(dsts, src, tabs)
+					}
+				})
+				b.Run(k.Name()+"/perop/"+name, func(b *testing.B) {
+					b.SetBytes(int64(size * ndst))
+					for i := 0; i < b.N; i++ {
+						for j := range dsts {
+							k.MultXOR(dsts[j], src, tabs[j])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -75,6 +75,11 @@ func NewField(w int) (*Field, error) {
 		mask: uint32(1<<w) - 1,
 	}
 	f.buildTables(poly)
+	// Resolve kernel dispatch now so a bad STAIR_GF_KERNEL override is a
+	// constructor error, not a panic inside the first region op.
+	if err := Init(); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -137,6 +142,7 @@ func (f *Field) buildTables(poly uint32) {
 				t.Lo[x] = t.Row[x]
 				t.Hi[x] = t.Row[x<<4]
 			}
+			t.Gfni = gfniMatrix(&t.Row)
 		}
 	case 4:
 		// GF(2^4) symbols live in the low nibble of each byte and region
@@ -152,6 +158,7 @@ func (f *Field) buildTables(poly uint32) {
 			for x := 0; x < 16; x++ {
 				t.Lo[x] = t.Row[x]
 			}
+			t.Gfni = gfniMatrix(&t.Row)
 		}
 	}
 }
@@ -291,6 +298,79 @@ func (f *Field) MultXOR(dst, src []byte, c uint32) {
 		dst[i] ^= byte(v)
 		dst[i+1] ^= byte(v >> 8)
 	}
+}
+
+// Table returns the region-kernel lookup state for multiplication by c,
+// for use with the package-level MultXORFused. It returns nil for
+// w == 16, whose two-byte symbols have no byte-oriented split table —
+// fused callers fall back to per-destination MultXOR there.
+func (f *Field) Table(c uint32) *MulTable {
+	if f.tables == nil {
+		return nil
+	}
+	return &f.tables[c&f.mask]
+}
+
+// MultXORFused computes dsts[i] ^= coeffs[i]·src for every destination in
+// one pass over src — the fused form of MultXOR that a multi-parity
+// encode uses so each source region is read once instead of once per
+// parity row. Zero coefficients are skipped. Every dsts[i] must have
+// len(src) bytes. Callers that precompile coefficient columns should use
+// Field.Table plus the package-level MultXORFused instead to avoid the
+// per-call table slice.
+func (f *Field) MultXORFused(dsts [][]byte, src []byte, coeffs []uint32) {
+	if len(dsts) != len(coeffs) {
+		panic(fmt.Sprintf("gf: fused arity mismatch: dsts=%d coeffs=%d", len(dsts), len(coeffs)))
+	}
+	if f.tables == nil {
+		// w == 16: no byte-oriented tables; per-destination widened path.
+		for i, d := range dsts {
+			f.MultXOR(d, src, coeffs[i])
+		}
+		return
+	}
+	live := make([][]byte, 0, len(dsts))
+	tabs := make([]*MulTable, 0, len(dsts))
+	for i, d := range dsts {
+		f.checkRegions(d, src)
+		if c := coeffs[i] & f.mask; c != 0 {
+			live = append(live, d)
+			tabs = append(tabs, &f.tables[c])
+		}
+	}
+	if len(live) == 0 || len(src) == 0 {
+		return
+	}
+	activeKernel().MultXORFused(live, src, tabs)
+}
+
+// MultXORFused dispatches dsts[i] ^= tables[i]·src to the active region
+// kernel in one pass over src. It is the precompiled-plan entry point:
+// callers resolve coefficient tables once via Field.Table (dropping zero
+// coefficients) and reuse them across calls. Every dsts[i] must have at
+// least len(src) bytes and every tables[i] must be non-nil.
+func MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	if len(dsts) != len(tables) {
+		panic(fmt.Sprintf("gf: fused arity mismatch: dsts=%d tables=%d", len(dsts), len(tables)))
+	}
+	if len(dsts) == 0 || len(src) == 0 {
+		return
+	}
+	activeKernel().MultXORFused(dsts, src, tables)
+}
+
+// MulRegionFused dispatches dsts[i] = tables[i]·src — the overwrite
+// form of MultXORFused. Plans route each destination's first term here
+// so output regions are never zero-filled or read before their first
+// accumulation. Same contract as MultXORFused.
+func MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	if len(dsts) != len(tables) {
+		panic(fmt.Sprintf("gf: fused arity mismatch: dsts=%d tables=%d", len(dsts), len(tables)))
+	}
+	if len(dsts) == 0 || len(src) == 0 {
+		return
+	}
+	activeKernel().MulRegionFused(dsts, src, tables)
 }
 
 // MultRegion computes dst = c·src (overwriting dst).

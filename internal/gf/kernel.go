@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // This file is the pluggable kernel layer behind the region operations.
@@ -35,12 +36,43 @@ import (
 // exploit that identity to translate 16 or 32 bytes per shuffle while the
 // scalar paths index Row directly.
 type MulTable struct {
-	Row [256]byte // Row[v] = c·v
-	Lo  [16]byte  // Lo[x] = c·x            (low-nibble products)
-	Hi  [16]byte  // Hi[x] = c·(x<<4)       (high-nibble products)
+	Row  [256]byte // Row[v] = c·v
+	Lo   [16]byte  // Lo[x] = c·x            (low-nibble products)
+	Hi   [16]byte  // Hi[x] = c·(x<<4)       (high-nibble products)
+	Gfni uint64    // 8×8 bit matrix of v ↦ c·v for VGF2P8AFFINEQB
 }
 
-// Kernel implements the three region primitives every encode and decode
+// The fused assembly routines (amd64, arm64) address Lo at byte offset
+// 256 and Hi at 272 from a *MulTable; these constants refuse to compile
+// (negative shift into uint) if the struct layout ever drifts.
+const (
+	_ = uint(unsafe.Offsetof(MulTable{}.Lo) - 256)
+	_ = uint(256 - unsafe.Offsetof(MulTable{}.Lo))
+	_ = uint(unsafe.Offsetof(MulTable{}.Hi) - 272)
+	_ = uint(272 - unsafe.Offsetof(MulTable{}.Hi))
+)
+
+// gfniMatrix derives the VGF2P8AFFINEQB bit matrix for a coefficient
+// from its product row. Row is GF(2)-linear in the input byte for both
+// w=8 (c·v) and w=4 (c·(v&0x0f), high rows zero), so the map is fully
+// determined by the images of the eight basis bytes 1<<k. The
+// instruction reads output bit i's row from matrix byte 7-i, with row
+// bit k selecting input bit k.
+func gfniMatrix(row *[256]byte) uint64 {
+	var m uint64
+	for bit := 0; bit < 8; bit++ {
+		var r byte
+		for k := 0; k < 8; k++ {
+			if row[1<<k]>>bit&1 == 1 {
+				r |= 1 << k
+			}
+		}
+		m |= uint64(r) << (8 * (7 - bit))
+	}
+	return m
+}
+
+// Kernel implements the region primitives every encode and decode
 // schedule in this module decomposes into. Implementations may assume
 // dst and src have equal length (the Field front ends validate), must
 // handle any length including zero and misaligned slices, and must be
@@ -55,6 +87,22 @@ type Kernel interface {
 	MulRegion(dst, src []byte, t *MulTable)
 	// XORRegion computes dst ^= src.
 	XORRegion(dst, src []byte)
+	// MultXORFused computes dsts[i] ^= c_i·src for every destination in
+	// one pass over src, c_i described by tables[i]. It is the ISA-L
+	// ec_encode_data shape: the SIMD implementations keep each source
+	// tile register-resident while updating all destinations, so a
+	// multi-parity encode reads its sources once instead of once per
+	// parity row. len(tables) must equal len(dsts) and every dst must be
+	// at least len(src) bytes; results are byte-identical to calling
+	// MultXOR(dsts[i], src, tables[i]) for each i in any order. dsts must
+	// not overlap src or each other.
+	MultXORFused(dsts [][]byte, src []byte, tables []*MulTable)
+	// MulRegionFused is the overwrite form of MultXORFused: dsts[i] =
+	// c_i·src, no read of the destinations' prior contents. The planner
+	// uses it for each destination's first term, saving the zero-fill
+	// write and the first accumulation's read of every output region.
+	// Same contract as MultXORFused otherwise.
+	MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable)
 }
 
 // registeredKernel pairs a kernel with its dispatch priority; higher wins.
@@ -92,6 +140,26 @@ func registerKernel(k Kernel, priority int) {
 	kernelActive.Store(nil) // re-pick if registration races a Get (init order)
 }
 
+// Init resolves kernel dispatch eagerly, honouring the STAIR_GF_KERNEL
+// environment override, and reports an unusable override as an error. It
+// is idempotent and safe for concurrent use. Call it (directly, or via
+// NewField/Get — every Field construction routes through it) at startup
+// so a typo'd override surfaces as a clean error there rather than a
+// panic deep inside the first region op.
+func Init() error {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if kernelActive.Load() != nil {
+		return nil
+	}
+	k, err := pickKernel(os.Getenv("STAIR_GF_KERNEL"))
+	if err != nil {
+		return err
+	}
+	kernelActive.Store(&chosenKernel{k})
+	return nil
+}
+
 // activeKernel returns the dispatched kernel, honouring the
 // STAIR_GF_KERNEL environment override on first use.
 func activeKernel() Kernel {
@@ -101,33 +169,44 @@ func activeKernel() Kernel {
 	return chooseKernel()
 }
 
-// chooseKernel is the cold path of activeKernel.
+// chooseKernel is the cold path of activeKernel. Region ops cannot
+// return errors, so a bad override that survived to this point (the
+// caller bypassed Init and every Field constructor) still panics; the
+// supported startup surfaces turn it into an error first.
 func chooseKernel() Kernel {
 	kernelMu.Lock()
 	defer kernelMu.Unlock()
 	if c := kernelActive.Load(); c != nil {
 		return c.k
 	}
-	k := pickKernel(os.Getenv("STAIR_GF_KERNEL"))
+	k, err := pickKernel(os.Getenv("STAIR_GF_KERNEL"))
+	if err != nil {
+		panic(err)
+	}
 	kernelActive.Store(&chosenKernel{k})
 	return k
 }
 
 // pickKernel resolves the dispatch choice: the highest-priority registered
-// kernel, unless the override names a specific one. An unknown override
-// panics — an A/B run measuring the wrong kernel is worse than no run.
-// Called with kernelMu held.
-func pickKernel(override string) Kernel {
+// kernel, unless the override names a specific one. An unknown override is
+// an error — an A/B run measuring the wrong kernel is worse than no run —
+// surfaced from Init and Field construction. An empty registry can only
+// mean internal misregistration (the portable kernel registers
+// unconditionally), so that stays a panic. Called with kernelMu held.
+func pickKernel(override string) (Kernel, error) {
+	if len(kernelRegistry) == 0 {
+		panic("gf: no region kernels registered (portable kernel init missing)")
+	}
 	if override == "" {
-		return kernelRegistry[0].k
+		return kernelRegistry[0].k, nil
 	}
 	for _, r := range kernelRegistry {
 		if r.k.Name() == override {
-			return r.k
+			return r.k, nil
 		}
 	}
-	panic(fmt.Sprintf("gf: STAIR_GF_KERNEL=%q does not name a usable kernel on this CPU (have %v)",
-		override, kernelNamesLocked()))
+	return nil, fmt.Errorf("gf: STAIR_GF_KERNEL=%q does not name a usable kernel on this CPU (have %v)",
+		override, kernelNamesLocked())
 }
 
 // KernelNames lists the usable kernels in dispatch-priority order (the
@@ -268,5 +347,53 @@ func (portableKernel) MulRegion(dst, src []byte, t *MulTable) {
 }
 
 func (portableKernel) XORRegion(dst, src []byte) { xorTail(dst, src) }
+
+// fusedChunk is the number of source bytes the portable fused op sweeps
+// per destination round. Small enough that the chunk stays L1-resident
+// while every destination consumes it, large enough to amortise the
+// per-destination loop setup.
+const fusedChunk = 4096
+
+// MultXORFused on the portable kernel is the reference the SIMD fused
+// paths are differential-tested against: the exact composition of the
+// per-destination MultXOR, swept in L1-sized source chunks so each chunk
+// is read from cache (not memory) for all but the first destination.
+func (p portableKernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	for off := 0; off < len(src); off += fusedChunk {
+		end := off + fusedChunk
+		if end > len(src) {
+			end = len(src)
+		}
+		s := src[off:end]
+		for i, d := range dsts {
+			p.MultXOR(d[off:end], s, tables[i])
+		}
+	}
+}
+
+// MulRegionFused is the overwrite counterpart, composed from MulRegion
+// the same way.
+func (p portableKernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	mulRegionFusedByChunks(p, dsts, src, tables)
+}
+
+// mulRegionFusedByChunks composes a kernel's MulRegionFused from its own
+// per-destination MulRegion, sweeping L1-sized source chunks so the
+// source is read from cache for all but the first destination. The
+// overwrite form has no destination reads to fuse away, so this
+// composition already captures the op's traffic savings; kernels with a
+// register-resident fused form (GFNI) override it anyway.
+func mulRegionFusedByChunks(k Kernel, dsts [][]byte, src []byte, tables []*MulTable) {
+	for off := 0; off < len(src); off += fusedChunk {
+		end := off + fusedChunk
+		if end > len(src) {
+			end = len(src)
+		}
+		s := src[off:end]
+		for i, d := range dsts {
+			k.MulRegion(d[off:end], s, tables[i])
+		}
+	}
+}
 
 func init() { registerKernel(portableKernel{}, 0) }

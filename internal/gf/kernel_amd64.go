@@ -34,6 +34,67 @@ func mulRegionAVX2(dst, src *byte, n int, lo, hi *byte)
 //go:noescape
 func xorRegionAVX2(dst, src *byte, n int)
 
+// Fused routines: one pass over src updating every destination, the
+// source block register-resident across destinations.
+//
+// The SSSE3 form takes the destination set as slices: the assembly walks
+// the dsts slice headers and loads each MulTable's nibble tables at
+// their fixed struct offsets — pinned by the constant assertions next to
+// MulTable in kernel.go. len(src) must be a positive multiple of 32;
+// every dsts[i] must be at least len(src) bytes, len(tabs) == len(dsts).
+//
+// The AVX2 forms are fixed-arity (4- and 2-destination) so all split
+// tables live in YMM registers for the whole region — no per-block table
+// broadcasts or pointer chasing; the wrapper chunks arbitrary fan-out
+// over them. n must be a positive multiple of 64.
+//
+//go:noescape
+func multXORFusedSSSE3(dsts [][]byte, tabs []*MulTable, src []byte)
+
+//go:noescape
+func multXORFused4AVX2(d0, d1, d2, d3, src *byte, n int, t0, t1, t2, t3 *MulTable)
+
+//go:noescape
+func multXORFused2AVX2(d0, d1, src *byte, n int, t0, t1 *MulTable)
+
+// GFNI routines: one VGF2P8AFFINEQB per 32 bytes against the
+// coefficient's 8×8 bit matrix (MulTable.Gfni) — no nibble split, no
+// table shuffles, and the affine unit runs on two ports. n must be a
+// positive multiple of 32 (64 for the fused forms).
+//
+//go:noescape
+func multXORGFNI(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func mulRegionGFNI(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func multXORFused4GFNI(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+
+//go:noescape
+func multXORFused2GFNI(d0, d1, src *byte, n int, m0, m1 uint64)
+
+//go:noescape
+func mulRegionFused4GFNI(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+
+// EVEX/ZMM GFNI forms: 64 products per affine. n must be a positive
+// multiple of 64.
+//
+//go:noescape
+func multXORGFNI512(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func mulRegionGFNI512(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func multXORFused4GFNI512(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+
+//go:noescape
+func multXORFused2GFNI512(d0, d1, src *byte, n int, m0, m1 uint64)
+
+//go:noescape
+func mulRegionFused4GFNI512(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+
 // cpuid executes CPUID with the given leaf/subleaf; xgetbv reads
 // XCR0. Both are defined in kernel_amd64.s — the standard library's
 // feature flags live in internal packages this module cannot import.
@@ -68,6 +129,20 @@ func (ssse3Kernel) XORRegion(dst, src []byte) {
 	xorTail(dst[n:], src[n:])
 }
 
+func (k ssse3Kernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 31
+	if n > 0 && len(dsts) > 0 {
+		multXORFusedSSSE3(dsts, tables, src[:n])
+	}
+	for i, d := range dsts {
+		k.MultXOR(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+func (k ssse3Kernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	mulRegionFusedByChunks(k, dsts, src, tables)
+}
+
 type avx2Kernel struct{}
 
 func (avx2Kernel) Name() string { return "avx2" }
@@ -96,6 +171,159 @@ func (avx2Kernel) XORRegion(dst, src []byte) {
 	xorTail(dst[n:], src[n:])
 }
 
+func (k avx2Kernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		// Chunk the fan-out over the fixed-arity routines: fours, then a
+		// pair, then a single via the per-op kernel (tables hoisted in
+		// all three shapes).
+		i := 0
+		for ; i+4 <= len(dsts); i += 4 {
+			multXORFused4AVX2(&dsts[i][0], &dsts[i+1][0], &dsts[i+2][0], &dsts[i+3][0],
+				&src[0], n, tables[i], tables[i+1], tables[i+2], tables[i+3])
+		}
+		if i+2 <= len(dsts) {
+			multXORFused2AVX2(&dsts[i][0], &dsts[i+1][0], &src[0], n, tables[i], tables[i+1])
+			i += 2
+		}
+		if i < len(dsts) {
+			multXORAVX2(&dsts[i][0], &src[0], n, &tables[i].Lo[0], &tables[i].Hi[0])
+		}
+	}
+	for i, d := range dsts {
+		k.MultXOR(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+func (k avx2Kernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	mulRegionFusedByChunks(k, dsts, src, tables)
+}
+
+// gfniKernel multiplies through VGF2P8AFFINEQB against per-coefficient
+// bit matrices instead of split-table shuffles: a third of the vector
+// ops per byte, no port-5 shuffle bottleneck, and one register per
+// destination in the fused forms. XORRegion (coefficient-free) is
+// inherited from the AVX2 kernel.
+type gfniKernel struct{ avx2Kernel }
+
+func (gfniKernel) Name() string { return "gfni" }
+
+func (gfniKernel) MultXOR(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 31
+	if n > 0 {
+		multXORGFNI(&dst[0], &src[0], n, t.Gfni)
+	}
+	multXORTail(dst[n:], src[n:], t)
+}
+
+func (gfniKernel) MulRegion(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 31
+	if n > 0 {
+		mulRegionGFNI(&dst[0], &src[0], n, t.Gfni)
+	}
+	mulRegionTail(dst[n:], src[n:], t)
+}
+
+func (k gfniKernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		i := 0
+		for ; i+4 <= len(dsts); i += 4 {
+			mulRegionFused4GFNI(&dsts[i][0], &dsts[i+1][0], &dsts[i+2][0], &dsts[i+3][0],
+				&src[0], n, tables[i].Gfni, tables[i+1].Gfni, tables[i+2].Gfni, tables[i+3].Gfni)
+		}
+		for ; i < len(dsts); i++ {
+			mulRegionGFNI(&dsts[i][0], &src[0], n, tables[i].Gfni)
+		}
+	}
+	for i, d := range dsts {
+		k.MulRegion(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+func (k gfniKernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		i := 0
+		for ; i+4 <= len(dsts); i += 4 {
+			multXORFused4GFNI(&dsts[i][0], &dsts[i+1][0], &dsts[i+2][0], &dsts[i+3][0],
+				&src[0], n, tables[i].Gfni, tables[i+1].Gfni, tables[i+2].Gfni, tables[i+3].Gfni)
+		}
+		if i+2 <= len(dsts) {
+			multXORFused2GFNI(&dsts[i][0], &dsts[i+1][0], &src[0], n, tables[i].Gfni, tables[i+1].Gfni)
+			i += 2
+		}
+		if i < len(dsts) {
+			multXORGFNI(&dsts[i][0], &src[0], n, tables[i].Gfni)
+		}
+	}
+	for i, d := range dsts {
+		k.MultXOR(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+// gfni512Kernel is the EVEX/ZMM form of the GFNI kernel: the same
+// per-coefficient affine matrices applied 64 bytes per instruction —
+// half the vector ops of the VEX form. Per-op and single/pair remainders
+// under 64 bytes fall through to the embedded YMM kernel's tails.
+type gfni512Kernel struct{ gfniKernel }
+
+func (gfni512Kernel) Name() string { return "gfni512" }
+
+func (k gfni512Kernel) MultXOR(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		multXORGFNI512(&dst[0], &src[0], n, t.Gfni)
+	}
+	k.gfniKernel.MultXOR(dst[n:len(src)], src[n:], t)
+}
+
+func (k gfni512Kernel) MulRegion(dst, src []byte, t *MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		mulRegionGFNI512(&dst[0], &src[0], n, t.Gfni)
+	}
+	k.gfniKernel.MulRegion(dst[n:len(src)], src[n:], t)
+}
+
+func (k gfni512Kernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		i := 0
+		for ; i+4 <= len(dsts); i += 4 {
+			multXORFused4GFNI512(&dsts[i][0], &dsts[i+1][0], &dsts[i+2][0], &dsts[i+3][0],
+				&src[0], n, tables[i].Gfni, tables[i+1].Gfni, tables[i+2].Gfni, tables[i+3].Gfni)
+		}
+		if i+2 <= len(dsts) {
+			multXORFused2GFNI512(&dsts[i][0], &dsts[i+1][0], &src[0], n, tables[i].Gfni, tables[i+1].Gfni)
+			i += 2
+		}
+		if i < len(dsts) {
+			multXORGFNI512(&dsts[i][0], &src[0], n, tables[i].Gfni)
+		}
+	}
+	for i, d := range dsts {
+		k.gfniKernel.MultXOR(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+func (k gfni512Kernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 63
+	if n > 0 {
+		i := 0
+		for ; i+4 <= len(dsts); i += 4 {
+			mulRegionFused4GFNI512(&dsts[i][0], &dsts[i+1][0], &dsts[i+2][0], &dsts[i+3][0],
+				&src[0], n, tables[i].Gfni, tables[i+1].Gfni, tables[i+2].Gfni, tables[i+3].Gfni)
+		}
+		for ; i < len(dsts); i++ {
+			mulRegionGFNI512(&dsts[i][0], &src[0], n, tables[i].Gfni)
+		}
+	}
+	for i, d := range dsts {
+		k.gfniKernel.MulRegion(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
 func init() {
 	_, _, ecx1, _ := cpuid(1, 0)
 	const (
@@ -111,8 +339,18 @@ func init() {
 	// switches without YMM state would corrupt our registers.
 	if ecx1&cpuidOSXSAVE != 0 && ecx1&cpuidAVX != 0 {
 		if xcr0, _ := xgetbv(); xcr0&0x6 == 0x6 {
-			if _, ebx7, _, _ := cpuid(7, 0); ebx7&(1<<5) != 0 {
+			if _, ebx7, ecx7, _ := cpuid(7, 0); ebx7&(1<<5) != 0 {
 				registerKernel(avx2Kernel{}, 3)
+				// The VEX-encoded GFNI forms need only the GFNI bit on
+				// top of the AVX state checks above; the EVEX/ZMM forms
+				// additionally need AVX512F and the OS having enabled
+				// opmask+ZMM state in XCR0 (bits 5-7).
+				if ecx7&(1<<8) != 0 {
+					registerKernel(gfniKernel{}, 4)
+					if xcr0, _ := xgetbv(); ebx7&(1<<16) != 0 && xcr0&0xe0 == 0xe0 {
+						registerKernel(gfni512Kernel{}, 5)
+					}
+				}
 			}
 		}
 	}

@@ -170,6 +170,544 @@ avx2xloop:
 	VZEROUPPER
 	RET
 
+// func multXORFusedSSSE3(dsts [][]byte, tabs []*MulTable, src []byte)
+// For each 32-byte source block: split into nibbles once (X0-X3), then
+// for every destination j load its split tables from tabs[j] (Lo at
+// offset 256, Hi at 272 — layout pinned in kernel_amd64.go), shuffle and
+// XOR into dsts[j] at the same offset. The source block never leaves
+// registers while the destination loop runs. len(src) is a positive
+// multiple of 32; the wrappers handle the ragged tail.
+//
+// Register conventions (fused routines):
+//
+//	R8  dsts slice headers    R9  tabs pointer array   R10 ndst
+//	SI  src base              CX  n                    R11 block offset
+//	R12 destination index     R13 dst cursor           R14 table pointer
+TEXT ·multXORFusedSSSE3(SB), NOSPLIT, $0-72
+	MOVQ  dsts_base+0(FP), R8
+	MOVQ  dsts_len+8(FP), R10
+	MOVQ  tabs_base+24(FP), R9
+	MOVQ  src_base+48(FP), SI
+	MOVQ  src_len+56(FP), CX
+	MOVOU nibbleMask<>(SB), X8
+	XORQ  R11, R11
+
+ssse3fblock:
+	MOVOU (SI)(R11*1), X0
+	MOVOU 16(SI)(R11*1), X2
+	MOVOA X0, X1
+	MOVOA X2, X3
+	PSRLQ $4, X1
+	PSRLQ $4, X3
+	PAND  X8, X0           // low nibbles, bytes 0-15
+	PAND  X8, X1           // high nibbles, bytes 0-15
+	PAND  X8, X2           // low nibbles, bytes 16-31
+	PAND  X8, X3           // high nibbles, bytes 16-31
+	XORQ  R12, R12
+
+ssse3fdst:
+	MOVQ   (R9)(R12*8), R14
+	MOVOU  256(R14), X4    // MulTable.Lo
+	MOVOU  272(R14), X5    // MulTable.Hi
+	LEAQ   (R12)(R12*2), AX
+	SHLQ   $3, AX          // AX = j*24, the slice-header stride
+	MOVQ   (R8)(AX*1), R13
+	ADDQ   R11, R13
+	MOVOA  X4, X6
+	MOVOA  X5, X7
+	PSHUFB X0, X6
+	PSHUFB X1, X7
+	PXOR   X7, X6
+	MOVOU  (R13), X7
+	PXOR   X7, X6
+	MOVOU  X6, (R13)
+	MOVOA  X4, X6
+	MOVOA  X5, X7
+	PSHUFB X2, X6
+	PSHUFB X3, X7
+	PXOR   X7, X6
+	MOVOU  16(R13), X7
+	PXOR   X7, X6
+	MOVOU  X6, 16(R13)
+	INCQ   R12
+	CMPQ   R12, R10
+	JLT    ssse3fdst
+
+	ADDQ $32, R11
+	CMPQ R11, CX
+	JLT  ssse3fblock
+	RET
+
+// func multXORFused4AVX2(d0, d1, d2, d3, src *byte, n int, t0, t1, t2, t3 *MulTable)
+// Four destinations per source pass with everything hot in registers:
+// the 64-byte source block is loaded and nibble-split once (Y0-Y3), all
+// four destinations' split tables are broadcast before the loop (Y4-Y11)
+// and never touched again, and Y12/Y13 are the only temporaries. This is
+// the shape the planner's fan-out feeds: one read of the source tile
+// updates four parity tiles at once, with zero per-block table or
+// pointer traffic. n is a positive multiple of 64.
+TEXT ·multXORFused4AVX2(SB), NOSPLIT, $0-80
+	MOVQ           d0+0(FP), DI
+	MOVQ           d1+8(FP), R8
+	MOVQ           d2+16(FP), R9
+	MOVQ           d3+24(FP), R10
+	MOVQ           src+32(FP), SI
+	MOVQ           n+40(FP), CX
+	MOVQ           t0+48(FP), AX
+	VBROADCASTI128 256(AX), Y4    // MulTable.Lo
+	VBROADCASTI128 272(AX), Y5    // MulTable.Hi
+	MOVQ           t1+56(FP), AX
+	VBROADCASTI128 256(AX), Y6
+	VBROADCASTI128 272(AX), Y7
+	MOVQ           t2+64(FP), AX
+	VBROADCASTI128 256(AX), Y8
+	VBROADCASTI128 272(AX), Y9
+	MOVQ           t3+72(FP), AX
+	VBROADCASTI128 256(AX), Y10
+	VBROADCASTI128 272(AX), Y11
+	VBROADCASTI128 nibbleMask<>(SB), Y15
+	XORQ           R11, R11
+
+avx2f4loop:
+	VMOVDQU (SI)(R11*1), Y0
+	VMOVDQU 32(SI)(R11*1), Y2
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y15, Y0, Y0
+	VPAND   Y15, Y1, Y1
+	VPSRLW  $4, Y2, Y3
+	VPAND   Y15, Y2, Y2
+	VPAND   Y15, Y3, Y3
+
+	VPSHUFB Y0, Y4, Y12
+	VPSHUFB Y1, Y5, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (DI)(R11*1), Y12, Y12
+	VMOVDQU Y12, (DI)(R11*1)
+	VPSHUFB Y2, Y4, Y12
+	VPSHUFB Y3, Y5, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(DI)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(DI)(R11*1)
+
+	VPSHUFB Y0, Y6, Y12
+	VPSHUFB Y1, Y7, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (R8)(R11*1), Y12, Y12
+	VMOVDQU Y12, (R8)(R11*1)
+	VPSHUFB Y2, Y6, Y12
+	VPSHUFB Y3, Y7, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(R8)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(R8)(R11*1)
+
+	VPSHUFB Y0, Y8, Y12
+	VPSHUFB Y1, Y9, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (R9)(R11*1), Y12, Y12
+	VMOVDQU Y12, (R9)(R11*1)
+	VPSHUFB Y2, Y8, Y12
+	VPSHUFB Y3, Y9, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(R9)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(R9)(R11*1)
+
+	VPSHUFB Y0, Y10, Y12
+	VPSHUFB Y1, Y11, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (R10)(R11*1), Y12, Y12
+	VMOVDQU Y12, (R10)(R11*1)
+	VPSHUFB Y2, Y10, Y12
+	VPSHUFB Y3, Y11, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(R10)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(R10)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  avx2f4loop
+	VZEROUPPER
+	RET
+
+// func multXORFused2AVX2(d0, d1, src *byte, n int, t0, t1 *MulTable)
+// Two-destination variant of multXORFused4AVX2 for fan-out remainders.
+// n is a positive multiple of 64.
+TEXT ·multXORFused2AVX2(SB), NOSPLIT, $0-48
+	MOVQ           d0+0(FP), DI
+	MOVQ           d1+8(FP), R8
+	MOVQ           src+16(FP), SI
+	MOVQ           n+24(FP), CX
+	MOVQ           t0+32(FP), AX
+	VBROADCASTI128 256(AX), Y4    // MulTable.Lo
+	VBROADCASTI128 272(AX), Y5    // MulTable.Hi
+	MOVQ           t1+40(FP), AX
+	VBROADCASTI128 256(AX), Y6
+	VBROADCASTI128 272(AX), Y7
+	VBROADCASTI128 nibbleMask<>(SB), Y15
+	XORQ           R11, R11
+
+avx2f2loop:
+	VMOVDQU (SI)(R11*1), Y0
+	VMOVDQU 32(SI)(R11*1), Y2
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y15, Y0, Y0
+	VPAND   Y15, Y1, Y1
+	VPSRLW  $4, Y2, Y3
+	VPAND   Y15, Y2, Y2
+	VPAND   Y15, Y3, Y3
+
+	VPSHUFB Y0, Y4, Y12
+	VPSHUFB Y1, Y5, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (DI)(R11*1), Y12, Y12
+	VMOVDQU Y12, (DI)(R11*1)
+	VPSHUFB Y2, Y4, Y12
+	VPSHUFB Y3, Y5, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(DI)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(DI)(R11*1)
+
+	VPSHUFB Y0, Y6, Y12
+	VPSHUFB Y1, Y7, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   (R8)(R11*1), Y12, Y12
+	VMOVDQU Y12, (R8)(R11*1)
+	VPSHUFB Y2, Y6, Y12
+	VPSHUFB Y3, Y7, Y13
+	VPXOR   Y13, Y12, Y12
+	VPXOR   32(R8)(R11*1), Y12, Y12
+	VMOVDQU Y12, 32(R8)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  avx2f2loop
+	VZEROUPPER
+	RET
+
+// func multXORGFNI(dst, src *byte, n int, mat uint64)
+// GF(2^8)/GF(2^4) constant multiplication as one VGF2P8AFFINEQB per 32
+// bytes: mat is the 8×8 bit matrix of v ↦ c·v (MulTable.Gfni), so the
+// whole nibble split + double shuffle of the AVX2 path collapses into a
+// single instruction that also runs on two execution ports. n is a
+// positive multiple of 32.
+TEXT ·multXORGFNI(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPBROADCASTQ mat+24(FP), Y4
+
+gfnimxloop:
+	VMOVDQU        (SI), Y0
+	VGF2P8AFFINEQB $0, Y4, Y0, Y1
+	VPXOR          (DI), Y1, Y1
+	VMOVDQU        Y1, (DI)
+	ADDQ           $32, SI
+	ADDQ           $32, DI
+	SUBQ           $32, CX
+	JNE            gfnimxloop
+	VZEROUPPER
+	RET
+
+// func mulRegionGFNI(dst, src *byte, n int, mat uint64)
+TEXT ·mulRegionGFNI(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPBROADCASTQ mat+24(FP), Y4
+
+gfnimrloop:
+	VMOVDQU        (SI), Y0
+	VGF2P8AFFINEQB $0, Y4, Y0, Y1
+	VMOVDQU        Y1, (DI)
+	ADDQ           $32, SI
+	ADDQ           $32, DI
+	SUBQ           $32, CX
+	JNE            gfnimrloop
+	VZEROUPPER
+	RET
+
+// func multXORFused4GFNI(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+// Four destinations per source pass: the 64-byte source block is loaded
+// once (Y0/Y1), each destination's multiply is one affine per half
+// against its register-resident matrix (Y4-Y7). n is a positive
+// multiple of 64.
+TEXT ·multXORFused4GFNI(SB), NOSPLIT, $0-80
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         d2+16(FP), R9
+	MOVQ         d3+24(FP), R10
+	MOVQ         src+32(FP), SI
+	MOVQ         n+40(FP), CX
+	VPBROADCASTQ m0+48(FP), Y4
+	VPBROADCASTQ m1+56(FP), Y5
+	VPBROADCASTQ m2+64(FP), Y6
+	VPBROADCASTQ m3+72(FP), Y7
+	XORQ         R11, R11
+
+gfnif4loop:
+	VMOVDQU (SI)(R11*1), Y0
+	VMOVDQU 32(SI)(R11*1), Y1
+
+	VGF2P8AFFINEQB $0, Y4, Y0, Y2
+	VGF2P8AFFINEQB $0, Y4, Y1, Y3
+	VPXOR          (DI)(R11*1), Y2, Y2
+	VPXOR          32(DI)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (DI)(R11*1)
+	VMOVDQU        Y3, 32(DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y5, Y0, Y2
+	VGF2P8AFFINEQB $0, Y5, Y1, Y3
+	VPXOR          (R8)(R11*1), Y2, Y2
+	VPXOR          32(R8)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (R8)(R11*1)
+	VMOVDQU        Y3, 32(R8)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y6, Y0, Y2
+	VGF2P8AFFINEQB $0, Y6, Y1, Y3
+	VPXOR          (R9)(R11*1), Y2, Y2
+	VPXOR          32(R9)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (R9)(R11*1)
+	VMOVDQU        Y3, 32(R9)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y7, Y0, Y2
+	VGF2P8AFFINEQB $0, Y7, Y1, Y3
+	VPXOR          (R10)(R11*1), Y2, Y2
+	VPXOR          32(R10)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (R10)(R11*1)
+	VMOVDQU        Y3, 32(R10)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfnif4loop
+	VZEROUPPER
+	RET
+
+// func multXORFused2GFNI(d0, d1, src *byte, n int, m0, m1 uint64)
+// Two-destination variant for fan-out remainders. n is a positive
+// multiple of 64.
+TEXT ·multXORFused2GFNI(SB), NOSPLIT, $0-48
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         src+16(FP), SI
+	MOVQ         n+24(FP), CX
+	VPBROADCASTQ m0+32(FP), Y4
+	VPBROADCASTQ m1+40(FP), Y5
+	XORQ         R11, R11
+
+gfnif2loop:
+	VMOVDQU (SI)(R11*1), Y0
+	VMOVDQU 32(SI)(R11*1), Y1
+
+	VGF2P8AFFINEQB $0, Y4, Y0, Y2
+	VGF2P8AFFINEQB $0, Y4, Y1, Y3
+	VPXOR          (DI)(R11*1), Y2, Y2
+	VPXOR          32(DI)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (DI)(R11*1)
+	VMOVDQU        Y3, 32(DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y5, Y0, Y2
+	VGF2P8AFFINEQB $0, Y5, Y1, Y3
+	VPXOR          (R8)(R11*1), Y2, Y2
+	VPXOR          32(R8)(R11*1), Y3, Y3
+	VMOVDQU        Y2, (R8)(R11*1)
+	VMOVDQU        Y3, 32(R8)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfnif2loop
+	VZEROUPPER
+	RET
+
+// func multXORGFNI512(dst, src *byte, n int, mat uint64)
+// EVEX/ZMM form: 64 products per affine. n is a positive multiple of 64.
+TEXT ·multXORGFNI512(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPBROADCASTQ mat+24(FP), Z4
+	XORQ         R11, R11
+
+gfni512xloop:
+	VMOVDQU64      (SI)(R11*1), Z0
+	VGF2P8AFFINEQB $0, Z4, Z0, Z2
+	VPXORQ         (DI)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (DI)(R11*1)
+	ADDQ           $64, R11
+	CMPQ           R11, CX
+	JLT            gfni512xloop
+	VZEROUPPER
+	RET
+
+// func mulRegionGFNI512(dst, src *byte, n int, mat uint64)
+TEXT ·mulRegionGFNI512(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VPBROADCASTQ mat+24(FP), Z4
+	XORQ         R11, R11
+
+gfni512rloop:
+	VMOVDQU64      (SI)(R11*1), Z0
+	VGF2P8AFFINEQB $0, Z4, Z0, Z2
+	VMOVDQU64      Z2, (DI)(R11*1)
+	ADDQ           $64, R11
+	CMPQ           R11, CX
+	JLT            gfni512rloop
+	VZEROUPPER
+	RET
+
+// func multXORFused4GFNI512(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+// Four destinations per source pass, one 64-byte ZMM block per
+// iteration: 1 source load + 4×(affine, xor, store). n is a positive
+// multiple of 64.
+TEXT ·multXORFused4GFNI512(SB), NOSPLIT, $0-80
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         d2+16(FP), R9
+	MOVQ         d3+24(FP), R10
+	MOVQ         src+32(FP), SI
+	MOVQ         n+40(FP), CX
+	VPBROADCASTQ m0+48(FP), Z4
+	VPBROADCASTQ m1+56(FP), Z5
+	VPBROADCASTQ m2+64(FP), Z6
+	VPBROADCASTQ m3+72(FP), Z7
+	XORQ         R11, R11
+
+gfni512f4loop:
+	VMOVDQU64 (SI)(R11*1), Z0
+
+	VGF2P8AFFINEQB $0, Z4, Z0, Z2
+	VPXORQ         (DI)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z5, Z0, Z2
+	VPXORQ         (R8)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (R8)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z6, Z0, Z2
+	VPXORQ         (R9)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (R9)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z7, Z0, Z2
+	VPXORQ         (R10)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (R10)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfni512f4loop
+	VZEROUPPER
+	RET
+
+// func multXORFused2GFNI512(d0, d1, src *byte, n int, m0, m1 uint64)
+TEXT ·multXORFused2GFNI512(SB), NOSPLIT, $0-48
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         src+16(FP), SI
+	MOVQ         n+24(FP), CX
+	VPBROADCASTQ m0+32(FP), Z4
+	VPBROADCASTQ m1+40(FP), Z5
+	XORQ         R11, R11
+
+gfni512f2loop:
+	VMOVDQU64 (SI)(R11*1), Z0
+
+	VGF2P8AFFINEQB $0, Z4, Z0, Z2
+	VPXORQ         (DI)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z5, Z0, Z2
+	VPXORQ         (R8)(R11*1), Z2, Z2
+	VMOVDQU64      Z2, (R8)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfni512f2loop
+	VZEROUPPER
+	RET
+
+// func mulRegionFused4GFNI512(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+// Overwrite form: destinations written, never read.
+TEXT ·mulRegionFused4GFNI512(SB), NOSPLIT, $0-80
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         d2+16(FP), R9
+	MOVQ         d3+24(FP), R10
+	MOVQ         src+32(FP), SI
+	MOVQ         n+40(FP), CX
+	VPBROADCASTQ m0+48(FP), Z4
+	VPBROADCASTQ m1+56(FP), Z5
+	VPBROADCASTQ m2+64(FP), Z6
+	VPBROADCASTQ m3+72(FP), Z7
+	XORQ         R11, R11
+
+gfni512r4loop:
+	VMOVDQU64 (SI)(R11*1), Z0
+
+	VGF2P8AFFINEQB $0, Z4, Z0, Z2
+	VMOVDQU64      Z2, (DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z5, Z0, Z2
+	VMOVDQU64      Z2, (R8)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z6, Z0, Z2
+	VMOVDQU64      Z2, (R9)(R11*1)
+
+	VGF2P8AFFINEQB $0, Z7, Z0, Z2
+	VMOVDQU64      Z2, (R10)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfni512r4loop
+	VZEROUPPER
+	RET
+
+// func mulRegionFused4GFNI(d0, d1, d2, d3, src *byte, n int, m0, m1, m2, m3 uint64)
+// Overwrite form of multXORFused4GFNI: destinations are written, never
+// read — the planner's init groups use it to skip the zero-fill and the
+// first accumulation's read of every output region. n is a positive
+// multiple of 64.
+TEXT ·mulRegionFused4GFNI(SB), NOSPLIT, $0-80
+	MOVQ         d0+0(FP), DI
+	MOVQ         d1+8(FP), R8
+	MOVQ         d2+16(FP), R9
+	MOVQ         d3+24(FP), R10
+	MOVQ         src+32(FP), SI
+	MOVQ         n+40(FP), CX
+	VPBROADCASTQ m0+48(FP), Y4
+	VPBROADCASTQ m1+56(FP), Y5
+	VPBROADCASTQ m2+64(FP), Y6
+	VPBROADCASTQ m3+72(FP), Y7
+	XORQ         R11, R11
+
+gfnir4loop:
+	VMOVDQU (SI)(R11*1), Y0
+	VMOVDQU 32(SI)(R11*1), Y1
+
+	VGF2P8AFFINEQB $0, Y4, Y0, Y2
+	VGF2P8AFFINEQB $0, Y4, Y1, Y3
+	VMOVDQU        Y2, (DI)(R11*1)
+	VMOVDQU        Y3, 32(DI)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y5, Y0, Y2
+	VGF2P8AFFINEQB $0, Y5, Y1, Y3
+	VMOVDQU        Y2, (R8)(R11*1)
+	VMOVDQU        Y3, 32(R8)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y6, Y0, Y2
+	VGF2P8AFFINEQB $0, Y6, Y1, Y3
+	VMOVDQU        Y2, (R9)(R11*1)
+	VMOVDQU        Y3, 32(R9)(R11*1)
+
+	VGF2P8AFFINEQB $0, Y7, Y0, Y2
+	VGF2P8AFFINEQB $0, Y7, Y1, Y3
+	VMOVDQU        Y2, (R10)(R11*1)
+	VMOVDQU        Y3, 32(R10)(R11*1)
+
+	ADDQ $64, R11
+	CMPQ R11, CX
+	JLT  gfnir4loop
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

@@ -20,6 +20,17 @@ func mulRegionNEON(dst, src *byte, n int, lo, hi *byte)
 //go:noescape
 func xorRegionNEON(dst, src *byte, n int)
 
+// Fused routine: one pass over src updating every destination, the
+// source block register-resident across destinations. len(src) must be a
+// positive multiple of 32; every dsts[i] must be at least len(src) bytes
+// and len(tabs) == len(dsts). The assembly walks the dsts slice headers
+// and loads each MulTable's Lo+Hi pair contiguously at struct offset 256
+// (layout pinned by the constant assertions next to MulTable in
+// kernel.go).
+//
+//go:noescape
+func multXORFusedNEON(dsts [][]byte, tabs []*MulTable, src []byte)
+
 type neonKernel struct{}
 
 func (neonKernel) Name() string { return "neon" }
@@ -46,6 +57,20 @@ func (neonKernel) XORRegion(dst, src []byte) {
 		xorRegionNEON(&dst[0], &src[0], n)
 	}
 	xorTail(dst[n:], src[n:])
+}
+
+func (k neonKernel) MultXORFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	n := len(src) &^ 31
+	if n > 0 && len(dsts) > 0 {
+		multXORFusedNEON(dsts, tables, src[:n])
+	}
+	for i, d := range dsts {
+		k.MultXOR(d[n:len(src)], src[n:], tables[i])
+	}
+}
+
+func (k neonKernel) MulRegionFused(dsts [][]byte, src []byte, tables []*MulTable) {
+	mulRegionFusedByChunks(k, dsts, src, tables)
 }
 
 func init() { registerKernel(neonKernel{}, 2) }

@@ -61,6 +61,65 @@ neonmrloop:
 	BNE    neonmrloop
 	RET
 
+// func multXORFusedNEON(dsts [][]byte, tabs []*MulTable, src []byte)
+// For each 32-byte source block: split into nibbles once (V0-V3), then
+// for every destination j load its split tables from tabs[j] (Lo and Hi
+// are contiguous at struct offset 256, one VLD1 pair), table-translate
+// and XOR into dsts[j] at the same offset. The source block never leaves
+// registers while the destination loop runs. len(src) is a positive
+// multiple of 32; the wrapper handles the ragged tail.
+//
+// Register conventions (fused routine):
+//
+//	R0  dsts slice headers    R1  tabs pointer array   R5  ndst
+//	R2  src base              R3  n                    R6  block offset
+//	R8  destination index     R9  table pointer        R11 dst cursor
+TEXT ·multXORFusedNEON(SB), NOSPLIT, $0-72
+	MOVD  dsts_base+0(FP), R0
+	MOVD  dsts_len+8(FP), R5
+	MOVD  tabs_base+24(FP), R1
+	MOVD  src_base+48(FP), R2
+	MOVD  src_len+56(FP), R3
+	VMOVI $15, V7.B16
+	MOVD  $0, R6
+
+neonfblock:
+	ADD  R6, R2, R7
+	VLD1 (R7), [V0.B16, V1.B16]
+	VUSHR $4, V0.B16, V2.B16      // high nibbles, bytes 0-15
+	VUSHR $4, V1.B16, V3.B16      // high nibbles, bytes 16-31
+	VAND  V7.B16, V0.B16, V0.B16  // low nibbles, bytes 0-15
+	VAND  V7.B16, V1.B16, V1.B16  // low nibbles, bytes 16-31
+	MOVD  $0, R8
+
+neonfdst:
+	MOVD (R1)(R8<<3), R9
+	ADD  $256, R9                 // &MulTable.Lo; Hi follows at +16
+	VLD1 (R9), [V4.B16, V5.B16]
+	LSL  $1, R8, R10
+	ADD  R8, R10, R10
+	LSL  $3, R10, R10             // R10 = j*24, the slice-header stride
+	MOVD (R0)(R10), R11
+	ADD  R6, R11, R11
+	VLD1 (R11), [V16.B16, V17.B16]
+	VTBL V0.B16, [V4.B16], V20.B16
+	VTBL V2.B16, [V5.B16], V21.B16
+	VEOR V21.B16, V20.B16, V20.B16
+	VEOR V16.B16, V20.B16, V20.B16
+	VTBL V1.B16, [V4.B16], V22.B16
+	VTBL V3.B16, [V5.B16], V23.B16
+	VEOR V23.B16, V22.B16, V22.B16
+	VEOR V17.B16, V22.B16, V21.B16
+	VST1 [V20.B16, V21.B16], (R11)
+	ADD  $1, R8
+	CMP  R5, R8
+	BLT  neonfdst
+
+	ADD  $32, R6
+	CMP  R3, R6
+	BLT  neonfblock
+	RET
+
 // func xorRegionNEON(dst, src *byte, n int)
 TEXT ·xorRegionNEON(SB), NOSPLIT, $0-24
 	MOVD dst+0(FP), R0

@@ -21,6 +21,7 @@ func refMulTable(f *Field, c uint32) *MulTable {
 		t.Lo[x] = t.Row[x]
 		t.Hi[x] = t.Row[(x<<4)&int(f.mask)]
 	}
+	t.Gfni = gfniMatrix(&t.Row)
 	return t
 }
 
@@ -170,8 +171,9 @@ func testingPurego() bool {
 	return len(KernelNames()) == 1
 }
 
-// TestKernelEnvOverride: STAIR_GF_KERNEL forces dispatch, and an unknown
-// name panics loudly rather than measuring the wrong kernel.
+// TestKernelEnvOverride: STAIR_GF_KERNEL forces dispatch; an unknown name
+// is a startup error from Init/NewField, and still a loud panic if those
+// surfaces were bypassed — never a silent run of the wrong kernel.
 func TestKernelEnvOverride(t *testing.T) {
 	t.Setenv("STAIR_GF_KERNEL", "portable")
 	resetKernelForTest()
@@ -179,6 +181,9 @@ func TestKernelEnvOverride(t *testing.T) {
 		os.Unsetenv("STAIR_GF_KERNEL")
 		resetKernelForTest()
 	}()
+	if err := Init(); err != nil {
+		t.Fatalf("Init() with valid override: %v", err)
+	}
 	if got := ActiveKernelName(); got != "portable" {
 		t.Fatalf("override to portable: dispatched %q", got)
 	}
@@ -189,10 +194,16 @@ func TestKernelEnvOverride(t *testing.T) {
 
 	t.Setenv("STAIR_GF_KERNEL", "no-such-kernel")
 	resetKernelForTest()
+	if err := Init(); err == nil {
+		t.Error("Init() with unknown STAIR_GF_KERNEL did not error")
+	}
+	if _, err := NewField(8); err == nil {
+		t.Error("NewField(8) with unknown STAIR_GF_KERNEL did not error")
+	}
 	func() {
 		defer func() {
 			if recover() == nil {
-				t.Error("unknown STAIR_GF_KERNEL did not panic")
+				t.Error("unknown STAIR_GF_KERNEL did not panic when Init was bypassed")
 			}
 		}()
 		ActiveKernelName()
@@ -246,6 +257,44 @@ func TestKernelSpeedGuard(t *testing.T) {
 	}
 	if runtime.GOARCH == "amd64" && speedup < 4 {
 		t.Errorf("amd64 SIMD kernel %s speedup %.1fx, want >= 4x (the committed claim)", active.Name(), speedup)
+	}
+
+	// Fused-path guard: one fused call over 4 destinations must not run
+	// slower than composing the per-op kernel — the whole point of the
+	// source-major planner. 0.9 leaves noise headroom; a real regression
+	// (fused falling back to something dumb) shows up as far worse.
+	const fusedDsts = 4
+	tabs := make([]*MulTable, fusedDsts)
+	for i := range tabs {
+		tabs[i] = &f.tables[0x35+i]
+	}
+	measureFused := func(k Kernel, fused bool) float64 {
+		src := make([]byte, 4096)
+		rand.New(rand.NewSource(5)).Read(src)
+		dsts := make([][]byte, fusedDsts)
+		for i := range dsts {
+			dsts[i] = make([]byte, 4096)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if fused {
+					k.MultXORFused(dsts, src, tabs)
+				} else {
+					for j := range dsts {
+						k.MultXOR(dsts[j], src, tabs[j])
+					}
+				}
+			}
+		})
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	perop := measureFused(active, false)
+	fused := measureFused(active, true)
+	fusedSpeedup := perop / fused
+	t.Logf("kernel %s fused: %.0f ns/op vs per-op %.0f ns/op (%.2fx) on %dx4 KiB MultXORFused",
+		active.Name(), fused, perop, fusedSpeedup, fusedDsts)
+	if fusedSpeedup < 0.9 {
+		t.Fatalf("kernel %s MultXORFused is slower than its per-op composition: %.2fx", active.Name(), fusedSpeedup)
 	}
 }
 

@@ -175,13 +175,18 @@ func (c *Code) EncodeRegions(data, parity [][]byte) error {
 	if len(parity) != c.eta-c.kappa {
 		return fmt.Errorf("rs: got %d parity regions, want %d", len(parity), c.eta-c.kappa)
 	}
-	for p, out := range parity {
+	// Source-major: one fused pass per data region updating every parity
+	// region, so each data region is read once rather than once per
+	// parity row (the ec_encode_data shape).
+	for _, out := range parity {
 		gf.Zero(out)
-		for j, in := range data {
-			if a := c.gen.At(c.kappa+p, j); a != 0 {
-				c.f.MultXOR(out, in, a)
-			}
+	}
+	coeffs := make([]uint32, len(parity))
+	for j, in := range data {
+		for p := range parity {
+			coeffs[p] = c.gen.At(c.kappa+p, j)
 		}
+		c.f.MultXORFused(parity, in, coeffs)
 	}
 	return nil
 }
@@ -273,13 +278,19 @@ func (c *Code) ReconstructRegions(regions [][]byte, present []bool) error {
 	if err != nil {
 		return err
 	}
+	// Source-major, like EncodeRegions: one fused pass per surviving
+	// region updating every missing region.
+	outs := make([][]byte, len(want))
 	for i, w := range want {
+		outs[i] = regions[w]
 		gf.Zero(regions[w])
-		for j := 0; j < c.kappa; j++ {
-			if a := k.At(i, j); a != 0 {
-				c.f.MultXOR(regions[w], regions[have[j]], a)
-			}
+	}
+	coeffs := make([]uint32, len(want))
+	for j := 0; j < c.kappa; j++ {
+		for i := range want {
+			coeffs[i] = k.At(i, j)
 		}
+		c.f.MultXORFused(outs, regions[have[j]], coeffs)
 	}
 	return nil
 }

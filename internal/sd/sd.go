@@ -512,14 +512,20 @@ func (c *Code) Encode(cells [][]byte) error {
 	if _, err := c.checkStripe(cells); err != nil {
 		return err
 	}
+	// Source-major: one fused pass per data sector updating every parity
+	// sector, so each data sector is read once rather than once per
+	// parity row.
+	outs := make([][]byte, len(c.parityCells))
 	for p, pc := range c.parityCells {
-		out := c.sector(cells, pc)
-		gf.Zero(out)
-		for d, dc := range c.dataCells {
-			if coeff := c.gen.At(p, d); coeff != 0 {
-				c.f.MultXOR(out, c.sector(cells, dc), coeff)
-			}
+		outs[p] = c.sector(cells, pc)
+		gf.Zero(outs[p])
+	}
+	coeffs := make([]uint32, len(c.parityCells))
+	for d, dc := range c.dataCells {
+		for p := range c.parityCells {
+			coeffs[p] = c.gen.At(p, d)
 		}
+		c.f.MultXORFused(outs, c.sector(cells, dc), coeffs)
 	}
 	return nil
 }
@@ -559,32 +565,42 @@ func (c *Code) Repair(cells [][]byte, lost []Cell) error {
 	if err != nil {
 		return fmt.Errorf("%w: %d lost cells", ErrUnrecoverable, len(lost))
 	}
-	// rhs[k] = Σ_{known j} H[rows[k]][j]·x_j  (over regions).
+	// rhs[k] = Σ_{known j} H[rows[k]][j]·x_j (over regions), source-major:
+	// each surviving sector is read once and fans out into every
+	// constraint's accumulator in one fused pass.
 	rhs := make([][]byte, len(rows))
 	for k := range rhs {
 		rhs[k] = make([]byte, size)
-		hr := rows[k]
-		for col := 0; col < c.n; col++ {
-			for row := 0; row < c.r; row++ {
-				v := row*c.n + col
-				if lostSet[v] {
-					continue
-				}
-				if coeff := c.h.At(hr, v); coeff != 0 {
-					c.f.MultXOR(rhs[k], cells[col*c.r+row], coeff)
-				}
+	}
+	coeffs := make([]uint32, len(rows))
+	for col := 0; col < c.n; col++ {
+		for row := 0; row < c.r; row++ {
+			v := row*c.n + col
+			if lostSet[v] {
+				continue
+			}
+			any := false
+			for k, hr := range rows {
+				coeffs[k] = c.h.At(hr, v)
+				any = any || coeffs[k] != 0
+			}
+			if any {
+				c.f.MultXORFused(rhs, cells[col*c.r+row], coeffs)
 			}
 		}
 	}
-	// x_lost = A^{-1}·rhs.
+	// x_lost = A^{-1}·rhs, again source-major over the rhs regions.
+	outs := make([][]byte, len(lost))
 	for i, cell := range lost {
-		out := c.sector(cells, cell)
-		gf.Zero(out)
-		for k := range rhs {
-			if coeff := aInv.At(i, k); coeff != 0 {
-				c.f.MultXOR(out, rhs[k], coeff)
-			}
+		outs[i] = c.sector(cells, cell)
+		gf.Zero(outs[i])
+	}
+	solve := make([]uint32, len(lost))
+	for k := range rhs {
+		for i := range lost {
+			solve[i] = aInv.At(i, k)
 		}
+		c.f.MultXORFused(outs, rhs[k], solve)
 	}
 	return nil
 }
