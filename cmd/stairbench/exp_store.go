@@ -223,6 +223,73 @@ func runStore(o options) error {
 		ds.Close()
 	}
 
+	// End-to-end integrity overhead: the same sequential read against
+	// three identically-filled stores — no integrity layer, checksums
+	// verified on every read (the full tax), and records maintained but
+	// verification disabled (isolating the read-side CRC check from the
+	// write-side record upkeep). The three are measured interleaved,
+	// best-of-3 each, so machine-state drift between scenarios cancels
+	// out of the overhead figure instead of polluting it.
+	openInteg := func(opts *store.IntegrityOptions) (*store.Store, error) {
+		return store.Open(store.Config{
+			Code: code, SectorSize: sector, Stripes: stripes,
+			RepairWorkers: repairWorkers, LockShards: lockShards,
+			DegradedCache: degradedCache, MaxDirtyStripes: stripes,
+			Integrity: opts,
+		})
+	}
+	integStores := make([]*store.Store, 3)
+	for i, opts := range []*store.IntegrityOptions{
+		nil,
+		{Epoch: 1},
+		{Epoch: 1, DisableVerify: true},
+	} {
+		is, err := openInteg(opts)
+		if err != nil {
+			return err
+		}
+		defer is.Close()
+		integStores[i] = is
+	}
+	integOps := []struct {
+		op, note string
+	}{
+		{"read-integrity-baseline", "no integrity layer (paired baseline for the rows below)"},
+		{"read-integrity-verified", "per-sector checksums verified on every read"},
+		{"read-integrity-noverify", "checksum records maintained on writes, reads unverified"},
+	}
+	writeMiBps := make([]float64, 3)
+	for i, is := range integStores {
+		mibps, err := timeOp(userBytes, func() error { return fill(is) })
+		if err != nil {
+			return fmt.Errorf("write-%s: %w", integOps[i].op, err)
+		}
+		writeMiBps[i] = mibps
+	}
+	best := make([]float64, 3)
+	for round := 0; round < 3; round++ {
+		for i, is := range integStores {
+			mibps, err := timeOp(userBytes, func() error { return readAll(is) })
+			if err != nil {
+				return fmt.Errorf("%s: %w", integOps[i].op, err)
+			}
+			if mibps > best[i] {
+				best[i] = mibps
+			}
+		}
+	}
+	results = append(results, storeBenchResult{
+		Op: "write-seq-integrity-verified", MiBps: writeMiBps[1],
+		Note: fmt.Sprintf("sequential fill with record upkeep (baseline %.1f MiB/s)", writeMiBps[0]),
+	})
+	for i, op := range integOps {
+		note := op.note
+		if i > 0 && best[0] > 0 {
+			note += fmt.Sprintf(" (%.1f%% vs paired baseline)", (best[0]-best[i])/best[0]*100)
+		}
+		results = append(results, storeBenchResult{Op: op.op, MiBps: best[i], Note: note})
+	}
+
 	// Concurrent load over disjoint stripe ranges: the same operation on
 	// a 1-shard store (every stripe behind one lock — the old
 	// global-mutex regime) and on the sharded store, so the JSON records

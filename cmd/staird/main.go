@@ -14,7 +14,14 @@
 //	staird serve -listen :8080 -fleet fleet.json -volume myvol \
 //	    -n 6 -r 4 -m 2 -e 1,2 -stripes 64 -sector 4096 \
 //	    [-flush-workers 4] [-coalesce] [-hedge] \
-//	    [-heartbeat 1s] [-fail-after 3]
+//	    [-integrity -epoch 1] [-heartbeat 1s] [-fail-after 3]
+//
+// With -integrity, every device carries a per-sector checksum sidecar
+// region past its data sectors; device servers must then be started
+// with -sectors ≥ stripes×r + store.IntegrityMetaSectors(stripes, r,
+// sector) — serve prints the required figure at startup. Hedged
+// reconstructions are additionally parity-verified before their bytes
+// can win a read race.
 //
 // The fleet file lists servers and spares:
 //
@@ -175,6 +182,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	coalesceWindow := fs.Duration("coalesce-window", 200*time.Microsecond, "coalescer batch window")
 	hedge := fs.Bool("hedge", true, "hedge slow column reads via sibling reconstruction")
 	hedgePercentile := fs.Float64("hedge-percentile", 0.9, "latency percentile that launches a hedge")
+	integ := fs.Bool("integrity", false, "per-sector checksum layer (device servers need -sectors sized for the sidecar region)")
+	epoch := fs.Uint("epoch", 1, "volume epoch salted into integrity checksums")
 	heartbeat := fs.Duration("heartbeat", time.Second, "health sweep interval")
 	failAfter := fs.Int("fail-after", 3, "consecutive missed probes that declare a server dead")
 	fs.Parse(args)
@@ -211,12 +220,19 @@ func cmdServe(ctx context.Context, args []string) error {
 	if *hedge {
 		cfg.Hedge = &cluster.HedgeConfig{Percentile: *hedgePercentile}
 	}
+	if *integ {
+		cfg.Integrity = &store.IntegrityOptions{Epoch: uint32(*epoch)}
+	}
 
 	v, err := cluster.Open(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("volume %q: %d columns × %d stripes, block %d B\n", *volume, *n, *stripes, v.BlockSize())
+	if *integ {
+		devSectors := *stripes**r + store.IntegrityMetaSectors(*stripes, *r, *sector)
+		fmt.Printf("integrity: on (epoch %d; device servers need ≥ %d sectors)\n", *epoch, devSectors)
+	}
 	for _, p := range v.Placement() {
 		fmt.Printf("  column on %s (%s)\n", p.Name, p.URL)
 	}

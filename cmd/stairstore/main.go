@@ -3,12 +3,13 @@
 // fault injection, degraded reads, scrub/repair and persistent
 // operation counters.
 //
-//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096 [-repair-workers 4 -shards 32 -cache 8 -flush-workers 4]
+//	stairstore create      -dir vol -n 8 -r 4 -m 2 -e 1,1,2 -stripes 64 -sector 4096 [-integrity=false -epoch 1 -repair-workers 4 -shards 32 -cache 8 -flush-workers 4]
 //	stairstore put         -dir vol -in data.bin [-block 0]
 //	stairstore get         -dir vol -out copy.bin [-block 0] [-count 8] [-bytes 30000]
 //	stairstore fail-device -dir vol -device 3
 //	stairstore corrupt     -dir vol -device 2 -sector 17
 //	stairstore corrupt     -dir vol -device 2 -burst 40:3
+//	stairstore corrupt     -dir vol -device 2 -sector 17 -silent
 //	stairstore replace     -dir vol -device 3 [-rebuild=false]
 //	stairstore scrub       -dir vol
 //	stairstore recover     -dir vol
@@ -16,9 +17,14 @@
 //	stairstore stats       -url http://127.0.0.1:8080
 //
 // Layout: dir/volume.json records geometry plus cumulative stats;
-// dir/dev_<i>.img holds device i's sectors, with a dev_<i>.img.faults
+// dir/dev_<i>.img holds device i's sectors — with integrity on (the
+// default) a sidecar region of per-sector checksum records follows the
+// data sectors inside the same image — plus a dev_<i>.img.faults
 // sidecar persisting injected faults; dir/journal.wal is the
 // write-ahead intent log making stripe write-back crash-consistent.
+// `corrupt -silent` flips a bit without registering any fault: with
+// integrity on the lie is caught and repaired on the next read or
+// scrub; with STAIR_INTEGRITY=off it sails through (the A/B control).
 // Reads through damage are served degraded (reconstructed on the fly)
 // and heal in the background; damage beyond the code's coverage
 // surfaces as an unrecoverable error and a counter, never as corrupt
@@ -42,6 +48,7 @@ import (
 
 	"stair/internal/core"
 	"stair/internal/gf"
+	"stair/internal/store"
 )
 
 func main() {
@@ -122,6 +129,8 @@ func cmdCreate(ctx context.Context, args []string) (err error) {
 		shards  = fs.Int("shards", 0, "lock shards for parallel stripe operations (0 = store default)")
 		cache   = fs.Int("cache", 0, "degraded-stripe cache size in stripes (0 = store default, <0 disables)")
 		flush   = fs.Int("flush-workers", 0, "async flush pipeline workers (0 = synchronous flushes)")
+		integ   = fs.Bool("integrity", true, "end-to-end per-sector checksums (sidecar region per device)")
+		epoch   = fs.Uint("epoch", 1, "volume epoch salted into integrity digests")
 	)
 	fs.Parse(args)
 	if *dir == "" {
@@ -135,6 +144,7 @@ func cmdCreate(ctx context.Context, args []string) (err error) {
 		N: *n, R: *r, M: *m, E: ev, SectorSize: *sector, Stripes: *stripes,
 		RepairWorkers: *repair, LockShards: *shards, DegradedCache: *cache,
 		FlushWorkers: *flush,
+		Integrity:    *integ, IntegrityEpoch: uint32(*epoch),
 	}
 	if _, err := core.New(core.Config{N: *n, R: *r, M: *m, E: ev}); err != nil {
 		return err
@@ -159,6 +169,10 @@ func cmdCreate(ctx context.Context, args []string) (err error) {
 	}()
 	fmt.Printf("created %s: %s, %d stripes × %d B sectors, %d blocks (%d KiB user capacity)\n",
 		*dir, s.Code().Config(), *stripes, *sector, s.Blocks(), s.Blocks()**sector>>10)
+	if *integ {
+		fmt.Printf("integrity: on (epoch %d, %d sidecar sectors per device)\n",
+			*epoch, store.IntegrityMetaSectors(*stripes, *r, *sector))
+	}
 	return nil
 }
 
@@ -270,6 +284,10 @@ func cmdGet(ctx context.Context, args []string) (err error) {
 	}
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "read %d bytes (%d blocks, %d degraded)\n", len(data), c, st.DegradedReads)
+	if st.ChecksumMismatches > 0 {
+		fmt.Fprintf(os.Stderr, "detected %d checksum mismatches (silent corruption repaired as located erasures)\n",
+			st.ChecksumMismatches)
+	}
 	return nil
 }
 
@@ -306,6 +324,7 @@ func cmdCorrupt(ctx context.Context, args []string) (err error) {
 		dev    = fs.Int("device", -1, "device to corrupt")
 		sector = fs.Int("sector", -1, "single sector to mark as a latent error")
 		burst  = fs.String("burst", "", "start:len burst of latent errors")
+		silent = fs.Bool("silent", false, "flip a payload bit WITHOUT registering a fault (silent corruption; requires -sector)")
 	)
 	fs.Parse(args)
 	if *dir == "" || *dev < 0 {
@@ -321,6 +340,15 @@ func cmdCorrupt(ctx context.Context, args []string) (err error) {
 		}
 	}()
 	switch {
+	case *silent:
+		if *sector < 0 {
+			return errors.New("corrupt: -silent requires -sector")
+		}
+		if err := s.CorruptSectorSilently(*dev, *sector); err != nil {
+			return err
+		}
+		fmt.Printf("silently flipped a bit at device %d sector %d (no fault registered; reads will serve it)\n",
+			*dev, *sector)
 	case *burst != "":
 		parts := strings.SplitN(*burst, ":", 2)
 		if len(parts) != 2 {
@@ -403,6 +431,7 @@ func cmdScrub(ctx context.Context, args []string) (err error) {
 			err = cerr
 		}
 	}()
+	var mismatches, inconsistent int
 	for pass := 1; pass <= *passes; pass++ {
 		before := s.TotalBadSectors()
 		rep, err := s.Scrub(ctx)
@@ -411,11 +440,32 @@ func cmdScrub(ctx context.Context, args []string) (err error) {
 		}
 		s.Quiesce()
 		after := s.TotalBadSectors()
-		fmt.Printf("pass %d: %d stripes checked, %d damaged, %d sectors lost; %d bad sectors remain\n",
-			pass, rep.StripesChecked, rep.StripesDamaged, rep.SectorsLost, after)
-		if after == 0 || after == before {
+		mismatches += rep.ChecksumMismatches
+		inconsistent += rep.StripesInconsistent
+		fmt.Printf("pass %d: %d stripes checked, %d damaged, %d sectors lost, %d checksum mismatches; %d bad sectors remain\n",
+			pass, rep.StripesChecked, rep.StripesDamaged, rep.SectorsLost, rep.ChecksumMismatches, after)
+		if rep.StripesInconsistent > 0 {
+			fmt.Printf("  %d stripes INCONSISTENT with nothing located (unlocatable lie) — marked unrecoverable\n",
+				rep.StripesInconsistent)
+		}
+		if rep.RecordsRefreshed > 0 {
+			fmt.Printf("  refreshed %d absent integrity records\n", rep.RecordsRefreshed)
+		}
+		// Keep sweeping while anything heals between passes: bad sectors
+		// shrinking, or checksum-located damage found this pass (the
+		// repair it queued lands before the next pass re-checks).
+		if after == 0 && rep.ChecksumMismatches == 0 {
 			break
 		}
+		if after == before && rep.ChecksumMismatches == 0 {
+			break
+		}
+	}
+	if mismatches > 0 {
+		fmt.Printf("checksum-located silent corruption: %d sectors (repaired as located erasures)\n", mismatches)
+	}
+	if inconsistent > 0 {
+		fmt.Printf("unlocatable inconsistencies: %d stripes (beyond what checksums cover)\n", inconsistent)
 	}
 	st := s.Stats()
 	fmt.Printf("repaired %d sectors in %d stripes", st.RepairedSectors, st.RepairedStripes)
@@ -503,6 +553,16 @@ func cmdStats(ctx context.Context, args []string) (err error) {
 		t.ScrubbedStripes, t.ScrubHits, t.RepairedSectors, t.RepairedStripes, t.RepairDrops, t.UnrecoverableStripes)
 	fmt.Printf("          journaled flushes=%d crash-recovered stripes=%d\n",
 		t.JournaledFlushes, t.RecoveredStripes)
+	on, verifying := s.IntegrityEnabled()
+	mode := "off"
+	switch {
+	case on && verifying:
+		mode = "on"
+	case on:
+		mode = "records only (verification disabled)"
+	}
+	fmt.Printf("integrity: %s; verified sectors=%d checksum mismatches=%d\n",
+		mode, t.VerifiedSectors, t.ChecksumMismatches)
 	return nil
 }
 

@@ -194,7 +194,7 @@ func TestRecoverCommand(t *testing.T) {
 		ords = append(ords, ord)
 		sums = append(sums, journal.Checksum(buf))
 	}
-	if _, err := j.Append(0, ords, sums); err != nil {
+	if _, err := j.Append(0, ords, sums, nil); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()

@@ -24,11 +24,18 @@ type volumeMeta struct {
 	Stripes    int   `json:"stripes"`
 	// RepairWorkers, LockShards, DegradedCache and FlushWorkers mirror
 	// the store.Config fields of the same names.
-	RepairWorkers int         `json:"repair_workers,omitempty"`
-	LockShards    int         `json:"lock_shards,omitempty"`
-	DegradedCache int         `json:"degraded_cache,omitempty"`
-	FlushWorkers  int         `json:"flush_workers,omitempty"`
-	Stats         store.Stats `json:"stats"`
+	RepairWorkers int `json:"repair_workers,omitempty"`
+	LockShards    int `json:"lock_shards,omitempty"`
+	DegradedCache int `json:"degraded_cache,omitempty"`
+	FlushWorkers  int `json:"flush_workers,omitempty"`
+	// Integrity turns on the end-to-end per-sector checksum layer; each
+	// device image then carries a sidecar region of records past its
+	// data sectors, and IntegrityEpoch is salted into every digest.
+	// Absent on descriptors predating the layer — those volumes keep
+	// opening without it.
+	Integrity      bool        `json:"integrity,omitempty"`
+	IntegrityEpoch uint32      `json:"integrity_epoch,omitempty"`
+	Stats          store.Stats `json:"stats"`
 
 	// journal is the open write-ahead intent log backing the mounted
 	// store; closeVolume closes it after the store drains (runtime
@@ -80,9 +87,15 @@ func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	devSectors := meta.Stripes * meta.R
+	var iopts *store.IntegrityOptions
+	if meta.Integrity {
+		devSectors += store.IntegrityMetaSectors(meta.Stripes, meta.R, meta.SectorSize)
+		iopts = &store.IntegrityOptions{Epoch: meta.IntegrityEpoch}
+	}
 	devs := make([]store.Device, meta.N)
 	for i := range devs {
-		d, err := store.OpenFileDevice(devicePath(dir, i), meta.Stripes*meta.R, meta.SectorSize)
+		d, err := store.OpenFileDevice(devicePath(dir, i), devSectors, meta.SectorSize)
 		if err != nil {
 			for _, prev := range devs[:i] {
 				prev.Close()
@@ -102,6 +115,7 @@ func openVolume(dir string) (*store.Store, *volumeMeta, error) {
 		DegradedCache: meta.DegradedCache,
 		FlushWorkers:  meta.FlushWorkers,
 		Journal:       j,
+		Integrity:     iopts,
 	})
 	if err != nil {
 		for _, d := range devs {

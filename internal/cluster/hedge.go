@@ -140,6 +140,13 @@ func copyOut(dst, src [][]byte) {
 // ReadSectors serves the vectored read with a hedge: primary first,
 // reconstruction racer if the primary outlives the tracked percentile.
 func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
+	if start+len(bufs) > h.v.dataSectors {
+		// The extent touches the integrity sidecar region past the data
+		// sectors. Sidecar records are per-device metadata — not encoded
+		// across columns — so the stripe-shaped reconstruction racer has
+		// nothing to rebuild them from; serve directly.
+		return h.column.ReadSectors(ctx, start, bufs)
+	}
 	delay, ok := h.tracker.percentile(h.cfg.Percentile, h.cfg.MinSamples)
 	if !ok {
 		// Not enough history to hedge: serve directly, feed the tracker.

@@ -32,6 +32,10 @@ type Stats struct {
 	HedgeWins      uint64 `json:"hedge_wins"`
 	HedgeLosses    uint64 `json:"hedge_losses"`
 	HedgeFails     uint64 `json:"hedge_fails"`
+	// HedgeVerifyFails counts hedged reconstructions discarded because
+	// the repaired stripe failed parity verification — a sibling fed the
+	// repair silently corrupt bytes (integrity mode only).
+	HedgeVerifyFails uint64 `json:"hedge_verify_fails"`
 	// Coalesce aggregates the per-column request coalescers (zero when
 	// coalescing is off).
 	Coalesce store.CoalesceStats `json:"coalesce"`
@@ -44,4 +48,5 @@ type clusterCounters struct {
 	rebuilds, rebuildErrors           atomic.Uint64
 	hedgesLaunched, hedgeWins         atomic.Uint64
 	hedgeLosses, hedgeFails           atomic.Uint64
+	hedgeVerifyFails                  atomic.Uint64
 }

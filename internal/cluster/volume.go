@@ -37,6 +37,14 @@ type Config struct {
 	Hedge *HedgeConfig
 	// Monitor tunes the failure detector (zero values select defaults).
 	Monitor MonitorConfig
+	// Integrity, when non-nil, turns on the end-to-end checksum layer in
+	// the wrapped store (see store.Config.Integrity) and hardens the
+	// cluster paths around it: hedged-read reconstructions are verified
+	// against the code's parity relations before their bytes are served,
+	// and rebuilds write fresh sidecar records for every sector they
+	// reconstruct. Every fleet server must then serve
+	// Stripes×Code.R() + store.IntegrityMetaSectors(...) sectors.
+	Integrity *store.IntegrityOptions
 	// Store tuning passthrough; see store.Config.
 	Workers         int
 	MaxDirtyStripes int
@@ -64,6 +72,13 @@ type Volume struct {
 	stripes    int
 	workers    int
 	name       string
+	// dataSectors is the per-column data region size (stripes×r); with
+	// integrity on, devices carry sidecar sectors past it that the
+	// stripe-shaped machinery (hedging, reconstruction) must not touch.
+	dataSectors int
+	// verifyHedge gates the parity re-verification of hedged-read
+	// reconstructions (on when the integrity layer is configured).
+	verifyHedge bool
 
 	dial func(ctx context.Context, server Server) (store.Device, error)
 
@@ -110,14 +125,16 @@ func Open(ctx context.Context, cfg Config) (*Volume, error) {
 	}
 
 	v := &Volume{
-		code:       cfg.Code,
-		n:          n,
-		r:          cfg.Code.R(),
-		sectorSize: cfg.SectorSize,
-		stripes:    cfg.Stripes,
-		workers:    cfg.Workers,
-		name:       name,
-		spares:     cfg.Fleet.Spares(),
+		code:        cfg.Code,
+		n:           n,
+		r:           cfg.Code.R(),
+		sectorSize:  cfg.SectorSize,
+		stripes:     cfg.Stripes,
+		workers:     cfg.Workers,
+		name:        name,
+		spares:      cfg.Fleet.Spares(),
+		dataSectors: cfg.Stripes * cfg.Code.R(),
+		verifyHedge: cfg.Integrity != nil,
 	}
 	v.rebuildCtx, v.rebuildCancel = context.WithCancel(context.Background())
 	v.dial = dial
@@ -164,6 +181,7 @@ func Open(ctx context.Context, cfg Config) (*Volume, error) {
 		FlushWorkers:    cfg.FlushWorkers,
 		RepairWorkers:   cfg.RepairWorkers,
 		Journal:         cfg.Journal,
+		Integrity:       cfg.Integrity,
 	})
 	if err != nil {
 		for _, c := range v.cols {
@@ -223,6 +241,7 @@ func (v *Volume) Stats() Stats {
 		HedgeWins:        v.counters.hedgeWins.Load(),
 		HedgeLosses:      v.counters.hedgeLosses.Load(),
 		HedgeFails:       v.counters.hedgeFails.Load(),
+		HedgeVerifyFails: v.counters.hedgeVerifyFails.Load(),
 	}
 	for _, c := range v.cols {
 		dev, err := c.snapshot()
@@ -390,6 +409,22 @@ func (v *Volume) reconstructExtent(ctx context.Context, col, start int, dst [][]
 		}
 		if err := v.code.RepairParallel(st, lost, v.workers); err != nil {
 			return err
+		}
+		if v.verifyHedge {
+			// End-to-end discipline: a sibling serving silently rotten
+			// bytes would make the repair solve its lie into the
+			// reconstructed extent. Re-verifying the repaired stripe
+			// against the full parity relations catches that before the
+			// bytes are handed to anyone; the hedge then simply loses the
+			// race (or the caller falls back to the primary).
+			ok, err := v.code.Verify(st)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				v.counters.hedgeVerifyFails.Add(1)
+				return fmt.Errorf("cluster: reconstructed extent for column %d stripe %d failed verification", col, stripe)
+			}
 		}
 		for row := 0; row < v.r; row++ {
 			sector := stripe*v.r + row

@@ -73,7 +73,7 @@ func TestVectoredCallsPerDevice(t *testing.T) {
 	}
 	sh := s.shard(0)
 	sh.mu.Lock()
-	_, lost, err := s.loadStripe(bg, 0)
+	_, lost, _, err := s.loadStripe(bg, 0, false)
 	sh.mu.Unlock()
 	if err != nil || len(lost) != 0 {
 		t.Fatalf("loadStripe: lost=%d err=%v", len(lost), err)

@@ -264,6 +264,29 @@ func (d *FileDevice) InjectSectorError(idx int) error {
 	return err
 }
 
+// CorruptSector flips one payload bit of a sector on disk WITHOUT
+// marking it bad or touching the fault sidecar — silent corruption:
+// reads keep succeeding and serve the rotten bytes (the Corrupter
+// capability).
+func (d *FileDevice) CorruptSector(idx int) error {
+	if err := checkExtent(d.sectors, idx, 1); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	var b [1]byte
+	off := int64(idx) * int64(d.sectorSize)
+	if _, err := d.f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	_, err := d.f.WriteAt(b[:], off)
+	return err
+}
+
 // BadSectors returns the latent-sector-error count.
 func (d *FileDevice) BadSectors() int { return d.badCount() }
 

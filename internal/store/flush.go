@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"stair/internal/core"
+	"stair/internal/store/integrity"
 	"stair/internal/store/journal"
 )
 
@@ -41,6 +42,7 @@ const (
 	killAfterJournalAppend killPoint = "after-journal-append"
 	killAfterDataWrite     killPoint = "after-data-write"
 	killAfterParityWrite   killPoint = "after-parity-write"
+	killAfterMetaWrite     killPoint = "after-meta-write"
 	killAfterCommit        killPoint = "after-commit"
 )
 
@@ -128,6 +130,9 @@ func (s *Store) flushFullLocked(ctx context.Context, sh *lockShard, stripe int, 
 		if err := s.writeFullStripe(ctx, stripe, st); err != nil {
 			return err
 		}
+		if err := s.flushStripeMeta(ctx, stripe, s.allCols()); err != nil {
+			return err
+		}
 	}
 	delete(sh.dirty, stripe)
 	s.dirtyCount.Add(-1)
@@ -143,7 +148,7 @@ func (s *Store) flushFullLocked(ctx context.Context, sh *lockShard, stripe int, 
 // parity updates for the dirty blocks, and write back only the touched
 // cells.
 func (s *Store) flushPartialLocked(ctx context.Context, sh *lockShard, stripe int, buf *stripeBuf) error {
-	st, lost, err := s.loadStripe(ctx, stripe)
+	st, lost, _, err := s.loadStripe(ctx, stripe, true)
 	if err != nil {
 		return err
 	}
@@ -169,6 +174,9 @@ func (s *Store) flushPartialLocked(ctx context.Context, sh *lockShard, stripe in
 		err = s.journaledWriteback(ctx, stripe, st, buf, cells)
 	} else {
 		_, _, err = s.writeStripeCells(ctx, stripe, st, cells)
+		if err == nil {
+			err = s.flushStripeMeta(ctx, stripe, colsOf(cells))
+		}
 	}
 	if err != nil {
 		// Interrupted mid-write-back: an unknown subset of the touched
@@ -221,22 +229,31 @@ func (s *Store) applyUpdatesLocked(sh *lockShard, stripe int, st *core.Stripe, l
 }
 
 // journaledWriteback lands a flush under write-ahead protection: intent
-// append (fsynced), data sectors, parity sectors, in-memory commit —
-// with the crash-injection hooks between the phases. cells nil means
-// the whole stripe (the full-stripe path). The intent's on-disk record
+// append (fsynced), data sectors, parity sectors, sidecar checksum
+// records (when the integrity layer is on), in-memory commit — with
+// the crash-injection hooks between the phases. cells nil means the
+// whole stripe (the full-stripe path). The intent's on-disk record
 // outlives the commit until the next Checkpoint barrier (see the
 // journal package): the device writes made here are not yet durable.
+// With integrity on, the intent also carries each dirty block's salted
+// payload digest, so replay can re-stage the records the crash
+// interrupted instead of mistaking a lagging sidecar for corruption.
 func (s *Store) journaledWriteback(ctx context.Context, stripe int, st *core.Stripe, buf *stripeBuf, cells []core.Cell) error {
 	var ords []int
 	var sums []uint64
+	var isums []uint32
 	for ord, data := range buf.data {
 		if data == nil {
 			continue
 		}
 		ords = append(ords, ord)
 		sums = append(sums, journal.Checksum(data))
+		if s.integ != nil {
+			cell := s.dataCells[ord]
+			isums = append(isums, integrity.Sum(s.integ.Epoch(), cell.Col, s.devSector(stripe, cell.Row), data))
+		}
 	}
-	seq, err := s.journal.Append(stripe, ords, sums)
+	seq, err := s.journal.Append(stripe, ords, sums, isums)
 	if err != nil {
 		return fmt.Errorf("store: journaling intent for stripe %d: %w", stripe, err)
 	}
@@ -256,6 +273,18 @@ func (s *Store) journaledWriteback(ctx context.Context, stripe int, st *core.Str
 	}
 	if err := s.kill(killAfterParityWrite); err != nil {
 		return err
+	}
+	if s.integ != nil {
+		cols := s.allCols()
+		if cells != nil {
+			cols = colsOf(cells)
+		}
+		if err := s.flushStripeMeta(ctx, stripe, cols); err != nil {
+			return err
+		}
+		if err := s.kill(killAfterMetaWrite); err != nil {
+			return err
+		}
 	}
 	if err := s.journal.Commit(seq); err != nil {
 		return fmt.Errorf("store: committing intent for stripe %d: %w", stripe, err)
@@ -314,9 +343,26 @@ func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe
 		for row := 0; row < s.r; row++ {
 			rows[row] = st.Sector(col, row)
 		}
-		_ = s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
+		werr := s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if s.integ != nil {
+			// Stage fresh records for the sectors that landed (all of
+			// them on success, the non-failed ones on a partial error).
+			failedAt := map[int]bool{}
+			if se, ok := AsSectorErrors(werr); ok {
+				for _, e := range se {
+					failedAt[e.Index] = true
+				}
+			} else if werr != nil {
+				continue
+			}
+			for row := 0; row < s.r; row++ {
+				if sec := s.devSector(stripe, row); !failedAt[sec] {
+					s.stageRecord(col, sec, st.Sector(col, row))
+				}
+			}
 		}
 	}
 	return nil
@@ -345,9 +391,25 @@ func (s *Store) writeStripeCells(ctx context.Context, stripe int, st *core.Strip
 		switch se, ok := AsSectorErrors(werr); {
 		case werr == nil:
 			wrote += len(run)
+			if s.integ != nil {
+				for k, cell := range run {
+					s.stageRecord(cell.Col, s.devSector(stripe, cell.Row), bufs[k])
+				}
+			}
 		case ok:
 			failed += len(se)
 			wrote += len(run) - len(se)
+			if s.integ != nil {
+				failedAt := map[int]bool{}
+				for _, e := range se {
+					failedAt[e.Index] = true
+				}
+				for k, cell := range run {
+					if sec := s.devSector(stripe, cell.Row); !failedAt[sec] {
+						s.stageRecord(cell.Col, sec, bufs[k])
+					}
+				}
+			}
 		default:
 			failed += len(run)
 		}

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package integrity
+
+import "hash/crc32"
+
+// crcUpdate advances a CRC32C over p. Portable form: the standard
+// library's implementation, which already uses the hardware CRC
+// instructions (SSE4.2 / ARMv8 CRC) where the platform has them.
+func crcUpdate(crc uint32, p []byte) uint32 { return crc32.Update(crc, castagnoli, p) }
+
+// crcKernelName reports which payload-digest path Sum runs.
+func crcKernelName() string { return "stdlib" }

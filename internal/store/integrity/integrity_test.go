@@ -1,0 +1,205 @@
+package integrity
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf [RecordSize]byte
+	want := Record{Epoch: 7, Sum: 0xdeadbeef}
+	Encode(buf[:], want)
+	got, ok := Decode(buf[:])
+	if !ok {
+		t.Fatal("freshly encoded record failed to decode")
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	var buf [RecordSize]byte
+	Encode(buf[:], Record{Epoch: 1, Sum: 42})
+
+	// Any single bit flip anywhere in the record must invalidate it.
+	for byteIdx := 0; byteIdx < RecordSize; byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := buf
+			flipped[byteIdx] ^= 1 << bit
+			if _, ok := Decode(flipped[:]); ok {
+				t.Fatalf("record still decodes with bit %d of byte %d flipped", bit, byteIdx)
+			}
+		}
+	}
+
+	// All zeros (never-written sidecar) makes no claim.
+	if _, ok := Decode(make([]byte, RecordSize)); ok {
+		t.Fatal("all-zero record decoded as valid")
+	}
+	// Truncated input.
+	if _, ok := Decode(buf[:RecordSize-1]); ok {
+		t.Fatal("truncated record decoded as valid")
+	}
+	if _, ok := Decode(nil); ok {
+		t.Fatal("nil record decoded as valid")
+	}
+}
+
+func TestSumSaltsAddressAndEpoch(t *testing.T) {
+	data := []byte("the same payload everywhere")
+	base := Sum(1, 0, 0, data)
+	if Sum(1, 1, 0, data) == base {
+		t.Fatal("digest does not depend on column (misdirected writes undetectable)")
+	}
+	if Sum(1, 0, 1, data) == base {
+		t.Fatal("digest does not depend on sector address (misdirected writes undetectable)")
+	}
+	if Sum(2, 0, 0, data) == base {
+		t.Fatal("digest does not depend on epoch (stale writes undetectable)")
+	}
+	if Sum(1, 0, 0, []byte("other payload entirely...xyz")) == base {
+		t.Fatal("digest does not depend on payload")
+	}
+}
+
+func TestMetaSectors(t *testing.T) {
+	cases := []struct {
+		dataSectors, sectorSize, want int
+	}{
+		{0, 4096, 0},
+		{1, 4096, 1},
+		{256, 4096, 1}, // 4096/16 = 256 records fit one sector
+		{257, 4096, 2},
+		{512, 4096, 2},
+		{1024, 512, 32}, // 512/16 = 32 per sector
+		{1, 16, 1},
+		{3, 16, 3},
+	}
+	for _, c := range cases {
+		if got := MetaSectors(c.dataSectors, c.sectorSize); got != c.want {
+			t.Errorf("MetaSectors(%d, %d) = %d, want %d", c.dataSectors, c.sectorSize, got, c.want)
+		}
+	}
+}
+
+func TestManagerVerifyUpdate(t *testing.T) {
+	m, err := NewManager(3, 64, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xab}, 512)
+
+	// Fresh manager: nothing is covered.
+	if v := m.Verify(1, 5, data); v != Absent {
+		t.Fatalf("fresh verify = %v, want Absent", v)
+	}
+	m.Update(1, 5, data)
+	if v := m.Verify(1, 5, data); v != OK {
+		t.Fatalf("after update verify = %v, want OK", v)
+	}
+	// Different payload at the recorded address: mismatch.
+	other := bytes.Repeat([]byte{0xcd}, 512)
+	if v := m.Verify(1, 5, other); v != Mismatch {
+		t.Fatalf("wrong payload verify = %v, want Mismatch", v)
+	}
+	// Same payload, neighbouring sector: still absent there.
+	if v := m.Verify(1, 6, data); v != Absent {
+		t.Fatalf("neighbour verify = %v, want Absent", v)
+	}
+	// Same payload, different column: absent there too.
+	if v := m.Verify(2, 5, data); v != Absent {
+		t.Fatalf("other column verify = %v, want Absent", v)
+	}
+}
+
+func TestManagerInstallRegion(t *testing.T) {
+	m, err := NewManager(1, 64, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x11}, 512)
+	m.Update(0, 3, data)
+	region := m.Region(0)
+
+	// A second manager adopting the persisted region verifies the same
+	// sector.
+	m2, err := NewManager(1, 64, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.InstallRegion(0, region)
+	if v := m2.Verify(0, 3, data); v != OK {
+		t.Fatalf("verify after region install = %v, want OK", v)
+	}
+
+	// A manager opened under a different epoch rejects the old records.
+	m3, err := NewManager(1, 64, 512, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.InstallRegion(0, region)
+	if v := m3.Verify(0, 3, data); v != Mismatch {
+		t.Fatalf("verify under new epoch = %v, want Mismatch", v)
+	}
+
+	// Installing a short region zero-fills the tail back to Absent.
+	m2.InstallRegion(0, nil)
+	if v := m2.Verify(0, 3, data); v != Absent {
+		t.Fatalf("verify after nil install = %v, want Absent", v)
+	}
+}
+
+func TestManagerFlushRange(t *testing.T) {
+	// 16-byte sectors: exactly one record per sector, so data sector i
+	// maps to meta sector i.
+	m, err := NewManager(1, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MetaSectors() != 8 {
+		t.Fatalf("MetaSectors = %d, want 8", m.MetaSectors())
+	}
+	for i := 0; i < 8; i++ {
+		m.Update(0, i, []byte{byte(i)})
+	}
+	var gotStart, gotBufs int
+	err = m.FlushRange(context.Background(), 0, 2, 3, func(_ context.Context, metaStart int, bufs [][]byte) error {
+		gotStart, gotBufs = metaStart, len(bufs)
+		for i, b := range bufs {
+			rec, ok := Decode(b)
+			if !ok {
+				t.Fatalf("flushed meta sector %d holds no valid record", metaStart+i)
+			}
+			if want := Sum(1, 0, 2+i, []byte{byte(2 + i)}); rec.Sum != want {
+				t.Fatalf("meta sector %d: sum %#x, want %#x", metaStart+i, rec.Sum, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStart != 2 || gotBufs != 3 {
+		t.Fatalf("flush covered meta [%d,+%d), want [2,+3)", gotStart, gotBufs)
+	}
+
+	// Zero count is a no-op.
+	err = m.FlushRange(context.Background(), 0, 0, 0, func(_ context.Context, metaStart int, bufs [][]byte) error {
+		t.Fatal("write callback invoked for empty range")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewManagerRejectsBadSectorSize(t *testing.T) {
+	if _, err := NewManager(1, 8, 8, 1); err == nil {
+		t.Fatal("sector smaller than a record accepted")
+	}
+	if _, err := NewManager(1, 8, 24, 1); err == nil {
+		t.Fatal("sector size not a record multiple accepted")
+	}
+}

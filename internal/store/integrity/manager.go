@@ -1,0 +1,227 @@
+package integrity
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Verdict is the outcome of verifying one sector against its record.
+type Verdict int
+
+const (
+	// OK: a valid record exists and the payload matches it.
+	OK Verdict = iota
+	// Mismatch: a valid record exists and the payload does NOT match —
+	// the sector is silently corrupt (or misdirected, or stale) and
+	// should be treated as a located erasure.
+	Mismatch
+	// Absent: no valid record covers the sector (never written, or the
+	// sidecar itself is torn/rotted). The sector is unverifiable; read
+	// paths treat it as OK and the scrubber refreshes the record.
+	Absent
+)
+
+// Manager holds the in-memory image of every device's sidecar region
+// and mediates verify/update/flush. The whole region is small — 16
+// bytes per data sector, 1/256th of the data at 4 KiB sectors — so it
+// is cached in full and written back in covering sector ranges
+// through the same vectored WriteSectors path as data.
+type Manager struct {
+	cols        int
+	dataSectors int
+	sectorSize  int
+	perSector   int
+	metaSectors int
+	epoch       uint32
+
+	// regions[col] is the col's full sidecar image, metaSectors*
+	// sectorSize bytes. mu[col] guards it for concurrent record
+	// read/write; flushMu[col] serialises snapshot+device-write so two
+	// stripe flushes sharing a meta sector converge (the later write's
+	// snapshot, taken under the flush lock, includes the earlier
+	// flush's staged records).
+	regions [][]byte
+	mu      []sync.RWMutex
+	flushMu []sync.Mutex
+
+	// states/sums[col] cache each sector's record pre-decoded, so the
+	// read path's Verify is a flag check plus a digest compare instead
+	// of re-parsing (and re-self-checksumming) the 16-byte record on
+	// every sector read. The byte image in regions stays the flush
+	// source of truth; the cache is rebuilt on InstallRegion and kept
+	// in step by UpdateSum, both under mu[col].
+	states [][]byte // one of stateAbsent/stateStale/stateValid
+	sums   [][]uint32
+}
+
+// Pre-decoded record states. A structurally valid record carrying a
+// different epoch is a claim about some other volume incarnation: it
+// must read as Mismatch (the sector cannot be vouched for), never as
+// Absent, so it gets its own state.
+const (
+	stateAbsent = iota // no valid record (never written, or sidecar rot)
+	stateStale         // valid record, wrong epoch
+	stateValid         // valid record for this epoch; sums holds the digest
+)
+
+// NewManager builds a manager for cols devices of dataSectors data
+// sectors each. epoch is salted into every digest; bump it when the
+// volume's logical identity changes.
+func NewManager(cols, dataSectors, sectorSize int, epoch uint32) (*Manager, error) {
+	if sectorSize < RecordSize || sectorSize%RecordSize != 0 {
+		return nil, fmt.Errorf("integrity: sector size %d is not a multiple of the %d-byte record", sectorSize, RecordSize)
+	}
+	m := &Manager{
+		cols:        cols,
+		dataSectors: dataSectors,
+		sectorSize:  sectorSize,
+		perSector:   sectorSize / RecordSize,
+		metaSectors: MetaSectors(dataSectors, sectorSize),
+		epoch:       epoch,
+		regions:     make([][]byte, cols),
+		mu:          make([]sync.RWMutex, cols),
+		flushMu:     make([]sync.Mutex, cols),
+	}
+	m.states = make([][]byte, cols)
+	m.sums = make([][]uint32, cols)
+	for col := range m.regions {
+		m.regions[col] = make([]byte, m.metaSectors*sectorSize)
+		m.states[col] = make([]byte, dataSectors)
+		m.sums[col] = make([]uint32, dataSectors)
+	}
+	return m, nil
+}
+
+// MetaSectors is the sidecar region's size in sectors (per device).
+func (m *Manager) MetaSectors() int { return m.metaSectors }
+
+// Epoch is the volume epoch salted into every digest.
+func (m *Manager) Epoch() uint32 { return m.epoch }
+
+// InstallRegion replaces col's cached sidecar image with raw, as read
+// from the device at open. nil (or short) raw zero-fills the
+// remainder: unreadable sidecar sectors decode as Absent, never as a
+// false claim.
+func (m *Manager) InstallRegion(col int, raw []byte) {
+	m.mu[col].Lock()
+	defer m.mu[col].Unlock()
+	region := m.regions[col]
+	n := copy(region, raw)
+	for i := n; i < len(region); i++ {
+		region[i] = 0
+	}
+	// Decode every record once, up front: per-sector reads then verify
+	// against the cache without re-parsing. One pass of 12-byte CRCs
+	// per mount is noise next to reading the region off the device.
+	for sector := 0; sector < m.dataSectors; sector++ {
+		m.recacheLocked(col, sector)
+	}
+}
+
+// recacheLocked re-decodes col/sector's record from the region image
+// into the pre-decoded cache. Caller holds mu[col].
+func (m *Manager) recacheLocked(col, sector int) {
+	off := m.offset(sector)
+	rec, ok := Decode(m.regions[col][off : off+RecordSize])
+	switch {
+	case !ok:
+		m.states[col][sector] = stateAbsent
+	case rec.Epoch != m.epoch:
+		m.states[col][sector] = stateStale
+	default:
+		m.states[col][sector] = stateValid
+		m.sums[col][sector] = rec.Sum
+	}
+}
+
+// offset returns the byte offset of sector's record within col's
+// region.
+func (m *Manager) offset(sector int) int {
+	return (sector/m.perSector)*m.sectorSize + (sector%m.perSector)*RecordSize
+}
+
+// Verify checks data against col/sector's cached record.
+func (m *Manager) Verify(col, sector int, data []byte) Verdict {
+	m.mu[col].RLock()
+	state := m.states[col][sector]
+	sum := m.sums[col][sector]
+	m.mu[col].RUnlock()
+	switch state {
+	case stateAbsent:
+		return Absent
+	case stateStale:
+		return Mismatch
+	}
+	if sum != Sum(m.epoch, col, sector, data) {
+		return Mismatch
+	}
+	return OK
+}
+
+// Has reports whether a valid record covers col/sector.
+func (m *Manager) Has(col, sector int) bool {
+	m.mu[col].RLock()
+	state := m.states[col][sector]
+	m.mu[col].RUnlock()
+	return state != stateAbsent
+}
+
+// Update stages a fresh record for col/sector covering data. The
+// record lives in the cached region until a FlushRange writes the
+// covering sidecar sectors back to the device.
+func (m *Manager) Update(col, sector int, data []byte) {
+	m.UpdateSum(col, sector, Sum(m.epoch, col, sector, data))
+}
+
+// UpdateSum stages a record from an already-computed digest (e.g. one
+// carried in a journal intent).
+func (m *Manager) UpdateSum(col, sector int, sum uint32) {
+	off := m.offset(sector)
+	m.mu[col].Lock()
+	Encode(m.regions[col][off:off+RecordSize], Record{Epoch: m.epoch, Sum: sum})
+	m.states[col][sector] = stateValid
+	m.sums[col][sector] = sum
+	m.mu[col].Unlock()
+}
+
+// FlushRange writes back the sidecar sectors covering data sectors
+// [start, start+count) of col. write receives the device-relative
+// meta sector index range start (the caller adds the data-region
+// size) and a snapshot of the covering region bytes; it performs the
+// actual vectored device write. The per-col flush lock guarantees
+// that when two flushes race on a shared meta sector, each write's
+// snapshot includes everything staged before it — the last writer
+// persists a superset.
+func (m *Manager) FlushRange(ctx context.Context, col, start, count int, write func(ctx context.Context, metaStart int, bufs [][]byte) error) error {
+	if count <= 0 {
+		return nil
+	}
+	first := start / m.perSector
+	last := (start + count - 1) / m.perSector
+	n := last - first + 1
+
+	m.flushMu[col].Lock()
+	defer m.flushMu[col].Unlock()
+
+	snap := make([]byte, n*m.sectorSize)
+	m.mu[col].RLock()
+	copy(snap, m.regions[col][first*m.sectorSize:(last+1)*m.sectorSize])
+	m.mu[col].RUnlock()
+
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = snap[i*m.sectorSize : (i+1)*m.sectorSize]
+	}
+	return write(ctx, first, bufs)
+}
+
+// Region returns a copy of col's full cached sidecar image (for a
+// whole-region writeback, e.g. after rebuilding a replaced device).
+func (m *Manager) Region(col int) []byte {
+	m.mu[col].Lock()
+	defer m.mu[col].Unlock()
+	out := make([]byte, len(m.regions[col]))
+	copy(out, m.regions[col])
+	return out
+}

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"stair/internal/core"
+)
+
+// This file is the store side of the end-to-end checksum layer: sidecar
+// region load at Open, record staging on every sector write (see
+// writeStripeCells / writeFullStripe in flush.go), and the covering
+// write-back that persists staged records through the same vectored
+// WriteSectors path as data.
+
+// loadIntegrityRegions reads every device's sidecar region into the
+// integrity manager at Open. Unreadable sidecar sectors (or a wholly
+// unreadable device) install as zeroes: their records decode as
+// Absent, so a lost sidecar can never fail good data — the scrubber
+// re-writes fresh records as it verifies stripes.
+func (s *Store) loadIntegrityRegions(ctx context.Context) {
+	ms := s.integ.MetaSectors()
+	for col := 0; col < s.n; col++ {
+		raw := make([]byte, ms*s.sectorSize)
+		bufs := make([][]byte, ms)
+		for i := range bufs {
+			bufs[i] = raw[i*s.sectorSize : (i+1)*s.sectorSize]
+		}
+		if err := s.devs[col].ReadSectors(ctx, s.dataSectors, bufs); err != nil {
+			if se, ok := AsSectorErrors(err); ok {
+				for _, e := range se {
+					if idx := e.Index - s.dataSectors; idx >= 0 && idx < ms {
+						clear(bufs[idx])
+					}
+				}
+			} else {
+				clear(raw)
+			}
+		}
+		s.integ.InstallRegion(col, raw)
+	}
+}
+
+// stageRecord stages a fresh checksum record for one just-written
+// sector. No-op when the integrity layer is off.
+func (s *Store) stageRecord(col, sector int, data []byte) {
+	if s.integ != nil {
+		s.integ.Update(col, sector, data)
+	}
+}
+
+// flushStripeMeta persists the staged records covering one stripe's
+// rows on the given columns — one vectored sidecar write per column.
+// Wholly failed devices are skipped (their records refresh on rebuild,
+// like their data). Device write errors other than context
+// cancellation are swallowed: a record that failed to land simply
+// stays stale on disk and resolves as a located mismatch → repair on a
+// later verified read, which is strictly safer than failing the
+// caller's flush over sidecar bytes.
+func (s *Store) flushStripeMeta(ctx context.Context, stripe int, cols []int) error {
+	if s.integ == nil {
+		return nil
+	}
+	start := s.devSector(stripe, 0)
+	for _, col := range cols {
+		if fd, ok := s.devs[col].(FaultDevice); ok && fd.Failed() {
+			continue
+		}
+		dev := s.devs[col]
+		err := s.integ.FlushRange(ctx, col, start, s.r, func(ctx context.Context, metaStart int, bufs [][]byte) error {
+			return dev.WriteSectors(ctx, s.dataSectors+metaStart, bufs)
+		})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return nil
+}
+
+// allCols lists every column index, for whole-stripe meta flushes.
+func (s *Store) allCols() []int {
+	cols := make([]int, s.n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// colsOf collects the distinct columns a cell set touches, ascending.
+func colsOf(cells []core.Cell) []int {
+	seen := make(map[int]bool, 4)
+	var cols []int
+	for _, c := range cells {
+		if !seen[c.Col] {
+			seen[c.Col] = true
+			cols = append(cols, c.Col)
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// IntegrityEnabled reports whether the checksum layer is on, and
+// whether it is actively verifying (as opposed to only maintaining
+// records, the STAIR_INTEGRITY=off mode).
+func (s *Store) IntegrityEnabled() (on, verifying bool) {
+	return s.integ != nil, s.integ != nil && s.integVerify
+}
+
+// Corrupter is the optional device capability behind silent-corruption
+// injection: flip payload bits *without* registering a fault, so the
+// device keeps serving the rotten bytes as if they were fine — the
+// failure mode drive ECC misses and only an end-to-end checksum
+// catches.
+type Corrupter interface {
+	CorruptSector(idx int) error
+}
+
+// CorruptSectorSilently flips one bit of a device sector's payload
+// without marking the sector bad (fault injection for the silent-
+// corruption threat model). The degraded cache is deliberately NOT
+// invalidated: silence is the point — no layer is told.
+func (s *Store) CorruptSectorSilently(dev, sector int) error {
+	if dev < 0 || dev >= len(s.devs) {
+		return fmt.Errorf("store: device %d out of range [0,%d)", dev, len(s.devs))
+	}
+	c, ok := s.devs[dev].(Corrupter)
+	if !ok {
+		return fmt.Errorf("store: device %d (%T) does not support silent corruption", dev, s.devs[dev])
+	}
+	return c.CorruptSector(sector)
+}

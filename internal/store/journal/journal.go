@@ -42,7 +42,14 @@ import (
 )
 
 const (
+	// kindIntent is the original intent record: per dirty block, an
+	// ordinal and a 64-bit content checksum (12 bytes per entry).
 	kindIntent = 1
+	// kindIntentV2 additionally carries each dirty block's end-to-end
+	// integrity digest (16 bytes per entry) — appended when the store's
+	// checksum layer is on, so replay can re-stage sidecar records a
+	// crash interrupted. Both kinds parse; a V1 log keeps working.
+	kindIntentV2 = 2
 
 	// maxRecordBytes bounds a record's declared payload size on scan, so
 	// a corrupt length prefix cannot make Open allocate gigabytes.
@@ -65,6 +72,11 @@ type Record struct {
 	// Sums holds Checksum() of each dirty block's new content, aligned
 	// with Ords.
 	Sums []uint64
+	// ISums, when non-nil (V2 records), holds each dirty block's salted
+	// end-to-end integrity digest (integrity.Sum), aligned with Ords —
+	// the checksum-update half of the intent, letting recovery re-stage
+	// sidecar records without recomputing trust from scratch.
+	ISums []uint32
 }
 
 // Checksum is the block-content checksum recorded in intents (FNV-1a,
@@ -169,25 +181,37 @@ func parseRecord(b []byte) (rec Record, kind byte, n int, ok bool) {
 		return rec, 0, 0, false
 	}
 	kind = payload[0]
-	if kind != kindIntent {
+	if kind != kindIntent && kind != kindIntentV2 {
 		return rec, 0, 0, false
+	}
+	entry := 12
+	if kind == kindIntentV2 {
+		entry = 16
 	}
 	rec.Seq = binary.LittleEndian.Uint64(payload[1:])
 	rec.Stripe = int(binary.LittleEndian.Uint64(payload[9:]))
 	nords := int(binary.LittleEndian.Uint32(payload[17:]))
-	if plen != 21+nords*12 {
+	if plen != 21+nords*entry {
 		return rec, 0, 0, false
 	}
 	for i := 0; i < nords; i++ {
-		rec.Ords = append(rec.Ords, int(binary.LittleEndian.Uint32(payload[21+i*12:])))
-		rec.Sums = append(rec.Sums, binary.LittleEndian.Uint64(payload[25+i*12:]))
+		rec.Ords = append(rec.Ords, int(binary.LittleEndian.Uint32(payload[21+i*entry:])))
+		rec.Sums = append(rec.Sums, binary.LittleEndian.Uint64(payload[25+i*entry:]))
+		if kind == kindIntentV2 {
+			rec.ISums = append(rec.ISums, binary.LittleEndian.Uint32(payload[33+i*entry:]))
+		}
 	}
 	return rec, kind, 4 + plen + 4, true
 }
 
-// encodeRecord frames one record for appending.
-func encodeRecord(kind byte, seq uint64, stripe int, ords []int, sums []uint64) []byte {
-	plen := 21 + len(ords)*12
+// encodeRecord frames one record for appending. isums non-nil selects
+// the V2 layout (16-byte entries carrying the integrity digest).
+func encodeRecord(kind byte, seq uint64, stripe int, ords []int, sums []uint64, isums []uint32) []byte {
+	entry := 12
+	if kind == kindIntentV2 {
+		entry = 16
+	}
+	plen := 21 + len(ords)*entry
 	out := make([]byte, 4+plen+4)
 	binary.LittleEndian.PutUint32(out, uint32(plen))
 	payload := out[4 : 4+plen]
@@ -196,8 +220,11 @@ func encodeRecord(kind byte, seq uint64, stripe int, ords []int, sums []uint64) 
 	binary.LittleEndian.PutUint64(payload[9:], uint64(stripe))
 	binary.LittleEndian.PutUint32(payload[17:], uint32(len(ords)))
 	for i, ord := range ords {
-		binary.LittleEndian.PutUint32(payload[21+i*12:], uint32(ord))
-		binary.LittleEndian.PutUint64(payload[25+i*12:], sums[i])
+		binary.LittleEndian.PutUint32(payload[21+i*entry:], uint32(ord))
+		binary.LittleEndian.PutUint64(payload[25+i*entry:], sums[i])
+		if kind == kindIntentV2 {
+			binary.LittleEndian.PutUint32(payload[33+i*entry:], isums[i])
+		}
 	}
 	binary.LittleEndian.PutUint32(out[4+plen:], crc32.ChecksumIEEE(payload))
 	return out
@@ -206,10 +233,19 @@ func encodeRecord(kind byte, seq uint64, stripe int, ords []int, sums []uint64) 
 // Append records one flush intent durably (the record is on stable
 // storage before Append returns — the WAL invariant: the intent
 // outlives a crash that interrupts any device write-back it covers).
-// It returns the sequence number Commit takes.
-func (j *Journal) Append(stripe int, ords []int, sums []uint64) (uint64, error) {
+// isums, when non-nil, must align with ords and selects the V2 record
+// carrying each block's end-to-end integrity digest; nil appends the
+// original V1 record. It returns the sequence number Commit takes.
+func (j *Journal) Append(stripe int, ords []int, sums []uint64, isums []uint32) (uint64, error) {
 	if len(ords) != len(sums) {
 		return 0, fmt.Errorf("journal: %d ords but %d sums", len(ords), len(sums))
+	}
+	kind := byte(kindIntent)
+	if isums != nil {
+		if len(isums) != len(ords) {
+			return 0, fmt.Errorf("journal: %d ords but %d isums", len(ords), len(isums))
+		}
+		kind = kindIntentV2
 	}
 	j.mu.Lock()
 	if j.f == nil {
@@ -217,7 +253,7 @@ func (j *Journal) Append(stripe int, ords []int, sums []uint64) (uint64, error) 
 		return 0, fmt.Errorf("journal: closed")
 	}
 	seq := j.nextSeq
-	rec := encodeRecord(kindIntent, seq, stripe, ords, sums)
+	rec := encodeRecord(kind, seq, stripe, ords, sums, isums)
 	if _, err := j.f.WriteAt(rec, j.off); err != nil {
 		j.mu.Unlock()
 		return 0, err
@@ -226,7 +262,8 @@ func (j *Journal) Append(stripe int, ords []int, sums []uint64) (uint64, error) 
 	target, tgen := j.off, j.gen
 	j.nextSeq = seq + 1
 	j.pending[seq] = Record{Seq: seq, Stripe: stripe,
-		Ords: append([]int(nil), ords...), Sums: append([]uint64(nil), sums...)}
+		Ords: append([]int(nil), ords...), Sums: append([]uint64(nil), sums...),
+		ISums: append([]uint32(nil), isums...)}
 	j.mu.Unlock()
 	if err := j.groupSync(tgen, target); err != nil {
 		return 0, err

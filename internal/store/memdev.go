@@ -121,6 +121,22 @@ func (d *MemDevice) InjectSectorError(idx int) error {
 	return nil
 }
 
+// CorruptSector flips one payload bit of a sector WITHOUT marking it
+// bad — silent corruption: reads keep succeeding and serve the rotten
+// bytes (the Corrupter capability).
+func (d *MemDevice) CorruptSector(idx int) error {
+	if err := checkExtent(d.sectors, idx, 1); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	d.data[idx*d.sectorSize] ^= 0x01
+	return nil
+}
+
 // BadSectors returns the latent-sector-error count.
 func (d *MemDevice) BadSectors() int { return d.badCount() }
 

@@ -115,7 +115,14 @@ func (s *Store) recoverJournal() error {
 // reported unrecoverable (and the journal retained) rather than
 // persisted as data.
 func (s *Store) recoverStripeLocked(ctx context.Context, sh *lockShard, stripe int, rec journal.Record, rep *RecoveryReport) {
-	st, lost, err := s.loadStripe(ctx, stripe)
+	// The load is deliberately raw (verify=false): right after a crash a
+	// sidecar checksum can legitimately lag the data it covers — the
+	// kill window between the data/parity writes and the sidecar write.
+	// Verifying here would misread that stale record as silent
+	// corruption and "repair" good data; instead, every successful
+	// replay outcome below re-stages fresh records for the whole stripe,
+	// resolving the lag from the journal.
+	st, lost, _, err := s.loadStripe(ctx, stripe, false)
 	if err != nil {
 		rep.Unrecoverable++
 		return
@@ -148,6 +155,7 @@ func (s *Store) recoverStripeLocked(ctx context.Context, sh *lockShard, stripe i
 		s.c.recoveredStripes.Add(1)
 		s.clearUnrecoverableLocked(sh, stripe)
 		s.cache.invalidate(stripe)
+		s.restageStripeMeta(ctx, stripe, st, rec)
 	}
 	if len(lostData) > 0 {
 		// Lost data can only come back through the (possibly broken)
@@ -182,6 +190,11 @@ func (s *Store) recoverStripeLocked(ctx context.Context, sh *lockShard, stripe i
 		}
 		if ok {
 			rep.Consistent++
+			// The stripe's content is proven good; its sidecar records
+			// may still predate the final (landed) writes — e.g. a crash
+			// right after the parity phase. Refresh them so the first
+			// verified read after reopen sees no false mismatch.
+			s.restageStripeMeta(ctx, stripe, st, rec)
 			return
 		}
 	}
@@ -193,6 +206,45 @@ func (s *Store) recoverStripeLocked(ctx context.Context, sh *lockShard, stripe i
 		return
 	}
 	rollForward()
+}
+
+// restageStripeMeta re-stages fresh sidecar records for every cell of
+// a stripe that replay just proved (or made) consistent, and persists
+// them. Blocks the intent covered whose content provably landed reuse
+// the digest the V2 intent carried; everything else is recomputed from
+// the stripe's (now authoritative) content. Cells on wholly failed
+// devices are skipped — their records refresh on rebuild, like their
+// data.
+func (s *Store) restageStripeMeta(ctx context.Context, stripe int, st *core.Stripe, rec journal.Record) {
+	if s.integ == nil {
+		return
+	}
+	fromIntent := map[core.Cell]uint32{}
+	if rec.ISums != nil {
+		for i, ord := range rec.Ords {
+			if ord < 0 || ord >= s.perStripe {
+				continue
+			}
+			cell := s.dataCells[ord]
+			if journal.Checksum(st.Sector(cell.Col, cell.Row)) == rec.Sums[i] {
+				fromIntent[cell] = rec.ISums[i]
+			}
+		}
+	}
+	for col := 0; col < s.n; col++ {
+		if fd, ok := s.devs[col].(FaultDevice); ok && fd.Failed() {
+			continue
+		}
+		for row := 0; row < s.r; row++ {
+			sec := s.devSector(stripe, row)
+			if isum, ok := fromIntent[core.Cell{Col: col, Row: row}]; ok {
+				s.integ.UpdateSum(col, sec, isum)
+			} else {
+				s.integ.Update(col, sec, st.Sector(col, row))
+			}
+		}
+	}
+	_ = s.flushStripeMeta(ctx, stripe, s.allCols())
 }
 
 // intentDataLanded reports whether every block the intent meant to

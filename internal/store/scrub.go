@@ -4,20 +4,44 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"stair/internal/core"
 )
 
 // ScrubReport summarises one scrub pass.
 type ScrubReport struct {
 	// StripesChecked counts stripes swept.
 	StripesChecked int
-	// StripesDamaged counts stripes found holding lost sectors.
+	// StripesDamaged counts stripes found holding lost sectors —
+	// fail-stop read errors and checksum-located silent corruption
+	// alike.
 	StripesDamaged int
 	// StripesQueued counts stripes newly handed to the repair queue
 	// (damaged stripes already queued, unrecoverable, or dropped by the
 	// bounded queue are not re-counted here).
 	StripesQueued int
-	// SectorsLost counts lost sectors seen across damaged stripes.
+	// SectorsLost counts fail-stop lost sectors (read errors) seen
+	// across damaged stripes; checksum-located liars are counted in
+	// ChecksumMismatches instead.
 	SectorsLost int
+	// ChecksumMismatches counts sectors that read fine but failed their
+	// integrity record — silent corruption *located* by the checksum
+	// layer, repairable as ordinary erasures.
+	ChecksumMismatches int
+	// StripesInconsistent counts stripes whose parity disagrees with
+	// their data while nothing is located — an unlocatable lie (silent
+	// corruption with integrity off, or damage beyond what the records
+	// cover). These are marked unrecoverable rather than guessed at:
+	// repairing without a location would fabricate content.
+	StripesInconsistent int
+	// StripesUnrecoverable counts stripes this pass found beyond the
+	// code's coverage (located damage exceeding it, or inconsistent
+	// with nothing located).
+	StripesUnrecoverable int
+	// RecordsRefreshed counts absent integrity records re-written for
+	// sectors a clean stripe proved good — how a replaced device's
+	// sidecar (or a pre-integrity volume's) heals over scrub passes.
+	RecordsRefreshed int
 }
 
 // pacer rations a scrub pass to a stripes/sec budget. A nil pacer is
@@ -67,15 +91,21 @@ func (p *pacer) wait(ctx context.Context) error {
 	}
 }
 
-// Scrub sweeps every stripe once, synchronously: it reads each chunk in
-// one vectored call per device (latent sector errors announce
-// themselves at access time under the fail-stop sector model), counts
-// damage, and feeds damaged stripes to the bounded repair queue. Use
-// Quiesce to wait for the resulting repairs to converge. Each stripe is
-// swept under its own shard lock, so reads, writes and repairs on other
-// stripes interleave with a sweep over a large volume. A cancelled ctx
-// aborts the pass mid-sweep — including an in-flight device wait — not
-// just between stripes.
+// Scrub sweeps every stripe once, synchronously: it loads each stripe
+// in one vectored call per device (latent sector errors announce
+// themselves at access time under the fail-stop sector model), verifies
+// every readable sector against its integrity record (when the layer is
+// on — a mismatch is a *located* silent corruption, repairable like any
+// erasure), cross-checks parity against data, counts damage, and feeds
+// repairable damaged stripes to the bounded repair queue. A stripe
+// whose located damage exceeds coverage — or whose parity disagrees
+// while nothing is located, the unlocatable-lie case — is marked
+// unrecoverable instead of guessed at. Use Quiesce to wait for the
+// resulting repairs to converge. Each stripe is swept under its own
+// shard lock, so reads, writes and repairs on other stripes interleave
+// with a sweep over a large volume. A cancelled ctx aborts the pass
+// mid-sweep — including an in-flight device wait — not just between
+// stripes.
 func (s *Store) Scrub(ctx context.Context) (ScrubReport, error) {
 	return s.scrub(ctx, nil)
 }
@@ -86,10 +116,6 @@ func (s *Store) scrub(ctx context.Context, pace *pacer) (ScrubReport, error) {
 		if err := fn(); err != nil {
 			return rep, err
 		}
-	}
-	bufs := make([][]byte, s.r)
-	for row := range bufs {
-		bufs[row] = make([]byte, s.sectorSize)
 	}
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		if err := pace.wait(ctx); err != nil {
@@ -103,37 +129,93 @@ func (s *Store) scrub(ctx context.Context, pace *pacer) (ScrubReport, error) {
 			sh.mu.Unlock()
 			return rep, ErrClosed
 		}
-		lost := 0
-		for col := 0; col < s.n; col++ {
-			err := s.devs[col].ReadSectors(ctx, s.devSector(stripe, 0), bufs)
-			if err == nil {
-				continue
-			}
-			if se, ok := AsSectorErrors(err); ok {
-				lost += len(se)
-				continue
-			}
-			if cerr := ctx.Err(); cerr != nil {
-				sh.mu.Unlock()
-				return rep, cerr
-			}
-			lost += s.r // whole chunk unreadable (failed device)
+		st, lost, mismatched, err := s.loadStripe(ctx, stripe, true)
+		if err != nil {
+			sh.mu.Unlock()
+			return rep, err
 		}
 		rep.StripesChecked++
 		s.c.scrubbedStripes.Add(1)
-		if lost > 0 {
+		switch {
+		case len(lost) > 0:
 			rep.StripesDamaged++
-			rep.SectorsLost += lost
+			rep.SectorsLost += len(lost) - len(mismatched)
+			rep.ChecksumMismatches += len(mismatched)
 			s.c.scrubHits.Add(1)
-			wasPending := sh.pending[stripe] || sh.unrecoverable[stripe]
-			s.enqueueRepairLocked(sh, stripe, lost)
-			if !wasPending && sh.pending[stripe] {
-				rep.StripesQueued++
+			// Located damage: coverage decides. One checksum-located liar
+			// repairs like any erasure; damage beyond coverage (e.g. two
+			// liars in a stripe protected for one) is refused rather than
+			// decoded into fabricated content.
+			if ok, cerr := s.code.CanRecover(lost); cerr == nil && !ok {
+				if !sh.unrecoverable[stripe] {
+					rep.StripesUnrecoverable++
+				}
+				s.markUnrecoverableLocked(sh, stripe)
+			} else {
+				wasPending := sh.pending[stripe] || sh.unrecoverable[stripe]
+				s.enqueueRepairLocked(sh, stripe, len(lost))
+				if !wasPending && sh.pending[stripe] {
+					rep.StripesQueued++
+				}
+			}
+		default:
+			// Nothing located: cross-check parity against data. A
+			// disagreement here is an unlocatable lie — some sector is
+			// wrong but no read error or checksum names it (integrity
+			// off, or damage in a sector whose record is absent) — so the
+			// stripe is marked, not "repaired": every choice of victim
+			// solves different equations into different garbage.
+			ok, verr := s.code.Verify(st)
+			switch {
+			case verr != nil:
+			case !ok:
+				rep.StripesInconsistent++
+				if !sh.unrecoverable[stripe] {
+					rep.StripesUnrecoverable++
+				}
+				s.markUnrecoverableLocked(sh, stripe)
+				s.c.scrubHits.Add(1)
+			case s.integ != nil:
+				// Clean stripe: re-write any absent integrity records —
+				// the stripe's content is proven good by parity, so this
+				// is how a replaced device's sidecar (or a volume
+				// predating the integrity layer) heals over passes.
+				rep.RecordsRefreshed += s.refreshStripeRecordsLocked(ctx, stripe, st)
 			}
 		}
 		sh.mu.Unlock()
 	}
 	return rep, nil
+}
+
+// refreshStripeRecordsLocked stages integrity records for any sector of
+// a proven-clean stripe that lacks one, persists the touched columns'
+// sidecars, and returns how many records it wrote. The caller holds the
+// stripe's shard mutex.
+func (s *Store) refreshStripeRecordsLocked(ctx context.Context, stripe int, st *core.Stripe) int {
+	refreshed := 0
+	var cols []int
+	for col := 0; col < s.n; col++ {
+		if fd, ok := s.devs[col].(FaultDevice); ok && fd.Failed() {
+			continue
+		}
+		touched := false
+		for row := 0; row < s.r; row++ {
+			sec := s.devSector(stripe, row)
+			if !s.integ.Has(col, sec) {
+				s.integ.Update(col, sec, st.Sector(col, row))
+				refreshed++
+				touched = true
+			}
+		}
+		if touched {
+			cols = append(cols, col)
+		}
+	}
+	if len(cols) > 0 {
+		_ = s.flushStripeMeta(ctx, stripe, cols)
+	}
+	return refreshed
 }
 
 // ScrubberOptions configures the background scrubber.

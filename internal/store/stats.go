@@ -46,16 +46,26 @@ type Stats struct {
 	// at Open: their parity disagreed with their data after a crash
 	// mid-write-back and was re-encoded from the on-device content.
 	RecoveredStripes uint64
+	// VerifiedSectors counts sectors whose payload was checked against
+	// a valid end-to-end integrity record and matched (zero when the
+	// integrity layer is off or not verifying).
+	VerifiedSectors uint64
+	// ChecksumMismatches counts sectors that read fine but failed their
+	// integrity record — silent corruption (or a misdirected/stale
+	// write) caught by the checksum layer and converted into a located
+	// erasure.
+	ChecksumMismatches uint64
 }
 
 // counters is the live atomic form of Stats.
 type counters struct {
-	reads, degradedReads, writes       atomic.Uint64
-	fullFlushes, subFlushes            atomic.Uint64
-	scrubbedStripes, scrubHits         atomic.Uint64
-	repairedStripes, repairedSectors   atomic.Uint64
-	repairDrops, unrecoverableStripes  atomic.Uint64
-	journaledFlushes, recoveredStripes atomic.Uint64
+	reads, degradedReads, writes        atomic.Uint64
+	fullFlushes, subFlushes             atomic.Uint64
+	scrubbedStripes, scrubHits          atomic.Uint64
+	repairedStripes, repairedSectors    atomic.Uint64
+	repairDrops, unrecoverableStripes   atomic.Uint64
+	journaledFlushes, recoveredStripes  atomic.Uint64
+	verifiedSectors, checksumMismatches atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -73,6 +83,8 @@ func (c *counters) snapshot() Stats {
 		UnrecoverableStripes: c.unrecoverableStripes.Load(),
 		JournaledFlushes:     c.journaledFlushes.Load(),
 		RecoveredStripes:     c.recoveredStripes.Load(),
+		VerifiedSectors:      c.verifiedSectors.Load(),
+		ChecksumMismatches:   c.checksumMismatches.Load(),
 		// DegradedCacheHits lives in the cache itself; Store.Stats
 		// fills it in.
 	}
@@ -99,5 +111,7 @@ func (s Stats) Add(o Stats) Stats {
 		DegradedCacheHits:    s.DegradedCacheHits + o.DegradedCacheHits,
 		JournaledFlushes:     s.JournaledFlushes + o.JournaledFlushes,
 		RecoveredStripes:     s.RecoveredStripes + o.RecoveredStripes,
+		VerifiedSectors:      s.VerifiedSectors + o.VerifiedSectors,
+		ChecksumMismatches:   s.ChecksumMismatches + o.ChecksumMismatches,
 	}
 }

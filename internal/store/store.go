@@ -44,12 +44,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"stair/internal/core"
+	"stair/internal/store/integrity"
 	"stair/internal/store/journal"
 )
 
@@ -115,6 +117,16 @@ type Config struct {
 	// slow devices cannot stack up unbounded CPU-heavy encodes. 0
 	// selects FlushWorkers (unbounded when the pipeline is off).
 	MaxInflightEncodes int
+	// Integrity, when non-nil, enables the end-to-end per-sector
+	// checksum layer (internal/store/integrity): every data and parity
+	// sector gets a CRC32C record — salted with its device address and
+	// the volume epoch, so misdirected and stale writes are caught too —
+	// persisted in a per-device sidecar region appended after the data
+	// sectors. Devices must then have Stripes×Code.R() +
+	// IntegrityMetaSectors(...) sectors. Reads, scrubs and recovery
+	// verify payloads against the records; a mismatch becomes a located
+	// erasure the decoder repairs.
+	Integrity *IntegrityOptions
 	// Journal, when non-nil, makes stripe write-back crash-consistent:
 	// every flush durably records an intent (stripe, dirty block
 	// ordinals, data checksums) before any device write, writes data
@@ -124,6 +136,37 @@ type Config struct {
 	// journal but does not close it; the caller owns its lifecycle and
 	// must close it only after Close returns.
 	Journal *journal.Journal
+}
+
+// IntegrityOptions configures the end-to-end checksum layer.
+type IntegrityOptions struct {
+	// Epoch is salted into every digest (and recorded alongside it), so
+	// records written under an older volume identity fail verification
+	// instead of vouching for stale data. Pick any stable value per
+	// volume generation; 0 is valid.
+	Epoch uint32
+	// DisableVerify keeps maintaining checksum records on writes but
+	// skips verification on reads and scrubs — the A/B escape hatch.
+	// The STAIR_INTEGRITY=off (or 0/false) environment variable forces
+	// it at Open.
+	DisableVerify bool
+}
+
+// IntegrityMetaSectors returns the per-device sidecar size, in sectors,
+// the integrity layer needs for a volume of the given geometry — the
+// amount to add to each device's Stripes×R data sectors.
+func IntegrityMetaSectors(stripes, r, sectorSize int) int {
+	return integrity.MetaSectors(stripes*r, sectorSize)
+}
+
+// integrityEnvOff reports whether the STAIR_INTEGRITY environment
+// variable disables verification.
+func integrityEnvOff() bool {
+	switch os.Getenv("STAIR_INTEGRITY") {
+	case "off", "0", "false":
+		return true
+	}
+	return false
 }
 
 // stripeBuf accumulates dirty data blocks of one stripe, indexed by data
@@ -154,6 +197,14 @@ type Store struct {
 
 	dataCells []core.Cell
 	perStripe int
+
+	// integ, when non-nil, is the end-to-end checksum layer; integVerify
+	// gates verification (false = maintain records, never check them).
+	// dataSectors is the per-device data region size (stripes×r) — the
+	// sidecar region starts there.
+	integ       *integrity.Manager
+	integVerify bool
+	dataSectors int
 
 	// sortedDataCells/parityCells/isDataCell pre-split the stripe's
 	// cells for the journaled two-phase (data, then parity) write-back.
@@ -235,6 +286,16 @@ func Open(cfg Config) (*Store, error) {
 			cfg.SectorSize, cfg.Code.Field().SymbolBytes())
 	}
 	n, r := cfg.Code.N(), cfg.Code.R()
+	// With integrity on, every device carries a sidecar region of
+	// checksum records after its data sectors.
+	wantSectors := cfg.Stripes * r
+	if cfg.Integrity != nil {
+		if cfg.SectorSize < integrity.RecordSize || cfg.SectorSize%integrity.RecordSize != 0 {
+			return nil, fmt.Errorf("store: SectorSize=%d must be a positive multiple of %d for integrity",
+				cfg.SectorSize, integrity.RecordSize)
+		}
+		wantSectors += IntegrityMetaSectors(cfg.Stripes, r, cfg.SectorSize)
+	}
 	devs := cfg.Devices
 	if devs == nil && cfg.DeviceFactory != nil {
 		devs = make([]Device, n)
@@ -252,16 +313,16 @@ func Open(cfg Config) (*Store, error) {
 	if devs == nil {
 		devs = make([]Device, n)
 		for i := range devs {
-			devs[i] = NewMemDevice(cfg.Stripes*r, cfg.SectorSize)
+			devs[i] = NewMemDevice(wantSectors, cfg.SectorSize)
 		}
 	}
 	if len(devs) != n {
 		return nil, fmt.Errorf("store: %d devices, want n=%d", len(devs), n)
 	}
 	for i, d := range devs {
-		if d.Sectors() != cfg.Stripes*r || d.SectorSize() != cfg.SectorSize {
+		if d.Sectors() != wantSectors || d.SectorSize() != cfg.SectorSize {
 			return nil, fmt.Errorf("store: device %d geometry %d×%d, want %d×%d",
-				i, d.Sectors(), d.SectorSize(), cfg.Stripes*r, cfg.SectorSize)
+				i, d.Sectors(), d.SectorSize(), wantSectors, cfg.SectorSize)
 		}
 	}
 	workers := cfg.Workers
@@ -317,6 +378,7 @@ func Open(cfg Config) (*Store, error) {
 		quit:       make(chan struct{}),
 		journal:    cfg.Journal,
 	}
+	s.dataSectors = cfg.Stripes * r
 	s.perStripe = len(s.dataCells)
 	s.idle = sync.NewCond(&s.stateMu)
 	s.flushIdle = sync.NewCond(&s.flushMu)
@@ -334,6 +396,18 @@ func Open(cfg Config) (*Store, error) {
 	}
 	if maxEncodes > 0 {
 		s.encodeSem = make(chan struct{}, maxEncodes)
+	}
+	// The sidecar regions load before journal replay: recovery re-stages
+	// fresh records for every stripe it touches, and verification after
+	// reopen must see the surviving records, not blanks.
+	if cfg.Integrity != nil {
+		integ, err := integrity.NewManager(n, s.dataSectors, cfg.SectorSize, cfg.Integrity.Epoch)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.integ = integ
+		s.integVerify = !cfg.Integrity.DisableVerify && !integrityEnvOff()
+		s.loadIntegrityRegions(context.Background())
 	}
 	// Recovery runs before any traffic — and before the flush pipeline
 	// exists — so the replay never races a concurrent flush.
@@ -571,40 +645,76 @@ func (s *Store) flushAll(ctx context.Context) error {
 }
 
 // loadStripe reads one stripe off the devices — one vectored call per
-// device; unreadable cells come back zeroed and listed in lost. The
-// returned error is non-nil only for context cancellation. The caller
-// holds the stripe's shard mutex, so the snapshot cannot interleave
-// with a same-stripe writer.
-func (s *Store) loadStripe(ctx context.Context, stripe int) (*core.Stripe, []core.Cell, error) {
-	st, _ := s.code.NewStripe(s.sectorSize)
-	var lost []core.Cell
+// device; unreadable cells come back zeroed and listed in lost. With
+// verify set (and the integrity layer on), sectors that read fine but
+// fail their checksum are *also* listed in lost — and, separately, in
+// mismatched — turning silent corruption into located erasures the
+// caller's decode repairs. Recovery passes verify=false: right after a
+// crash, a sidecar record can legitimately lag the data it covers
+// (the crash hit between the data write and the sidecar write), and
+// replay must resolve that from the journal, not report corruption.
+// The returned error is non-nil only for context cancellation. The
+// caller holds the stripe's shard mutex, so the snapshot cannot
+// interleave with a same-stripe writer.
+func (s *Store) loadStripe(ctx context.Context, stripe int, verify bool) (st *core.Stripe, lost, mismatched []core.Cell, err error) {
+	st, _ = s.code.NewStripe(s.sectorSize)
 	bufs := make([][]byte, s.r)
+	verify = verify && s.integ != nil && s.integVerify
+	var lostRow []bool
+	if verify {
+		lostRow = make([]bool, s.r)
+	}
 	for col := 0; col < s.n; col++ {
 		for row := range bufs {
 			bufs[row] = st.Sector(col, row)
 		}
-		err := s.devs[col].ReadSectors(ctx, s.devSector(stripe, 0), bufs)
-		if err == nil {
-			continue
-		}
-		if se, ok := AsSectorErrors(err); ok {
-			// The vectored read names exactly the lost sectors; the
-			// rest of the chunk is good and stays.
-			for _, e := range se {
-				lost = append(lost, core.Cell{Col: col, Row: e.Index - stripe*s.r})
+		if verify {
+			for row := range lostRow {
+				lostRow[row] = false
 			}
+		}
+		rerr := s.devs[col].ReadSectors(ctx, s.devSector(stripe, 0), bufs)
+		if rerr != nil {
+			if se, ok := AsSectorErrors(rerr); ok {
+				// The vectored read names exactly the lost sectors; the
+				// rest of the chunk is good and stays.
+				for _, e := range se {
+					row := e.Index - stripe*s.r
+					lost = append(lost, core.Cell{Col: col, Row: row})
+					if verify {
+						lostRow[row] = true
+					}
+				}
+			} else if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, nil, cerr
+			} else {
+				// Whole-call failure (failed device, transport down):
+				// every cell of this chunk is lost.
+				for row := 0; row < s.r; row++ {
+					lost = append(lost, core.Cell{Col: col, Row: row})
+				}
+				continue
+			}
+		}
+		if !verify {
 			continue
 		}
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, nil, cerr
-		}
-		// Whole-call failure (failed device, transport down): every
-		// cell of this chunk is lost.
 		for row := 0; row < s.r; row++ {
-			lost = append(lost, core.Cell{Col: col, Row: row})
+			if lostRow[row] {
+				continue
+			}
+			switch s.integ.Verify(col, s.devSector(stripe, row), st.Sector(col, row)) {
+			case integrity.OK:
+				s.c.verifiedSectors.Add(1)
+			case integrity.Mismatch:
+				cell := core.Cell{Col: col, Row: row}
+				lost = append(lost, cell)
+				mismatched = append(mismatched, cell)
+				s.c.checksumMismatches.Add(1)
+			}
 		}
 	}
-	return st, lost, nil
+	return st, lost, mismatched, nil
 }
 
 // ReadBlock returns one logical block. Buffered (not yet flushed) writes
@@ -635,8 +745,24 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	}
 	out := make([]byte, s.sectorSize)
 	if err := ReadSector(ctx, s.devs[cell.Col], s.devSector(stripe, cell.Row), out); err == nil {
-		s.c.reads.Add(1)
-		return out, nil
+		mismatch := false
+		if s.integ != nil && s.integVerify {
+			switch s.integ.Verify(cell.Col, s.devSector(stripe, cell.Row), out) {
+			case integrity.OK:
+				s.c.verifiedSectors.Add(1)
+			case integrity.Mismatch:
+				// The sector read fine but its checksum disagrees:
+				// silent corruption (or a misdirected/stale write). Fall
+				// into the degraded path below, which re-detects it as a
+				// located erasure, repairs the stripe, and queues a
+				// write-back with a fresh record.
+				mismatch = true
+			}
+		}
+		if !mismatch {
+			s.c.reads.Add(1)
+			return out, nil
+		}
 	} else if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
@@ -665,7 +791,7 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	// Rebuild the lost cells of the whole stripe via the upstairs fast
 	// path and serve the request from the reconstruction.
 	epoch := s.cache.snapshotEpoch()
-	st, lost, err := s.loadStripe(ctx, stripe)
+	st, lost, _, err := s.loadStripe(ctx, stripe, true)
 	if err != nil {
 		return nil, err
 	}
@@ -827,7 +953,7 @@ func (s *Store) repairStripeLocked(ctx context.Context, sh *lockShard, stripe in
 	if sh.unrecoverable[stripe] {
 		return false
 	}
-	st, lost, err := s.loadStripe(ctx, stripe)
+	st, lost, _, err := s.loadStripe(ctx, stripe, true)
 	if err != nil {
 		return false
 	}
@@ -848,6 +974,10 @@ func (s *Store) repairStripeLocked(ctx context.Context, sh *lockShard, stripe in
 	wrote, failed, err := s.writeStripeCells(ctx, stripe, st, writable)
 	if wrote > 0 {
 		s.c.repairedSectors.Add(uint64(wrote))
+		// The repaired sectors' fresh records (staged by the write) go
+		// durable now, so a scrub right after the repair sees a clean
+		// stripe instead of re-flagging it.
+		_ = s.flushStripeMeta(ctx, stripe, colsOf(writable))
 	}
 	if err != nil {
 		// Cancelled mid-write-back: whatever landed is already counted;

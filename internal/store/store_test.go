@@ -64,7 +64,7 @@ func checkStripesConsistent(t testing.TB, s *Store) {
 	for stripe := 0; stripe < s.stripes; stripe++ {
 		sh := s.shard(stripe)
 		sh.mu.Lock()
-		st, lost, err := s.loadStripe(bg, stripe)
+		st, lost, _, err := s.loadStripe(bg, stripe, false)
 		sh.mu.Unlock()
 		if err != nil {
 			t.Fatalf("stripe %d: %v", stripe, err)
