@@ -60,6 +60,7 @@ func BenchmarkFig9EncodeMethods(b *testing.B) {
 		for _, m := range []core.Method{core.MethodUpstairs, core.MethodDownstairs, core.MethodStandard} {
 			b.Run(fmt.Sprintf("e=%v/%v", e, m), func(b *testing.B) {
 				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := c.EncodeWith(st, m); err != nil {
 						b.Fatal(err)
@@ -81,6 +82,7 @@ func BenchmarkEncodeByKernel(b *testing.B) {
 	st := benchStripe(b, c, benchStripeBytes)
 	b.Run("kernel="+c.KernelName(), func(b *testing.B) {
 		b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := c.Encode(st); err != nil {
 				b.Fatal(err)
@@ -100,6 +102,7 @@ func BenchmarkFig11Encode(b *testing.B) {
 				c := benchCode(b, core.Config{N: n, R: 16, M: m, E: e})
 				st := benchStripe(b, c, benchStripeBytes)
 				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := c.Encode(st); err != nil {
@@ -121,6 +124,7 @@ func BenchmarkFig11Encode(b *testing.B) {
 					rng.Read(cells[i])
 				}
 				b.SetBytes(int64(sector * n * 16))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := c.Encode(cells); err != nil {
@@ -140,6 +144,7 @@ func BenchmarkFig12StripeSize(b *testing.B) {
 		st := benchStripe(b, c, size)
 		b.Run(fmt.Sprintf("stripe=%dKB", size>>10), func(b *testing.B) {
 			b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := c.Encode(st); err != nil {
 					b.Fatal(err)
@@ -173,6 +178,7 @@ func BenchmarkFig13Decode(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("n=%d/m=%d", n, m), func(b *testing.B) {
 				b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := c.Repair(st, lost); err != nil {
 						b.Fatal(err)
@@ -198,6 +204,7 @@ func BenchmarkFig13DeviceOnlyDecode(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(st.SectorSize * c.N() * c.R()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Repair(st, lost); err != nil {
@@ -220,6 +227,7 @@ func BenchmarkFig14Update(b *testing.B) {
 		cell := c.DataCells()[0]
 		b.Run(fmt.Sprintf("e=%v", e), func(b *testing.B) {
 			b.SetBytes(int64(st.SectorSize))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := c.Update(st, cell, buf); err != nil {
 					b.Fatal(err)
@@ -235,6 +243,7 @@ func BenchmarkFig17MTTDL(b *testing.B) {
 	p := reliability.DefaultParams()
 	model := reliability.Independent{Psec: reliability.PsecFromPbit(1e-12, p.SectorSize), Rval: p.R}
 	spec := reliability.CodeSpec{Kind: "stair", E: []int{1, 2}}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reliability.SystemMTTDL(p, spec, model)
 	}
@@ -250,6 +259,7 @@ func BenchmarkFig19Correlated(b *testing.B) {
 	}
 	model := reliability.Correlated{Psec: reliability.PsecFromPbit(1e-12, p.SectorSize), Dist: dist}
 	spec := reliability.CodeSpec{Kind: "stair", E: []int{12}}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reliability.SystemMTTDL(p, spec, model)
 	}
@@ -258,6 +268,7 @@ func BenchmarkFig19Correlated(b *testing.B) {
 // BenchmarkScheduleBuild: one-time construction cost (New compiles the
 // upstairs/downstairs/standard schedules).
 func BenchmarkScheduleBuild(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.New(core.Config{N: 16, R: 16, M: 2, E: []int{1, 1, 2}}); err != nil {
 			b.Fatal(err)
@@ -280,6 +291,7 @@ func BenchmarkDecodeScheduleBuild(b *testing.B) {
 	if err := c.Encode(st); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Fresh code each round would re-measure construction; instead
@@ -327,6 +339,7 @@ func BenchmarkStoreWriteSeq(b *testing.B) {
 	buf := make([]byte, s.BlockSize())
 	rand.New(rand.NewSource(10)).Read(buf)
 	b.SetBytes(int64(s.Blocks() * s.BlockSize()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for blk := 0; blk < s.Blocks(); blk++ {
@@ -347,6 +360,7 @@ func BenchmarkStoreSubStripeWrite(b *testing.B) {
 	buf := make([]byte, s.BlockSize())
 	rand.New(rand.NewSource(11)).Read(buf)
 	b.SetBytes(int64(s.BlockSize()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.WriteBlock(benchCtx, i%s.Blocks(), buf); err != nil {
@@ -370,11 +384,14 @@ func BenchmarkStoreRead(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(s.BlockSize()))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
+				buf, err := s.ReadBlock(benchCtx, i%s.Blocks())
+				if err != nil {
 					b.Fatal(err)
 				}
+				s.ReleaseBlock(buf)
 			}
 		})
 	}
@@ -386,15 +403,18 @@ func BenchmarkStoreRead(b *testing.B) {
 func BenchmarkStoreReadConcurrent(b *testing.B) {
 	s := benchStore(b, 8)
 	b.SetBytes(int64(s.BlockSize()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := rand.Int()
 		for pb.Next() {
 			i++
-			if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
+			buf, err := s.ReadBlock(benchCtx, i%s.Blocks())
+			if err != nil {
 				b.Error(err)
 				return
 			}
+			s.ReleaseBlock(buf)
 		}
 	})
 }
@@ -408,11 +428,56 @@ func BenchmarkStoreDegradedReadCached(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(s.BlockSize()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.ReadBlock(benchCtx, i%s.Blocks()); err != nil {
+		buf, err := s.ReadBlock(benchCtx, i%s.Blocks())
+		if err != nil {
 			b.Fatal(err)
 		}
+		s.ReleaseBlock(buf)
+	}
+}
+
+// BenchmarkStoreReadBlockSteady: the healthy per-block read fast path in
+// steady state — one vectored device read into a caller-owned buffer.
+// With the zero-copy stripe memory this path performs no heap
+// allocations at all (the allocs/op column is the regression guard; see
+// TestAllocRegressionGuard).
+func BenchmarkStoreReadBlockSteady(b *testing.B) {
+	s := benchStore(b, 4)
+	dst := make([]byte, s.BlockSize())
+	b.SetBytes(int64(s.BlockSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReadBlockInto(benchCtx, i%s.Blocks(), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreWriteBlockSteady: sequential full-stripe writes in
+// steady state — blocks land in pooled slab-backed stripe buffers, full
+// buffers flush with an in-place encode and contiguous per-device
+// writes. Per-block allocations amortise to zero: the remaining
+// per-flush bookkeeping (journal intent, cell partitions) is shared by
+// a whole stripe's worth of blocks.
+func BenchmarkStoreWriteBlockSteady(b *testing.B) {
+	s := benchStore(b, 4)
+	buf := make([]byte, s.BlockSize())
+	rand.New(rand.NewSource(12)).Read(buf)
+	b.SetBytes(int64(s.BlockSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteBlock(benchCtx, i%s.Blocks(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := s.Flush(benchCtx); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -421,6 +486,7 @@ func BenchmarkStoreDegradedReadCached(b *testing.B) {
 func BenchmarkStoreScrubRepair(b *testing.B) {
 	s := benchStore(b, 4)
 	_, stripes, r, _ := s.Geometry()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

@@ -68,8 +68,32 @@ type storeBenchResult struct {
 	// MiBps is user-data throughput in MiB/s (raw stripe bytes for the
 	// scrub scenario).
 	MiBps float64 `json:"mib_per_s"`
+	// AllocsPerOp and BytesPerOp are heap allocations (count and bytes)
+	// amortised per block-sized unit of the scenario's work — the
+	// steady-state figure the slab arena and buffer pool are meant to
+	// hold at ~0 for the healthy read and full-stripe write paths.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// Note documents what the scenario exercises.
 	Note string `json:"note,omitempty"`
+}
+
+// measureAllocs runs op once and reports heap allocations amortised
+// over ops block-sized units of work. Counter deltas, not GC-dependent
+// heap sizes, so no explicit GC is needed; the store is quiescent
+// between scenarios, so the deltas belong to the measured op.
+func measureAllocs(ops int, op func() error) (allocsPerOp, bytesPerOp float64) {
+	if ops <= 0 {
+		ops = 1
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := op(); err != nil {
+		return 0, 0
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
 }
 
 type storeBenchReport struct {
@@ -133,9 +157,11 @@ func runStore(o options) error {
 	}
 	readAll := func(s *store.Store) error {
 		for b := 0; b < s.Blocks(); b++ {
-			if _, err := s.ReadBlock(ctx, b); err != nil {
+			buf, err := s.ReadBlock(ctx, b)
+			if err != nil {
 				return err
 			}
+			s.ReleaseBlock(buf)
 		}
 		return nil
 	}
@@ -160,7 +186,10 @@ func runStore(o options) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", op, err)
 		}
-		results = append(results, storeBenchResult{Op: op, MiBps: mibps, Note: note})
+		allocs, allocBytes := measureAllocs(bytes/sector, fn)
+		results = append(results, storeBenchResult{
+			Op: op, MiBps: mibps, AllocsPerOp: allocs, BytesPerOp: allocBytes, Note: note,
+		})
 		return nil
 	}
 
@@ -278,8 +307,10 @@ func runStore(o options) error {
 			}
 		}
 	}
+	wAllocs, wBytes := measureAllocs(userBytes/sector, func() error { return fill(integStores[1]) })
 	results = append(results, storeBenchResult{
 		Op: "write-seq-integrity-verified", MiBps: writeMiBps[1],
+		AllocsPerOp: wAllocs, BytesPerOp: wBytes,
 		Note: fmt.Sprintf("sequential fill with record upkeep (baseline %.1f MiB/s)", writeMiBps[0]),
 	})
 	for i, op := range integOps {
@@ -287,7 +318,11 @@ func runStore(o options) error {
 		if i > 0 && best[0] > 0 {
 			note += fmt.Sprintf(" (%.1f%% vs paired baseline)", (best[0]-best[i])/best[0]*100)
 		}
-		results = append(results, storeBenchResult{Op: op.op, MiBps: best[i], Note: note})
+		is := integStores[i]
+		rAllocs, rBytes := measureAllocs(userBytes/sector, func() error { return readAll(is) })
+		results = append(results, storeBenchResult{
+			Op: op.op, MiBps: best[i], AllocsPerOp: rAllocs, BytesPerOp: rBytes, Note: note,
+		})
 	}
 
 	// Concurrent load over disjoint stripe ranges: the same operation on
@@ -360,9 +395,11 @@ func runStore(o options) error {
 			func() error {
 				return split(loadWorkers, func(stripe int) error {
 					for ord := 0; ord < perStripe; ord++ {
-						if _, err := cs.ReadBlock(ctx, stripe*perStripe+ord); err != nil {
+						buf, err := cs.ReadBlock(ctx, stripe*perStripe+ord)
+						if err != nil {
 							return err
 						}
+						cs.ReleaseBlock(buf)
 					}
 					return nil
 				})
@@ -445,9 +482,11 @@ func runStore(o options) error {
 					return err
 				}
 				for _, b := range deadBlocks {
-					if _, err := ls.ReadBlock(ctx, b); err != nil {
+					buf, err := ls.ReadBlock(ctx, b)
+					if err != nil {
 						return err
 					}
+					ls.ReleaseBlock(buf)
 				}
 				return nil
 			}); err != nil {
@@ -499,9 +538,9 @@ func runStore(o options) error {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "op\tMiB/s\tnote\n")
+	fmt.Fprintf(w, "op\tMiB/s\tallocs/op\tB/op\tnote\n")
 	for _, res := range results {
-		fmt.Fprintf(w, "%s\t%.1f\t%s\n", res.Op, res.MiBps, res.Note)
+		fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.0f\t%s\n", res.Op, res.MiBps, res.AllocsPerOp, res.BytesPerOp, res.Note)
 	}
 	w.Flush()
 

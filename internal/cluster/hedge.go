@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stair/internal/store"
+	"stair/internal/store/mem"
 )
 
 // HedgeConfig tunes hedged column reads.
@@ -121,14 +122,20 @@ func usable(err error) bool {
 	return ok
 }
 
-// scratchFor builds a private buffer set shaped like bufs.
-func scratchFor(bufs [][]byte, sectorSize int) [][]byte {
-	flat := make([]byte, len(bufs)*sectorSize)
+// scratchFor builds a private, pool-backed buffer set shaped like bufs
+// and returns its backing flat. The flat goes back to the pool only
+// when the racer that owns it has delivered its result over a live
+// context; an abandoned racer (caller returned first, or context died)
+// keeps referencing its scratch, so that flat is left to the GC
+// instead — recycling it would let the straggler scribble over
+// unrelated data.
+func scratchFor(bufs [][]byte, sectorSize int) ([][]byte, []byte) {
+	flat := mem.Acquire(len(bufs) * sectorSize)
 	out := make([][]byte, len(bufs))
 	for i := range out {
 		out[i] = flat[i*sectorSize : (i+1)*sectorSize]
 	}
-	return out
+	return out, flat
 }
 
 func copyOut(dst, src [][]byte) {
@@ -164,7 +171,7 @@ func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte
 		delay = h.cfg.MaxDelay
 	}
 
-	primaryBufs := scratchFor(bufs, h.SectorSize())
+	primaryBufs, primaryFlat := scratchFor(bufs, h.SectorSize())
 	primary := make(chan error, 1)
 	begin := time.Now()
 	go func() { primary <- h.column.ReadSectors(ctx, start, primaryBufs) }()
@@ -177,8 +184,12 @@ func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte
 			h.tracker.record(time.Since(begin))
 			copyOut(bufs, primaryBufs)
 		}
+		if ctx.Err() == nil {
+			mem.Release(primaryFlat)
+		}
 		return err
 	case <-ctx.Done():
+		// The primary racer is still running; its scratch stays with it.
 		return ctx.Err()
 	case <-timer.C:
 	}
@@ -187,10 +198,14 @@ func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte
 	h.v.counters.hedgesLaunched.Add(1)
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
-	hedgeBufs := scratchFor(bufs, h.SectorSize())
+	hedgeBufs, hedgeFlat := scratchFor(bufs, h.SectorSize())
 	hedge := make(chan error, 1)
 	go func() { hedge <- h.v.reconstructExtent(hctx, h.idx, start, hedgeBufs) }()
 
+	// Each racer's scratch is released in the arm that receives its
+	// result (the racer no longer references it); the loser still in
+	// flight when the caller returns keeps its flat, which falls to the
+	// GC.
 	var primErr error
 	primDone, hedgeDone := false, false
 	for {
@@ -201,7 +216,13 @@ func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte
 			if usable(err) {
 				h.v.counters.hedgeLosses.Add(1)
 				copyOut(bufs, primaryBufs)
+				if ctx.Err() == nil {
+					mem.Release(primaryFlat)
+				}
 				return err
+			}
+			if ctx.Err() == nil {
+				mem.Release(primaryFlat)
 			}
 			primErr = err
 		case err := <-hedge:
@@ -209,9 +230,15 @@ func (h *hedgedColumn) ReadSectors(ctx context.Context, start int, bufs [][]byte
 			if err == nil {
 				h.v.counters.hedgeWins.Add(1)
 				copyOut(bufs, hedgeBufs)
+				if hctx.Err() == nil {
+					mem.Release(hedgeFlat)
+				}
 				return nil
 			}
 			h.v.counters.hedgeFails.Add(1)
+			if hctx.Err() == nil {
+				mem.Release(hedgeFlat)
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}

@@ -96,7 +96,10 @@ type Code struct {
 	tempSlot  []int32
 	tempCount int
 
-	scratch sync.Pool // *[]byte buffers of tempCount × sectorSize
+	scratch    sync.Pool // *[]byte buffers of tempCount × sectorSize
+	cellsPool  sync.Pool // *[][]byte environments of rows × cols cells
+	fanPool    sync.Pool // *[][]byte fused-kernel destination vectors
+	stripePool sync.Pool // *Stripe whole-stripe scratch (Verify)
 
 	decodeMu    sync.Mutex
 	decodeCache map[string]*plan // nil entry = proven unrecoverable

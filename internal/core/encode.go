@@ -10,7 +10,11 @@ import (
 // temporaries with pooled scratch memory. release returns the scratch to
 // the pool.
 func (c *Code) env(st *Stripe) (cells [][]byte, release func()) {
-	cells = make([][]byte, c.rows*c.cols)
+	if v := c.cellsPool.Get(); v != nil {
+		cells = *(v.(*[][]byte))
+	} else {
+		cells = make([][]byte, c.rows*c.cols)
+	}
 	for col := 0; col < c.n; col++ {
 		for row := 0; row < c.r; row++ {
 			cells[c.cellIdx(row, col)] = st.Cells[col*c.r+row]
@@ -24,7 +28,7 @@ func (c *Code) env(st *Stripe) (cells [][]byte, release func()) {
 		}
 	}
 	if c.tempCount == 0 {
-		return cells, func() {}
+		return cells, func() { c.releaseEnv(cells) }
 	}
 	need := c.tempCount * st.SectorSize
 	var buf []byte
@@ -43,7 +47,17 @@ func (c *Code) env(st *Stripe) (cells [][]byte, release func()) {
 			cells[idx] = buf[off : off+st.SectorSize : off+st.SectorSize]
 		}
 	}
-	return cells, func() { c.scratch.Put(&buf) }
+	return cells, func() {
+		c.scratch.Put(&buf)
+		c.releaseEnv(cells)
+	}
+}
+
+// releaseEnv clears the environment (so pooled slabs are not pinned)
+// and returns the cell vector to the pool.
+func (c *Code) releaseEnv(cells [][]byte) {
+	clear(cells)
+	c.cellsPool.Put(&cells)
 }
 
 // run executes a schedule over the environment. Each op overwrites its
@@ -61,6 +75,19 @@ func (c *Code) run(sch *schedule, cells [][]byte) {
 			c.f.MultXOR(dst, cells[t.src], t.coeff)
 		}
 	}
+}
+
+// acquireScratchStripe returns a pooled whole-stripe scratch. Contents
+// are unspecified; the caller must overwrite every cell it reads. The
+// sector size is already validated by the caller's validateStripe.
+func (c *Code) acquireScratchStripe(sectorSize int) *Stripe {
+	if v := c.stripePool.Get(); v != nil {
+		if sc := v.(*Stripe); sc.SectorSize == sectorSize {
+			return sc
+		}
+	}
+	sc, _ := c.NewStripe(sectorSize)
+	return sc
 }
 
 // scheduleFor resolves a method to its schedule.
@@ -100,14 +127,22 @@ func (c *Code) EncodeWith(st *Stripe, m Method) error {
 	return nil
 }
 
-// Verify re-encodes the stripe's data into scratch and reports whether
-// every stored parity cell matches. It is the scrub primitive used by the
-// array simulator.
+// Verify re-encodes the stripe's data into pooled scratch and reports
+// whether every stored parity cell matches. It is the scrub primitive
+// used by the array simulator; the scratch stripe is recycled across
+// calls so a volume-wide scrub does not clone every stripe it visits.
 func (c *Code) Verify(st *Stripe) (bool, error) {
 	if err := c.validateStripe(st); err != nil {
 		return false, err
 	}
-	clone := st.Clone()
+	clone := c.acquireScratchStripe(st.SectorSize)
+	defer c.stripePool.Put(clone)
+	// Only the data cells feed the re-encode; Encode overwrites every
+	// parity cell, so stale scratch contents are harmless.
+	for _, idx := range c.dataCells {
+		row, col := c.cellRC(idx)
+		copy(clone.Sector(col, row), st.Sector(col, row))
+	}
 	if err := c.Encode(clone); err != nil {
 		return false, err
 	}

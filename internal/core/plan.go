@@ -239,7 +239,19 @@ func (c *Code) runPlan(p *plan, cells [][]byte) {
 			break
 		}
 	}
-	dstbuf := make([][]byte, p.maxFan)
+	var dstbuf [][]byte
+	if v := c.fanPool.Get(); v != nil {
+		if b := *(v.(*[][]byte)); cap(b) >= p.maxFan {
+			dstbuf = b[:p.maxFan]
+		}
+	}
+	if dstbuf == nil {
+		dstbuf = make([][]byte, p.maxFan)
+	}
+	defer func() {
+		clear(dstbuf)
+		c.fanPool.Put(&dstbuf)
+	}()
 	for lo := 0; lo < size; lo += c.planTile {
 		hi := lo + c.planTile
 		if hi > size {

@@ -22,17 +22,38 @@ func (c *Code) NewStripe(sectorSize int) (*Stripe, error) {
 	if sectorSize <= 0 || sectorSize%c.f.SymbolBytes() != 0 {
 		return nil, fmt.Errorf("core: sector size %d must be a positive multiple of %d", sectorSize, c.f.SymbolBytes())
 	}
+	return c.StripeOver(make([]byte, c.SlabSize(sectorSize)), sectorSize)
+}
+
+// SlabSize returns the byte length of the contiguous slab backing one
+// stripe's cells: n·r sectors, chunk-major.
+func (c *Code) SlabSize(sectorSize int) int { return c.n * c.r * sectorSize }
+
+// StripeOver builds a stripe view over a caller-owned slab of exactly
+// SlabSize(sectorSize) bytes, chunk-major: cell (col, row) occupies
+// backing[(col·R+row)·sectorSize : ...]. Cells are sliced without a
+// capacity cap, so consumers can detect that the R rows of one chunk
+// tile a contiguous region of the slab and elide scratch copies (the
+// store's flat-span device fast paths). The caller keeps ownership of
+// backing: a pooled slab must stay alive — and unreleased — for the
+// stripe's whole lifetime.
+func (c *Code) StripeOver(backing []byte, sectorSize int) (*Stripe, error) {
+	if sectorSize <= 0 || sectorSize%c.f.SymbolBytes() != 0 {
+		return nil, fmt.Errorf("core: sector size %d must be a positive multiple of %d", sectorSize, c.f.SymbolBytes())
+	}
+	if len(backing) != c.SlabSize(sectorSize) {
+		return nil, fmt.Errorf("core: slab is %d bytes, want %d", len(backing), c.SlabSize(sectorSize))
+	}
 	st := &Stripe{N: c.n, R: c.r, SectorSize: sectorSize}
-	backing := make([]byte, c.n*c.r*sectorSize)
 	st.Cells = make([][]byte, c.n*c.r)
 	for i := range st.Cells {
-		st.Cells[i] = backing[i*sectorSize : (i+1)*sectorSize : (i+1)*sectorSize]
+		st.Cells[i] = backing[i*sectorSize : (i+1)*sectorSize]
 	}
 	if c.placement == Outside {
 		gBacking := make([]byte, c.s*sectorSize)
 		st.Globals = make([][]byte, c.s)
 		for i := range st.Globals {
-			st.Globals[i] = gBacking[i*sectorSize : (i+1)*sectorSize : (i+1)*sectorSize]
+			st.Globals[i] = gBacking[i*sectorSize : (i+1)*sectorSize]
 		}
 	}
 	return st, nil

@@ -37,6 +37,12 @@ type stripeCache struct {
 	// purge (device fail/replace, which runs without shard locks)
 	// cannot re-insert pre-fault state the purge meant to drop.
 	epoch uint64
+	// release returns a stripe's pooled slab once the cache drops it
+	// (eviction, invalidation, a rejected or superseded putAt). putAt
+	// takes ownership of every stripe handed to it, accepted or not.
+	// Readers copy sectors out under mu, and release only runs under
+	// mu, so a released slab can never be read through the cache.
+	release func(*core.Stripe)
 }
 
 type cacheEntry struct {
@@ -44,7 +50,7 @@ type cacheEntry struct {
 	st     *core.Stripe
 }
 
-func newStripeCache(capacity int) *stripeCache {
+func newStripeCache(capacity int, release func(*core.Stripe)) *stripeCache {
 	if capacity <= 0 {
 		return nil
 	}
@@ -52,25 +58,26 @@ func newStripeCache(capacity int) *stripeCache {
 		cap:     capacity,
 		lru:     list.New(),
 		entries: make(map[int]*list.Element, capacity),
+		release: release,
 	}
 }
 
-// block returns a copy of the cached reconstruction's sector for cell,
-// or nil on a miss (or a disabled cache).
-func (c *stripeCache) block(stripe int, cell core.Cell) []byte {
+// blockInto copies the cached reconstruction's sector for cell into
+// dst, reporting false on a miss (or a disabled cache).
+func (c *stripeCache) blockInto(stripe int, cell core.Cell, dst []byte) bool {
 	if c == nil {
-		return nil
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el := c.entries[stripe]
 	if el == nil {
-		return nil
+		return false
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
-	sec := el.Value.(*cacheEntry).st.Sector(cell.Col, cell.Row)
-	return append([]byte(nil), sec...)
+	copy(dst, el.Value.(*cacheEntry).st.Sector(cell.Col, cell.Row))
+	return true
 }
 
 // snapshotEpoch returns the current invalidation epoch; capture it
@@ -85,10 +92,11 @@ func (c *stripeCache) snapshotEpoch() uint64 {
 }
 
 // putAt inserts (or refreshes) a stripe's reconstruction, evicting the
-// least recently used entry past capacity. The caller must not mutate
-// st afterwards. The insert is dropped when any invalidation happened
-// since epoch was snapshotted — the reconstruction may predate a
-// failure-pattern change.
+// least recently used entry past capacity. putAt takes ownership of st:
+// the caller must not touch it afterwards, whether the insert is
+// accepted, superseding, or dropped. The insert is dropped when any
+// invalidation happened since epoch was snapshotted — the
+// reconstruction may predate a failure-pattern change.
 func (c *stripeCache) putAt(stripe int, st *core.Stripe, epoch uint64) {
 	if c == nil {
 		return
@@ -96,10 +104,13 @@ func (c *stripeCache) putAt(stripe int, st *core.Stripe, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.epoch != epoch {
+		c.releaseLocked(st)
 		return
 	}
 	if el := c.entries[stripe]; el != nil {
-		el.Value.(*cacheEntry).st = st
+		ent := el.Value.(*cacheEntry)
+		c.releaseLocked(ent.st)
+		ent.st = st
 		c.lru.MoveToFront(el)
 		return
 	}
@@ -107,7 +118,16 @@ func (c *stripeCache) putAt(stripe int, st *core.Stripe, epoch uint64) {
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).stripe)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.entries, ent.stripe)
+		c.releaseLocked(ent.st)
+	}
+}
+
+// releaseLocked hands a dropped stripe's slab back to the pool.
+func (c *stripeCache) releaseLocked(st *core.Stripe) {
+	if c.release != nil {
+		c.release(st)
 	}
 }
 
@@ -142,6 +162,7 @@ func (c *stripeCache) removeLocked(stripe int) {
 	if el := c.entries[stripe]; el != nil {
 		c.lru.Remove(el)
 		delete(c.entries, stripe)
+		c.releaseLocked(el.Value.(*cacheEntry).st)
 	}
 }
 
@@ -154,6 +175,9 @@ func (c *stripeCache) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.epoch++
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		c.releaseLocked(el.Value.(*cacheEntry).st)
+	}
 	c.lru.Init()
 	clear(c.entries)
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stair/internal/store/mem"
 )
 
 // CoalesceOptions tunes a CoalescingDevice.
@@ -36,6 +38,10 @@ type CoalesceStats struct {
 	// MergedReads/MergedWrites count caller operations that shared an
 	// inner call with at least one other operation.
 	MergedReads, MergedWrites uint64
+	// ScratchFlats counts merged reads that needed an intermediate
+	// staging flat because member extents overlapped; non-overlapping
+	// batches stitch the members' own buffers into the inner call.
+	ScratchFlats uint64
 }
 
 // CoalescingDevice wraps a Device and merges concurrent adjacent (or
@@ -69,6 +75,7 @@ type CoalescingDevice struct {
 		reads, writes             atomic.Uint64
 		innerReads, innerWrites   atomic.Uint64
 		mergedReads, mergedWrites atomic.Uint64
+		scratchFlats              atomic.Uint64
 	}
 }
 
@@ -99,6 +106,7 @@ func (d *CoalescingDevice) Stats() CoalesceStats {
 		InnerWrites:  d.stats.innerWrites.Load(),
 		MergedReads:  d.stats.mergedReads.Load(),
 		MergedWrites: d.stats.mergedWrites.Load(),
+		ScratchFlats: d.stats.scratchFlats.Load(),
 	}
 }
 
@@ -237,6 +245,16 @@ func (q *coalesceQueue) dispatch() {
 }
 
 // issue serves one merged run [start, end) for its member requests.
+//
+// A single-member run passes the caller's buffer vector straight
+// through. A multi-member run stitches the members' own buffers into
+// the merged vector by slicing — runs are built from
+// overlapping-or-adjacent extents, so when no two members collide on a
+// sector the members exactly tile the run and the inner call reads or
+// writes the callers' memory directly. Only overlapping *reads* still
+// need an intermediate flat (two callers want the same sector in
+// different buffers); that flat is pooled and, per the drop-on-cancel
+// rule, recycled only when the inner call was not abandoned mid-flight.
 func (q *coalesceQueue) issue(members []*coalReq, start, end int) {
 	d := q.dev
 	if q.write {
@@ -251,20 +269,35 @@ func (q *coalesceQueue) issue(members []*coalReq, start, end int) {
 		}
 	}
 	count := end - start
-	merged := make([][]byte, count)
-	if q.write {
-		// Per-sector sources; members were appended in arrival order
-		// before sorting (stable), so on overlap the later write wins —
-		// the same nondeterminism two racing uncoalesced writes have.
+	var merged [][]byte
+	var flat []byte // non-nil: overlapping read staged through a pooled flat
+	if len(members) == 1 {
+		merged = members[0].bufs
+	} else {
+		merged = make([][]byte, count)
+		overlap := false
+	place:
+		// On overlap the later-sorted member wins the slot — for writes
+		// that is the same nondeterminism two racing uncoalesced writes
+		// have; for reads the loser is what forces the staging flat.
 		for _, req := range members {
 			for i, buf := range req.bufs {
-				merged[req.start-start+i] = buf
+				slot := req.start - start + i
+				if merged[slot] != nil && !q.write {
+					overlap = true
+					break place
+				}
+				merged[slot] = buf
 			}
 		}
-	} else {
-		flat := make([]byte, count*d.SectorSize())
-		for i := range merged {
-			merged[i] = flat[i*d.SectorSize() : (i+1)*d.SectorSize()]
+		if overlap {
+			d.stats.scratchFlats.Add(1)
+			flat = mem.Acquire(count * d.SectorSize())
+			// Zeroed so lost sectors copy out as zeros, not pool garbage.
+			clear(flat)
+			for i := range merged {
+				merged[i] = flat[i*d.SectorSize() : (i+1)*d.SectorSize()]
+			}
 		}
 	}
 	ctx, cancel := mergedContext(members)
@@ -274,13 +307,14 @@ func (q *coalesceQueue) issue(members []*coalReq, start, end int) {
 	} else {
 		err = d.inner.ReadSectors(ctx, start, merged)
 	}
+	abandoned := ctx.Err() != nil
 	cancel()
 	se, partial := AsSectorErrors(err)
 	for _, req := range members {
 		var memberErr error
 		switch {
 		case err == nil, partial:
-			if !q.write {
+			if flat != nil {
 				for i, buf := range req.bufs {
 					copy(buf, merged[req.start-start+i])
 				}
@@ -294,6 +328,9 @@ func (q *coalesceQueue) issue(members []*coalReq, start, end int) {
 			memberErr = err
 		}
 		req.done <- memberErr
+	}
+	if flat != nil && !abandoned {
+		mem.Release(flat)
 	}
 }
 

@@ -294,6 +294,104 @@ func Run(t *testing.T, factory Factory) {
 		}
 	})
 
+	// contiguousBufs carves count sector buffers out of one flat backing
+	// without capacity caps — the shape a stripe slab extent has, which
+	// is what triggers the zero-copy fast paths in backends that have
+	// them. The ownership subtests run both shapes so a backend cannot
+	// pass with a retention bug hiding in either path.
+	contiguousBufs := func(count int) ([][]byte, []byte) {
+		flat := make([]byte, count*sectorSize)
+		bufs := make([][]byte, count)
+		for i := range bufs {
+			bufs[i] = flat[i*sectorSize : (i+1)*sectorSize]
+		}
+		return bufs, flat
+	}
+
+	t.Run("WriteBufferOwnership", func(t *testing.T) {
+		// Once WriteSectors returns (without a cancellation error), the
+		// caller owns its buffers again: the device must have taken a
+		// copy (or completed the I/O), so mutating them afterwards must
+		// not change what the device stores.
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		check := func(start int, data [][]byte, label string) {
+			t.Helper()
+			if err := d.WriteSectors(ctx, start, data); err != nil {
+				t.Fatalf("%s write: %v", label, err)
+			}
+			for _, buf := range data {
+				for i := range buf {
+					buf[i] = 0xFF
+				}
+			}
+			got := make([][]byte, len(data))
+			for i := range got {
+				got[i] = make([]byte, sectorSize)
+			}
+			if err := d.ReadSectors(ctx, start, got); err != nil {
+				t.Fatalf("%s read-back: %v", label, err)
+			}
+			for i, buf := range got {
+				if !bytes.Equal(buf, payload(100+start+i)) {
+					t.Fatalf("%s: sector %d changed after the caller mutated its write buffer", label, start+i)
+				}
+			}
+		}
+		scattered := make([][]byte, 4)
+		for i := range scattered {
+			scattered[i] = payload(100 + 2 + i)
+		}
+		check(2, scattered, "scattered")
+		cbufs, _ := contiguousBufs(4)
+		for i := range cbufs {
+			copy(cbufs[i], payload(100+6+i))
+		}
+		check(6, cbufs, "contiguous")
+	})
+
+	t.Run("ReadBufferOwnership", func(t *testing.T) {
+		// Symmetrically for reads: after ReadSectors returns, the
+		// buffers are the caller's to scribble on — the device must not
+		// have aliased them into its own state, so mutating them must
+		// not corrupt later reads.
+		d := factory(t, sectors, sectorSize)
+		defer d.Close()
+		fillAll(t, d)
+		for _, shape := range []string{"contiguous", "scattered"} {
+			var bufs [][]byte
+			if shape == "contiguous" {
+				bufs, _ = contiguousBufs(sectors)
+			} else {
+				bufs = make([][]byte, sectors)
+				for i := range bufs {
+					bufs[i] = make([]byte, sectorSize)
+				}
+			}
+			if err := d.ReadSectors(ctx, 0, bufs); err != nil {
+				t.Fatalf("%s read: %v", shape, err)
+			}
+			for _, buf := range bufs {
+				for i := range buf {
+					buf[i] = 0xAA
+				}
+			}
+			got := make([][]byte, sectors)
+			for i := range got {
+				got[i] = make([]byte, sectorSize)
+			}
+			if err := d.ReadSectors(ctx, 0, got); err != nil {
+				t.Fatalf("%s re-read: %v", shape, err)
+			}
+			for i, buf := range got {
+				if !bytes.Equal(buf, payload(i)) {
+					t.Fatalf("%s: sector %d corrupt after the caller mutated its read buffers", shape, i)
+				}
+			}
+		}
+	})
+
 	t.Run("ContextCancelled", func(t *testing.T) {
 		d := factory(t, sectors, sectorSize)
 		defer d.Close()

@@ -7,18 +7,32 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
+
+	"stair/internal/store/mem"
 )
 
 // FileDevice is a file-per-device backend: one flat file of
 // sectors × sectorSize bytes, plus a JSON sidecar (<path>.faults)
 // persisting failure metadata so injected faults survive across process
 // boundaries (the cmd/stairstore CLI relies on this). Vectored calls
-// land as one pread/pwrite per extent, not one per sector.
+// land as one pread/pwrite per extent, not one per sector — and when
+// the caller's buffer vector tiles one contiguous region (a stripe
+// slab's per-device extent), the pread/pwrite targets it directly with
+// no scratch flat at all.
 type FileDevice struct {
 	path       string
 	f          *os.File
 	sectors    int
 	sectorSize int
+	// zero is a shared, read-only all-zeros sector used to destroy the
+	// payload of an injected bad sector — allocated once at open
+	// instead of per injection.
+	zero []byte
+	// scratchFlats counts vectored calls that could not use the
+	// zero-copy contiguous path and fell back to a scratch flat; the
+	// copy-elision tests assert it stays zero for slab-backed extents.
+	scratchFlats atomic.Uint64
 	*faultState
 }
 
@@ -49,7 +63,8 @@ func OpenFileDevice(path string, sectors, sectorSize int) (*FileDevice, error) {
 			return nil, err
 		}
 	}
-	d := &FileDevice{path: path, f: f, sectors: sectors, sectorSize: sectorSize, faultState: newFaultState(sectors)}
+	d := &FileDevice{path: path, f: f, sectors: sectors, sectorSize: sectorSize,
+		zero: make([]byte, sectorSize), faultState: newFaultState(sectors)}
 	if err := d.loadSidecar(); err != nil {
 		f.Close()
 		return nil, err
@@ -136,7 +151,9 @@ func (d *FileDevice) SectorSize() int { return d.sectorSize }
 
 // ReadSectors fills bufs from the backing file with one pread covering
 // the whole extent; bad sectors are reported as SectorErrors while the
-// readable ones are still returned.
+// readable ones are still returned. When bufs tiles one contiguous
+// region and the extent has no bad sectors, the pread lands directly in
+// the caller's memory with no intermediate copy.
 func (d *FileDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -155,7 +172,16 @@ func (d *FileDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) 
 	if d.failed {
 		return ErrDeviceFailed
 	}
-	scratch := make([]byte, len(bufs)*d.sectorSize)
+	lost := d.lostLocked(start, len(bufs))
+	if flat, ok := flatSpan(bufs); ok && len(lost) == 0 {
+		// Zero-copy path: the contract requires lost buffers to be left
+		// untouched, so it applies only when the extent is wholly good.
+		_, err := d.f.ReadAt(flat, int64(start)*int64(d.sectorSize))
+		return err
+	}
+	d.scratchFlats.Add(1)
+	scratch := mem.Acquire(len(bufs) * d.sectorSize)
+	defer mem.Release(scratch)
 	if _, err := d.f.ReadAt(scratch, int64(start)*int64(d.sectorSize)); err != nil {
 		return err
 	}
@@ -165,7 +191,7 @@ func (d *FileDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) 
 		}
 		copy(buf, scratch[i*d.sectorSize:(i+1)*d.sectorSize])
 	}
-	if lost := d.lostLocked(start, len(bufs)); len(lost) > 0 {
+	if len(lost) > 0 {
 		return lost
 	}
 	return nil
@@ -173,6 +199,7 @@ func (d *FileDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) 
 
 // WriteSectors stores data with one pwrite covering the whole extent,
 // healing (and persisting the healing of) any bad sectors it covers.
+// A contiguous buffer vector is written directly — no gather copy.
 func (d *FileDevice) WriteSectors(ctx context.Context, start int, data [][]byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -191,12 +218,21 @@ func (d *FileDevice) WriteSectors(ctx context.Context, start int, data [][]byte)
 	if d.failed {
 		return ErrDeviceFailed
 	}
-	scratch := make([]byte, len(data)*d.sectorSize)
-	for i, buf := range data {
-		copy(scratch[i*d.sectorSize:], buf)
-	}
-	if _, err := d.f.WriteAt(scratch, int64(start)*int64(d.sectorSize)); err != nil {
-		return err
+	if flat, ok := flatSpan(data); ok {
+		if _, err := d.f.WriteAt(flat, int64(start)*int64(d.sectorSize)); err != nil {
+			return err
+		}
+	} else {
+		d.scratchFlats.Add(1)
+		scratch := mem.Acquire(len(data) * d.sectorSize)
+		for i, buf := range data {
+			copy(scratch[i*d.sectorSize:], buf)
+		}
+		_, err := d.f.WriteAt(scratch, int64(start)*int64(d.sectorSize))
+		mem.Release(scratch)
+		if err != nil {
+			return err
+		}
 	}
 	healed := false
 	for i := range data {
@@ -259,10 +295,14 @@ func (d *FileDevice) InjectSectorError(idx int) error {
 	if err := d.saveSidecarLocked(); err != nil {
 		return err
 	}
-	zero := make([]byte, d.sectorSize)
-	_, err := d.f.WriteAt(zero, int64(idx)*int64(d.sectorSize))
+	_, err := d.f.WriteAt(d.zero, int64(idx)*int64(d.sectorSize))
 	return err
 }
+
+// ScratchFlats reports how many vectored calls fell back to an
+// intermediate scratch flat instead of the zero-copy contiguous path —
+// an observability hook for the copy-elision tests and benchmarks.
+func (d *FileDevice) ScratchFlats() uint64 { return d.scratchFlats.Load() }
 
 // CorruptSector flips one payload bit of a sector on disk WITHOUT
 // marking it bad or touching the fault sidecar — silent corruption:

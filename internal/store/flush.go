@@ -99,14 +99,14 @@ func (s *Store) flushStripeLocked(ctx context.Context, sh *lockShard, stripe int
 }
 
 // flushFullLocked is the full-stripe path: encode every parity cell
-// from the buffered data and write the whole stripe back.
+// from the buffered data and write the whole stripe back. The buffer's
+// rows already sit at their stripe offsets in its slab, so the encode
+// computes parity in place and the write-back sends slab sub-slices —
+// no copy between the write path's buffer and the devices.
 func (s *Store) flushFullLocked(ctx context.Context, sh *lockShard, stripe int, buf *stripeBuf) error {
-	st, err := s.code.NewStripe(s.sectorSize)
+	st, err := s.code.StripeOver(buf.slab, s.sectorSize)
 	if err != nil {
 		return err
-	}
-	for ord, cell := range s.dataCells {
-		copy(st.Sector(cell.Col, cell.Row), buf.data[ord])
 	}
 	if err := s.acquireEncode(ctx); err != nil {
 		return err
@@ -140,6 +140,9 @@ func (s *Store) flushFullLocked(ctx context.Context, sh *lockShard, stripe int, 
 	s.clearUnrecoverableLocked(sh, stripe)
 	s.c.fullFlushes.Add(1)
 	s.cache.invalidate(stripe)
+	// The write-back completed without cancellation, so no device can
+	// still reference the slab: recycle the buffer.
+	s.releaseStripeBuf(buf)
 	return nil
 }
 
@@ -153,11 +156,13 @@ func (s *Store) flushPartialLocked(ctx context.Context, sh *lockShard, stripe in
 		return err
 	}
 	if err := s.acquireEncode(ctx); err != nil {
+		s.releaseStripeUnlessCancelled(ctx, st)
 		return err
 	}
 	touched, err := s.applyUpdatesLocked(sh, stripe, st, lost, buf)
 	s.releaseEncode()
 	if err != nil {
+		s.releaseStripeUnlessCancelled(ctx, st)
 		return err
 	}
 	// Write back the dirty data cells and affected parity, plus any
@@ -185,12 +190,17 @@ func (s *Store) flushPartialLocked(ctx context.Context, sh *lockShard, stripe in
 		// a full stripe (st holds every cell's updated content) — the
 		// retry rewrites the whole stripe and restores consistency.
 		s.promoteToFullLocked(buf, st)
+		s.releaseStripeUnlessCancelled(ctx, st)
 		return err
 	}
 	delete(sh.dirty, stripe)
 	s.dirtyCount.Add(-1)
 	s.c.subFlushes.Add(1)
 	s.cache.invalidate(stripe)
+	s.releaseStripeUnlessCancelled(ctx, st)
+	// The buffer's own slab was never handed to a device (the write-back
+	// went through st), so it can always be recycled on success.
+	s.releaseStripeBuf(buf)
 	return nil
 }
 
@@ -317,7 +327,9 @@ func (s *Store) partitionCells(cells []core.Cell) (data, parity []core.Cell) {
 func (s *Store) promoteToFullLocked(buf *stripeBuf, st *core.Stripe) {
 	for ord, cell := range s.dataCells {
 		if buf.data[ord] == nil {
-			buf.data[ord] = append([]byte(nil), st.Sector(cell.Col, cell.Row)...)
+			off := s.ordOff[ord]
+			buf.data[ord] = buf.slab[off : off+s.sectorSize]
+			copy(buf.data[ord], st.Sector(cell.Col, cell.Row))
 			buf.count++
 		}
 	}
@@ -338,13 +350,15 @@ func sortCells(cells []core.Cell) {
 // device. Only context cancellation is reported; per-device write
 // errors leave the stripe degraded there (repair heals it later).
 func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe) error {
-	rows := make([][]byte, s.r)
+	sh := s.shard(stripe)
+	rows := sh.rowvec(s.r)
 	for col := 0; col < s.n; col++ {
 		for row := 0; row < s.r; row++ {
 			rows[row] = st.Sector(col, row)
 		}
 		werr := s.devs[col].WriteSectors(ctx, s.devSector(stripe, 0), rows)
 		if err := ctx.Err(); err != nil {
+			sh.dropScratchOnCancel()
 			return err
 		}
 		if s.integ != nil {
@@ -374,18 +388,20 @@ func (s *Store) writeFullStripe(ctx context.Context, stripe int, st *core.Stripe
 // many failed; only context cancellation aborts the sweep with an
 // error.
 func (s *Store) writeStripeCells(ctx context.Context, stripe int, st *core.Stripe, cells []core.Cell) (wrote, failed int, err error) {
+	sh := s.shard(stripe)
 	for i := 0; i < len(cells); {
 		j := i + 1
 		for j < len(cells) && cells[j].Col == cells[i].Col && cells[j].Row == cells[j-1].Row+1 {
 			j++
 		}
 		run := cells[i:j]
-		bufs := make([][]byte, len(run))
+		bufs := sh.rowvec(len(run))
 		for k, cell := range run {
 			bufs[k] = st.Sector(cell.Col, cell.Row)
 		}
 		werr := s.devs[run[0].Col].WriteSectors(ctx, s.devSector(stripe, run[0].Row), bufs)
 		if cerr := ctx.Err(); cerr != nil {
+			sh.dropScratchOnCancel()
 			return wrote, failed, cerr
 		}
 		switch se, ok := AsSectorErrors(werr); {

@@ -1,0 +1,8 @@
+//go:build !stairpoison
+
+package mem
+
+// Poisoning reports whether released buffers are overwritten with
+// PoisonByte. Off in normal builds; build with -tags stairpoison to
+// turn it on.
+const Poisoning = false

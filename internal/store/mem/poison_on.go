@@ -1,0 +1,9 @@
+//go:build stairpoison
+
+package mem
+
+// Poisoning reports whether released buffers are overwritten with
+// PoisonByte. Enabled by the stairpoison build tag; CI runs the store
+// suite with -tags stairpoison -race so a use-after-release surfaces
+// as deterministic data corruption instead of a heisenbug.
+const Poisoning = true

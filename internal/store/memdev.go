@@ -45,6 +45,13 @@ func (d *MemDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) e
 	if d.failed {
 		return ErrDeviceFailed
 	}
+	lost := d.lostLocked(start, len(bufs))
+	if flat, ok := flatSpan(bufs); ok && len(lost) == 0 {
+		// Single memmove for a contiguous destination over a wholly
+		// good extent (lost buffers must stay untouched).
+		copy(flat, d.data[start*d.sectorSize:])
+		return nil
+	}
 	for i, buf := range bufs {
 		idx := start + i
 		if d.bad[idx] {
@@ -52,7 +59,7 @@ func (d *MemDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) e
 		}
 		copy(buf, d.data[idx*d.sectorSize:(idx+1)*d.sectorSize])
 	}
-	if lost := d.lostLocked(start, len(bufs)); len(lost) > 0 {
+	if len(lost) > 0 {
 		return lost
 	}
 	return nil
@@ -74,6 +81,13 @@ func (d *MemDevice) WriteSectors(ctx context.Context, start int, data [][]byte) 
 	defer d.mu.Unlock()
 	if d.failed {
 		return ErrDeviceFailed
+	}
+	if flat, ok := flatSpan(data); ok {
+		copy(d.data[start*d.sectorSize:], flat)
+		for i := range data {
+			d.healLocked(start + i)
+		}
+		return nil
 	}
 	for i, buf := range data {
 		idx := start + i

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"stair/internal/store/mem"
 )
 
 // The NetDevice wire protocol. One vectored store operation is one HTTP
@@ -165,10 +167,22 @@ func (s *DeviceServer) handleRead(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	size := s.dev.SectorSize()
+	// The response staging flat is pooled; it must be zeroed because
+	// the wire format promises lost sectors come back as zeros (the
+	// wrapped device leaves their buffers untouched). Dropped to the GC
+	// instead of recycled when the request was cancelled mid-device-call
+	// — an abandoned inner operation may still reference it.
+	flat := mem.Acquire(count * size)
+	clear(flat)
+	defer func() {
+		if r.Context().Err() == nil {
+			mem.Release(flat)
+		}
+	}()
 	bufs := make([][]byte, count)
-	flat := make([]byte, count*s.dev.SectorSize())
 	for i := range bufs {
-		bufs[i] = flat[i*s.dev.SectorSize() : (i+1)*s.dev.SectorSize()]
+		bufs[i] = flat[i*size : (i+1)*size]
 	}
 	s.reads.Add(1)
 	s.readSectors.Add(uint64(count))
@@ -195,10 +209,34 @@ func (s *DeviceServer) handleWrite(w http.ResponseWriter, r *http.Request) {
 	// The device's whole capacity bounds any valid write body; reading
 	// more than that (+1 to detect overshoot) is refused, not buffered.
 	maxBody := int64(s.dev.Sectors()) * int64(size)
-	flat, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	// With a declared Content-Length the body stages into a pooled flat
+	// sized exactly for it; chunked bodies (length -1) fall back to
+	// ReadAll. The flat is recycled unless the request was cancelled
+	// mid-device-call (see handleRead).
+	var flat []byte
+	var pooled bool
+	if cl := r.ContentLength; cl >= 0 && cl <= maxBody {
+		flat = mem.Acquire(int(cl))
+		pooled = true
+		if _, err := io.ReadFull(r.Body, flat); err != nil {
+			mem.Release(flat)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var err error
+		flat, err = io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if pooled {
+		defer func() {
+			if r.Context().Err() == nil {
+				mem.Release(flat)
+			}
+		}()
 	}
 	if int64(len(flat)) > maxBody {
 		http.Error(w, "body exceeds device capacity", http.StatusBadRequest)
@@ -347,7 +385,17 @@ type NetDevice struct {
 	sectorSize int
 	retry      RetryPolicy
 	retries    atomic.Uint64
+	// scratchFlats counts vectored calls that fell back to a gather or
+	// scatter copy because the caller's buffers were not one contiguous
+	// region — the copy-elision tests assert it stays zero for
+	// slab-backed extents.
+	scratchFlats atomic.Uint64
 }
+
+// ScratchFlats reports how many vectored calls fell back to an
+// intermediate flat copy instead of using the caller's contiguous
+// memory directly.
+func (d *NetDevice) ScratchFlats() uint64 { return d.scratchFlats.Load() }
 
 // DialNetDevice connects to a DeviceServer at baseURL (no trailing
 // slash needed) and fetches its geometry. A nil client selects
@@ -487,12 +535,30 @@ func (d *NetDevice) ReadSectors(ctx context.Context, start int, bufs [][]byte) e
 		return err
 	}
 	defer resp.Body.Close()
-	flat := make([]byte, len(bufs)*d.sectorSize)
+	// A contiguous buffer vector receives the body directly; the wire
+	// format fills every sector (lost ones come back zeroed and listed
+	// in the header), so writing straight into the caller's memory is
+	// byte-identical to the scatter path. Body reads are synchronous —
+	// the transport never retains the destination after Read returns —
+	// so a pooled fallback flat can always be recycled.
+	flat, contiguous := flatSpan(bufs)
+	var pooled []byte
+	if !contiguous {
+		d.scratchFlats.Add(1)
+		pooled = mem.Acquire(len(bufs) * d.sectorSize)
+		flat = pooled
+	}
 	if _, err := io.ReadFull(resp.Body, flat); err != nil {
+		if pooled != nil {
+			mem.Release(pooled)
+		}
 		return fmt.Errorf("store: short read from device server: %w", err)
 	}
-	for i, buf := range bufs {
-		copy(buf, flat[i*d.sectorSize:(i+1)*d.sectorSize])
+	if pooled != nil {
+		for i, buf := range bufs {
+			copy(buf, pooled[i*d.sectorSize:(i+1)*d.sectorSize])
+		}
+		mem.Release(pooled)
 	}
 	lost, err := parseSectorList(resp.Header.Get(lostSectorsHeader), ErrBadSector)
 	if err != nil {
@@ -516,9 +582,22 @@ func (d *NetDevice) WriteSectors(ctx context.Context, start int, data [][]byte) 
 	if len(data) == 0 {
 		return ctx.Err()
 	}
-	flat := make([]byte, 0, len(data)*d.sectorSize)
-	for _, buf := range data {
-		flat = append(flat, buf...)
+	// A contiguous buffer vector becomes the request body directly —
+	// the transport reads it in place, no gather copy. Scattered
+	// vectors gather into a pooled flat, recycled only when the call
+	// succeeded without retries: a failed or retried attempt can leave
+	// a transport write loop still reading the flat, so those are
+	// dropped to the GC instead.
+	flat, contiguous := flatSpan(data)
+	var pooled []byte
+	if !contiguous {
+		d.scratchFlats.Add(1)
+		pooled = mem.Acquire(len(data) * d.sectorSize)
+		off := 0
+		for _, buf := range data {
+			off += copy(pooled[off:], buf)
+		}
+		flat = pooled
 	}
 	url := fmt.Sprintf("%s/v1/write?start=%d", d.base, start)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(flat))
@@ -526,12 +605,16 @@ func (d *NetDevice) WriteSectors(ctx context.Context, start int, data [][]byte) 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	retriesBefore := d.retries.Load()
 	resp, err := d.do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
+	if pooled != nil && d.retries.Load() == retriesBefore {
+		mem.Release(pooled)
+	}
 	failed, err := parseSectorList(resp.Header.Get(failedSectorsHeader), fmt.Errorf("store: remote write failed"))
 	if err != nil {
 		return err

@@ -127,6 +127,9 @@ func (s *Store) recoverStripeLocked(ctx context.Context, sh *lockShard, stripe i
 		rep.Unrecoverable++
 		return
 	}
+	// Replay runs before the store accepts traffic, under a background
+	// context, but the guard costs nothing and keeps the rule uniform.
+	defer func() { s.releaseStripeUnlessCancelled(ctx, st) }()
 	var lostData []core.Cell
 	for _, cell := range lost {
 		if s.isDataCell[cell] {

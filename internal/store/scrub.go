@@ -183,6 +183,10 @@ func (s *Store) scrub(ctx context.Context, pace *pacer) (ScrubReport, error) {
 				rep.RecordsRefreshed += s.refreshStripeRecordsLocked(ctx, stripe, st)
 			}
 		}
+		// The sweep is done with this stripe's reconstruction; hand the
+		// slab back unless a cancellation mid-record-refresh left a
+		// device operation that may still reference it.
+		s.releaseStripeUnlessCancelled(ctx, st)
 		sh.mu.Unlock()
 	}
 	return rep, nil

@@ -26,6 +26,32 @@ type lockShard struct {
 	dirty         map[int]*stripeBuf
 	pending       map[int]bool // stripes queued or being repaired
 	unrecoverable map[int]bool
+
+	// rows is the shard's reusable buffer-vector scratch for vectored
+	// device calls (stripe loads, write-back runs, single-sector reads).
+	// Only touched under mu, and abandoned — not reused — after a
+	// cancelled device call (see dropScratchOnCancel). lostRow is the
+	// per-column verification scratch of loadStripe.
+	rows    [][]byte
+	lostRow []bool
+}
+
+// rowvec returns the shard's buffer-vector scratch sized to n entries.
+// The caller holds mu and must not keep the slice across a release of
+// the mutex.
+func (sh *lockShard) rowvec(n int) [][]byte {
+	if cap(sh.rows) < n {
+		sh.rows = make([][]byte, n)
+	}
+	return sh.rows[:n]
+}
+
+// dropScratchOnCancel abandons the shard's I/O scratch after a device
+// call that ended by context cancellation: an abandoned inner operation
+// (e.g. a coalesced batch member) may still hold the vector and iterate
+// it later, so the next operation must get a fresh one.
+func (sh *lockShard) dropScratchOnCancel() {
+	sh.rows = nil
 }
 
 // shardCount rounds the configured shard count up to a power of two so

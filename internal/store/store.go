@@ -53,6 +53,7 @@ import (
 	"stair/internal/core"
 	"stair/internal/store/integrity"
 	"stair/internal/store/journal"
+	"stair/internal/store/mem"
 )
 
 // ErrUnrecoverable aliases the codec's error for failure patterns outside
@@ -176,7 +177,12 @@ func integrityEnvOff() bool {
 // the same error is not re-reported on every unrelated write, but
 // explicit Flush (and the filling-to-full fast path) still retry it.
 type stripeBuf struct {
+	// data[ord] is nil until block ord is written, then a sector-sized
+	// sub-slice of slab at the block's chunk-major stripe offset — so a
+	// full buffer's rows tile the slab exactly like a loaded stripe, and
+	// the full-stripe flush encodes and writes back in place, zero-copy.
 	data  [][]byte
+	slab  []byte
 	count int
 	stuck bool
 	// queued marks a buffer handed to the asynchronous flush pipeline
@@ -197,6 +203,14 @@ type Store struct {
 
 	dataCells []core.Cell
 	perStripe int
+
+	// Zero-copy stripe memory (see arena.go): slabLen is the pooled
+	// slab size backing one stripe, ordOff maps a data-cell ordinal to
+	// its chunk-major byte offset within a slab, and bufPool recycles
+	// stripeBuf shells between flushes.
+	slabLen int
+	ordOff  []int
+	bufPool sync.Pool
 
 	// integ, when non-nil, is the end-to-end checksum layer; integVerify
 	// gates verification (false = maintain records, never check them).
@@ -373,13 +387,20 @@ func Open(cfg Config) (*Store, error) {
 		dataCells:  cfg.Code.DataCells(),
 		shards:     newShards(nshards),
 		shardMask:  nshards - 1,
-		cache:      newStripeCache(cacheStripes),
 		repairQ:    newRepairQueue(queue),
 		quit:       make(chan struct{}),
 		journal:    cfg.Journal,
 	}
+	// The cache owns the slab-backed stripes handed to it; evicted and
+	// invalidated entries go back to the buffer pool.
+	s.cache = newStripeCache(cacheStripes, s.releaseStripe)
 	s.dataSectors = cfg.Stripes * r
 	s.perStripe = len(s.dataCells)
+	s.slabLen = cfg.Code.SlabSize(cfg.SectorSize)
+	s.ordOff = make([]int, s.perStripe)
+	for ord, cell := range s.dataCells {
+		s.ordOff[ord] = (cell.Col*r + cell.Row) * cfg.SectorSize
+	}
 	s.idle = sync.NewCond(&s.stateMu)
 	s.flushIdle = sync.NewCond(&s.flushMu)
 	s.sortedDataCells = append([]core.Cell(nil), s.dataCells...)
@@ -498,13 +519,14 @@ func (s *Store) WriteBlock(ctx context.Context, b int, data []byte) error {
 	}
 	buf := sh.dirty[stripe]
 	if buf == nil {
-		buf = &stripeBuf{data: make([][]byte, s.perStripe)}
+		buf = s.acquireStripeBuf()
 		sh.dirty[stripe] = buf
 		s.dirtyCount.Add(1)
 	}
 	if buf.data[ord] == nil {
 		buf.count++
-		buf.data[ord] = make([]byte, s.sectorSize)
+		off := s.ordOff[ord]
+		buf.data[ord] = buf.slab[off : off+s.sectorSize]
 	}
 	copy(buf.data[ord], data)
 	s.c.writes.Add(1)
@@ -645,7 +667,9 @@ func (s *Store) flushAll(ctx context.Context) error {
 }
 
 // loadStripe reads one stripe off the devices — one vectored call per
-// device; unreadable cells come back zeroed and listed in lost. With
+// device; unreadable cells are listed in lost, and their contents are
+// unspecified (the stripe is pooled, not zeroed) until the caller's
+// decode reconstructs them. With
 // verify set (and the integrity layer on), sectors that read fine but
 // fail their checksum are *also* listed in lost — and, separately, in
 // mismatched — turning silent corruption into located erasures the
@@ -657,12 +681,21 @@ func (s *Store) flushAll(ctx context.Context) error {
 // caller holds the stripe's shard mutex, so the snapshot cannot
 // interleave with a same-stripe writer.
 func (s *Store) loadStripe(ctx context.Context, stripe int, verify bool) (st *core.Stripe, lost, mismatched []core.Cell, err error) {
-	st, _ = s.code.NewStripe(s.sectorSize)
-	bufs := make([][]byte, s.r)
+	// The stripe is slab-backed and pooled: on success the caller owns
+	// it and must release it (releaseStripeUnlessCancelled) once no
+	// device operation can still reference its cells. On cancellation
+	// the partially-filled stripe is dropped to the GC — an abandoned
+	// device-side operation may still be writing into it.
+	st = s.acquireStripe()
+	sh := s.shard(stripe)
+	bufs := sh.rowvec(s.r)
 	verify = verify && s.integ != nil && s.integVerify
 	var lostRow []bool
 	if verify {
-		lostRow = make([]bool, s.r)
+		if cap(sh.lostRow) < s.r {
+			sh.lostRow = make([]bool, s.r)
+		}
+		lostRow = sh.lostRow[:s.r]
 	}
 	for col := 0; col < s.n; col++ {
 		for row := range bufs {
@@ -686,6 +719,7 @@ func (s *Store) loadStripe(ctx context.Context, stripe int, verify bool) (st *co
 					}
 				}
 			} else if cerr := ctx.Err(); cerr != nil {
+				sh.dropScratchOnCancel()
 				return nil, nil, nil, cerr
 			} else {
 				// Whole-call failure (failed device, transport down):
@@ -723,13 +757,41 @@ func (s *Store) loadStripe(ctx context.Context, stripe int, verify bool) (st *co
 // still-degraded reconstructions first — and its stripe queued for
 // background repair. ctx bounds the device reads, including the
 // full-stripe load a degraded read performs.
+//
+// The returned buffer comes from the store's buffer pool; the caller
+// owns it, and may hand it back with ReleaseBlock once done (optional —
+// an unreleased buffer is simply reclaimed by the GC).
 func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
+	out := mem.Acquire(s.sectorSize)
+	if err := s.ReadBlockInto(ctx, b, out); err != nil {
+		if ctx.Err() == nil {
+			mem.Release(out)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReleaseBlock returns a buffer obtained from ReadBlock to the store's
+// buffer pool. The caller must not touch the buffer afterwards. Calling
+// it is optional but keeps a read-heavy steady state allocation-free.
+func (s *Store) ReleaseBlock(buf []byte) { mem.Release(buf) }
+
+// ReadBlockInto is ReadBlock without the allocation: it reads block b
+// into dst, which must be exactly BlockSize bytes. The caller owns dst
+// throughout — with one caveat: if the call returns a context
+// cancellation error, dst may still be referenced by an abandoned
+// device-side operation and must be dropped, not recycled.
+func (s *Store) ReadBlockInto(ctx context.Context, b int, dst []byte) error {
+	if len(dst) != s.sectorSize {
+		return fmt.Errorf("store: read into %d bytes, want block size %d", len(dst), s.sectorSize)
+	}
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	stripe, ord, cell, err := s.blockOf(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sh := s.shard(stripe)
 	sh.mu.Lock()
@@ -737,17 +799,21 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	// Re-check under the shard lock (see WriteBlock): past this point
 	// the devices may already be closed.
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if buf := sh.dirty[stripe]; buf != nil && buf.data[ord] != nil {
 		s.c.reads.Add(1)
-		return append([]byte(nil), buf.data[ord]...), nil
+		copy(dst, buf.data[ord])
+		return nil
 	}
-	out := make([]byte, s.sectorSize)
-	if err := ReadSector(ctx, s.devs[cell.Col], s.devSector(stripe, cell.Row), out); err == nil {
+	vec := sh.rowvec(1)
+	vec[0] = dst
+	rerr := s.devs[cell.Col].ReadSectors(ctx, s.devSector(stripe, cell.Row), vec)
+	vec[0] = nil
+	if rerr == nil {
 		mismatch := false
 		if s.integ != nil && s.integVerify {
-			switch s.integ.Verify(cell.Col, s.devSector(stripe, cell.Row), out) {
+			switch s.integ.Verify(cell.Col, s.devSector(stripe, cell.Row), dst) {
 			case integrity.OK:
 				s.c.verifiedSectors.Add(1)
 			case integrity.Mismatch:
@@ -761,10 +827,11 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 		}
 		if !mismatch {
 			s.c.reads.Add(1)
-			return out, nil
+			return nil
 		}
 	} else if cerr := ctx.Err(); cerr != nil {
-		return nil, cerr
+		sh.dropScratchOnCancel()
+		return cerr
 	}
 	// Degraded read. A stripe already marked unrecoverable is refused
 	// outright: re-running the decode could fabricate content (journal
@@ -774,7 +841,7 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	// change the stripe's standing: a full rewrite, a device
 	// replacement, or a successful roll-forward.
 	if sh.unrecoverable[stripe] {
-		return nil, fmt.Errorf("store: degraded read of block %d (stripe %d): %w", b, stripe, ErrUnrecoverable)
+		return fmt.Errorf("store: degraded read of block %d (stripe %d): %w", b, stripe, ErrUnrecoverable)
 	}
 	// A still-degraded stripe read before keeps its reconstruction
 	// cached, so neighbours on the same stripe skip the per-block
@@ -783,28 +850,32 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	// the bounded queue is re-found by the next scrub pass — re-queuing
 	// per read would only churn full-stripe loads that end at
 	// repairStripeLocked's nothing-writable check.
-	if data := s.cache.block(stripe, cell); data != nil {
+	if s.cache.blockInto(stripe, cell, dst) {
 		s.c.reads.Add(1)
 		s.c.degradedReads.Add(1)
-		return data, nil
+		return nil
 	}
 	// Rebuild the lost cells of the whole stripe via the upstairs fast
 	// path and serve the request from the reconstruction.
 	epoch := s.cache.snapshotEpoch()
 	st, lost, _, err := s.loadStripe(ctx, stripe, true)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := s.code.RepairParallel(st, lost, s.workers); err != nil {
 		if errors.Is(err, ErrUnrecoverable) {
 			s.markUnrecoverableLocked(sh, stripe)
 		}
-		return nil, fmt.Errorf("store: degraded read of block %d (stripe %d, %d lost cells): %w",
+		s.releaseStripe(st)
+		return fmt.Errorf("store: degraded read of block %d (stripe %d, %d lost cells): %w",
 			b, stripe, len(lost), err)
 	}
 	s.c.reads.Add(1)
 	s.c.degradedReads.Add(1)
-	s.cache.putAt(stripe, st, epoch)
+	// Copy the requested sector out BEFORE handing the reconstruction to
+	// the cache: putAt takes ownership of st and may release its slab
+	// immediately (epoch mismatch, refresh of an existing entry).
+	copy(dst, st.Sector(cell.Col, cell.Row))
 	// Queue a repair only when it can land somewhere: lost cells
 	// confined to wholly failed devices wait for a replacement instead
 	// of spinning the workers. The stripe's full lost count is its
@@ -813,7 +884,12 @@ func (s *Store) ReadBlock(ctx context.Context, b int) ([]byte, error) {
 	if len(s.writableLost(lost)) > 0 {
 		s.enqueueRepairLocked(sh, stripe, len(lost))
 	}
-	return append([]byte(nil), st.Sector(cell.Col, cell.Row)...), nil
+	if s.cache == nil {
+		s.releaseStripe(st)
+	} else {
+		s.cache.putAt(stripe, st, epoch)
+	}
+	return nil
 }
 
 // writableLost filters lost cells down to those on devices that will
@@ -957,6 +1033,10 @@ func (s *Store) repairStripeLocked(ctx context.Context, sh *lockShard, stripe in
 	if err != nil {
 		return false
 	}
+	// Whatever path exits below, the loaded stripe goes back to the
+	// pool — unless the write-back was cancelled mid-flight, where an
+	// abandoned device operation may still reference the slab.
+	defer func() { s.releaseStripeUnlessCancelled(ctx, st) }()
 	if len(lost) == 0 {
 		return false
 	}

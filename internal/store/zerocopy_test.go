@@ -1,0 +1,147 @@
+package store
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stair/internal/core"
+	"stair/internal/store/mem"
+)
+
+// TestZeroCopyFileDevices proves the copy-elision claim for the
+// file backend: every vectored call the store issues in healthy
+// steady state — full-stripe flushes, single-block reads, whole-stripe
+// scrub loads — presents a slab-contiguous extent, so FileDevice's
+// pread/pwrite fast path runs and its scratch-flat counter stays zero.
+func TestZeroCopyFileDevices(t *testing.T) {
+	code := testCode(t, core.Config{N: 5, R: 3, M: 1, E: []int{2}})
+	dir := t.TempDir()
+	devs := make([]Device, code.N())
+	files := make([]*FileDevice, code.N())
+	for i := range devs {
+		d, err := OpenFileDevice(filepath.Join(dir, "dev"+string(rune('a'+i))+".img"), 4*code.R(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i], files[i] = d, d
+	}
+	s, err := Open(Config{Code: code, SectorSize: 64, Stripes: 4, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s)
+	checkAllBlocks(t, s)
+	if _, err := s.Scrub(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fd := range files {
+		if got := fd.ScratchFlats(); got != 0 {
+			t.Errorf("device %d: %d scratch flats on healthy slab-contiguous traffic, want 0", i, got)
+		}
+	}
+	// The counter is live: a genuinely scattered vector must fall back.
+	fd, err := OpenFileDevice(filepath.Join(dir, "scattered.img"), 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	scattered := [][]byte{make([]byte, 64), make([]byte, 64)}
+	if err := fd.WriteSectors(bg, 0, scattered); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.ReadSectors(bg, 0, scattered); err != nil {
+		t.Fatal(err)
+	}
+	if got := fd.ScratchFlats(); got != 2 {
+		t.Errorf("ScratchFlats=%d after two scattered calls, want 2", got)
+	}
+}
+
+// TestZeroCopyNetDevices proves the same for the network backend: a
+// slab-contiguous extent becomes the HTTP request body (writes) or the
+// response-body destination (reads) directly, with no gather/scatter
+// copy on the client.
+func TestZeroCopyNetDevices(t *testing.T) {
+	code := testCode(t, core.Config{N: 4, R: 3, M: 1, E: []int{1}})
+	const stripes, sector = 3, 64
+	devs := make([]Device, code.N())
+	nets := make([]*NetDevice, code.N())
+	for i := range devs {
+		srv := httptest.NewServer(NewDeviceServer(NewMemDevice(stripes*code.R(), sector)))
+		t.Cleanup(srv.Close)
+		d, err := DialNetDevice(bg, srv.URL, srv.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i], nets[i] = d, d
+	}
+	s, err := Open(Config{Code: code, SectorSize: sector, Stripes: stripes, Devices: devs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s)
+	checkAllBlocks(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range nets {
+		if got := nd.ScratchFlats(); got != 0 {
+			t.Errorf("net device %d: %d scratch flats on healthy slab-contiguous traffic, want 0", i, got)
+		}
+	}
+}
+
+// TestAllocRegressionGuard is the allocation analogue of the GF kernel
+// speed guard: env-gated so routine runs stay unaffected by measurement
+// noise, it pins the steady-state block paths to (amortised) zero heap
+// allocations. CI runs it with STAIR_ALLOC_GUARD=1 on both the default
+// and purego legs.
+func TestAllocRegressionGuard(t *testing.T) {
+	if os.Getenv("STAIR_ALLOC_GUARD") == "" {
+		t.Skip("set STAIR_ALLOC_GUARD=1 to run the alloc regression guard")
+	}
+	if !mem.Enabled() {
+		t.Skip("buffer pool disabled (STAIR_POOL=off); nothing to guard")
+	}
+	code := testCode(t, core.Config{N: 6, R: 4, M: 2, E: []int{1, 2}})
+	s, err := Open(Config{Code: code, SectorSize: 128, Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillStore(t, s)
+
+	buf := blockData(1, s.BlockSize())
+	i := 0
+	writes := testing.AllocsPerRun(2000, func() {
+		if err := s.WriteBlock(bg, i%s.Blocks(), buf); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// Sequential writes fill whole stripes; the per-flush bookkeeping
+	// (journal-less here, but cell partitions and map churn) must stay
+	// well under one allocation per block.
+	if writes >= 1.0 {
+		t.Errorf("WriteBlock steady state: %.2f allocs/op, want < 1", writes)
+	}
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]byte, s.BlockSize())
+	reads := testing.AllocsPerRun(2000, func() {
+		if err := s.ReadBlockInto(bg, i%s.Blocks(), dst); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if reads >= 0.5 {
+		t.Errorf("ReadBlockInto steady state: %.2f allocs/op, want < 0.5", reads)
+	}
+}
