@@ -99,11 +99,12 @@ func measureAllocs(ops int, op func() error) (allocsPerOp, bytesPerOp float64) {
 type storeBenchReport struct {
 	Config  storeBenchConfig   `json:"config"`
 	Results []storeBenchResult `json:"results"`
-	// Cluster and EncodePath hold the cluster and encpath experiments'
-	// sections; each experiment rewrites only its own part of
-	// BENCH_store.json.
-	Cluster    *clusterBenchReport `json:"cluster,omitempty"`
-	EncodePath []encodePathEntry   `json:"encode_path,omitempty"`
+	// Cluster, EncodePath and Scenario hold the cluster, encpath and
+	// scenario experiments' sections; each experiment rewrites only its
+	// own part of BENCH_store.json.
+	Cluster    *clusterBenchReport  `json:"cluster,omitempty"`
+	EncodePath []encodePathEntry    `json:"encode_path,omitempty"`
+	Scenario   *scenarioBenchReport `json:"scenario,omitempty"`
 }
 
 // runStore measures the internal/store data paths end to end — batched
@@ -546,7 +547,7 @@ func runStore(o options) error {
 
 	prev := loadStoreReport()
 	report := storeBenchReport{Config: cfg, Results: results,
-		Cluster: prev.Cluster, EncodePath: prev.EncodePath}
+		Cluster: prev.Cluster, EncodePath: prev.EncodePath, Scenario: prev.Scenario}
 	if err := writeStoreReport(report); err != nil {
 		return err
 	}

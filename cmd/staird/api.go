@@ -6,22 +6,32 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"stair/internal/cluster"
 	"stair/internal/core"
+	"stair/internal/scenario"
 	"stair/internal/store"
 )
 
 // api is the volume daemon's HTTP surface over one shared Volume. The
 // store is safe for concurrent use, so requests run on the server's
 // native per-connection concurrency with no extra locking here.
+//
+// Every successful data-plane call is timed into a per-class HDR-style
+// histogram (the scenario harness's), and /v1/metrics reports the
+// p50/p99/p999 rows since process start — so a soak driver can snapshot
+// the endpoint before and after a phase and difference the counts.
 type api struct {
 	v   *cluster.Volume
 	mux *http.ServeMux
+	lat map[string]*scenario.Histogram
 }
 
 func newAPI(v *cluster.Volume) *api {
-	a := &api{v: v, mux: http.NewServeMux()}
+	a := &api{v: v, mux: http.NewServeMux(), lat: map[string]*scenario.Histogram{
+		"read": {}, "write": {}, "flush": {}, "scrub": {},
+	}}
 	a.mux.HandleFunc("GET /v1/blocks/{idx}", a.handleGetBlock)
 	a.mux.HandleFunc("PUT /v1/blocks/{idx}", a.handlePutBlock)
 	a.mux.HandleFunc("POST /v1/flush", a.handleFlush)
@@ -48,11 +58,13 @@ func (a *api) handleGetBlock(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	begin := time.Now()
 	data, err := a.v.ReadBlock(r.Context(), idx)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	a.lat["read"].Record(time.Since(begin))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
 }
@@ -72,18 +84,22 @@ func (a *api) handlePutBlock(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("body is %d bytes; a block is exactly %d", len(data), size), http.StatusBadRequest)
 		return
 	}
+	begin := time.Now()
 	if err := a.v.WriteBlock(r.Context(), idx, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	a.lat["write"].Record(time.Since(begin))
 	w.WriteHeader(http.StatusOK)
 }
 
 func (a *api) handleFlush(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
 	if err := a.v.Flush(r.Context()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	a.lat["flush"].Record(time.Since(begin))
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -96,11 +112,13 @@ func (a *api) handleSync(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleScrub(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
 	rep, err := a.v.Scrub(r.Context())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	a.lat["scrub"].Record(time.Since(begin))
 	writeJSON(w, rep)
 }
 
@@ -122,18 +140,28 @@ func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsReport is the /v1/metrics shape: the store's counters, the
-// cluster layer's, and the active encode data path (plan shape + GF
-// kernel) the numbers were produced under.
+// cluster layer's, per-op-class API latency rows since process start
+// (p50/p99/p999 µs; classes with no samples are omitted), and the
+// active encode data path (plan shape + GF kernel) the numbers were
+// produced under.
 type metricsReport struct {
-	Store   store.Stats   `json:"store"`
-	Cluster cluster.Stats `json:"cluster"`
-	Plan    core.PlanInfo `json:"plan"`
+	Store   store.Stats                     `json:"store"`
+	Cluster cluster.Stats                   `json:"cluster"`
+	Latency map[string]scenario.Percentiles `json:"latency_us"`
+	Plan    core.PlanInfo                   `json:"plan"`
 }
 
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	lat := map[string]scenario.Percentiles{}
+	for class, h := range a.lat {
+		if h.Count() > 0 {
+			lat[class] = h.Percentiles()
+		}
+	}
 	writeJSON(w, metricsReport{
 		Store:   a.v.StoreStats(),
 		Cluster: a.v.Stats(),
+		Latency: lat,
 		Plan:    a.v.Store().Code().PlanInfo(),
 	})
 }

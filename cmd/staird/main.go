@@ -5,7 +5,8 @@
 // optionally latency-shaped to emulate remote media:
 //
 //	staird device -listen :9000 -sectors 4096 -sector 4096 \
-//	    [-file dev.img] [-latency 2ms -jitter 1ms -spike 40ms -spike-prob 0.02 -serial]
+//	    [-file dev.img] [-latency 2ms -jitter 1ms -spike 40ms -spike-prob 0.02 -serial] \
+//	    [-latency-seed 42]
 //
 // A volume daemon places a STAIR volume's columns across a fleet of
 // such device servers, watches their health, fails over to spares with
@@ -33,7 +34,8 @@
 // Volume API: GET/PUT /v1/blocks/{idx} move one block; POST
 // /v1/flush, /v1/sync, /v1/scrub drive maintenance; GET /v1/status
 // reports geometry, placement and per-column health; GET /v1/metrics
-// returns the store and cluster counters as JSON.
+// returns the store and cluster counters plus per-op-class API latency
+// percentiles (p50/p99/p999 µs) as JSON.
 package main
 
 import (
@@ -141,6 +143,7 @@ func cmdDevice(ctx context.Context, args []string) error {
 	spike := fs.Duration("spike", 0, "heavy-tail extra latency on a spike-prob fraction of calls")
 	spikeProb := fs.Float64("spike-prob", 0, "fraction of calls hit by the spike")
 	serial := fs.Bool("serial", false, "queue concurrent calls like a single spindle")
+	latencySeed := fs.Int64("latency-seed", 0, "seed for the jitter/spike RNG (0 = time-derived); fix it for reproducible soak timing")
 	fs.Parse(args)
 
 	var dev store.Device
@@ -157,7 +160,7 @@ func cmdDevice(ctx context.Context, args []string) error {
 	profile := store.LatencyProfile{
 		Latency: *latency, Jitter: *jitter,
 		Spike: *spike, SpikeProb: *spikeProb,
-		Serial: *serial,
+		Serial: *serial, Seed: *latencySeed,
 	}
 	if profile != (store.LatencyProfile{}) {
 		dev = store.NewLatencyDeviceProfile(dev, profile)

@@ -151,6 +151,39 @@ func TestAPIMaintenanceAndMetrics(t *testing.T) {
 	if metrics.Store.Writes == 0 {
 		t.Fatalf("metrics report zero writes after a PUT: %+v", metrics.Store)
 	}
+	// The latency map carries a row per op class exercised above: one
+	// PUT (write), plus flush and scrub; /v1/sync is not timed. A GET
+	// below must surface in a fresh snapshot — the rows accumulate.
+	for _, class := range []string{"write", "flush", "scrub"} {
+		row, ok := metrics.Latency[class]
+		if !ok || row.Count == 0 {
+			t.Fatalf("metrics latency row %q missing or empty: %+v", class, metrics.Latency)
+		}
+		if row.P50us <= 0 || row.P99us < row.P50us || row.P999us < row.P99us {
+			t.Fatalf("latency row %q not ordered: %+v", class, row)
+		}
+	}
+	if _, ok := metrics.Latency["read"]; ok {
+		t.Fatal("read latency row present before any GET")
+	}
+	if resp, err := srv.Client().Get(srv.URL + "/v1/blocks/0"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err = srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := metrics.Latency["read"]; row.Count != 1 {
+		t.Fatalf("read latency row after one GET: %+v", row)
+	}
 }
 
 func TestParseE(t *testing.T) {

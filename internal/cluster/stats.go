@@ -36,6 +36,14 @@ type Stats struct {
 	// the repaired stripe failed parity verification — a sibling fed the
 	// repair silently corrupt bytes (integrity mode only).
 	HedgeVerifyFails uint64 `json:"hedge_verify_fails"`
+	// DeadColumns and SparesLeft are gauges of the current placement:
+	// columns presently marked dead (declared but not yet failed over,
+	// or degraded with the spare pool empty) and spares still unused.
+	// Together with Deaths/Failovers they let a soak harness assert the
+	// detector converged — every death either failed over or exhausted
+	// the pool.
+	DeadColumns uint64 `json:"dead_columns"`
+	SparesLeft  uint64 `json:"spares_left"`
 	// Coalesce aggregates the per-column request coalescers (zero when
 	// coalescing is off).
 	Coalesce store.CoalesceStats `json:"coalesce"`

@@ -243,7 +243,13 @@ func (v *Volume) Stats() Stats {
 		HedgeFails:       v.counters.hedgeFails.Load(),
 		HedgeVerifyFails: v.counters.hedgeVerifyFails.Load(),
 	}
+	v.spareMu.Lock()
+	s.SparesLeft = uint64(len(v.spares))
+	v.spareMu.Unlock()
 	for _, c := range v.cols {
+		if _, alive := c.state(); !alive {
+			s.DeadColumns++
+		}
 		dev, err := c.snapshot()
 		if err != nil {
 			continue

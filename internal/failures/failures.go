@@ -151,6 +151,34 @@ func LostSectors(bursts []SectorBurst) []int {
 	return out
 }
 
+// Degrading models a progressively failing device: a per-sector
+// burst-start probability that grows geometrically step by step, the
+// shape of the field studies' "errors beget errors" finding (a device
+// that has started throwing latent sector errors keeps throwing them,
+// faster). Step 0 is P0; each subsequent step multiplies by Growth.
+type Degrading struct {
+	// P0 is the step-0 burst-start probability.
+	P0 float64
+	// Growth is the per-step multiplier (> 1 degrades, 1 holds steady).
+	Growth float64
+}
+
+// PAt returns the burst-start probability at the given step, clamped
+// to 1.
+func (d Degrading) PAt(step int) float64 {
+	p := d.P0
+	for i := 0; i < step; i++ {
+		p *= d.Growth
+	}
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
 // DeviceProcess draws device failures as a Bernoulli event per device per
 // exposure window with probability p (a discretisation of the paper's
 // exponential lifetime model with rate λ over a window t: p ≈ 1−e^{-λt}).

@@ -115,3 +115,26 @@ func TestDeviceProcess(t *testing.T) {
 		t.Errorf("P=0.5 over 10000 draws gave %d failures", n)
 	}
 }
+
+func TestDegradingRamp(t *testing.T) {
+	d := Degrading{P0: 0.01, Growth: 2}
+	want := []float64{0.01, 0.02, 0.04, 0.08}
+	for step, w := range want {
+		if got := d.PAt(step); got < w*0.999 || got > w*1.001 {
+			t.Errorf("PAt(%d) = %v, want %v", step, got, w)
+		}
+	}
+	// The ramp clamps at 1 instead of running away.
+	if got := d.PAt(100); got != 1 {
+		t.Errorf("PAt(100) = %v, want clamp at 1", got)
+	}
+	// Growth 1 holds steady; a negative product clamps at 0.
+	steady := Degrading{P0: 0.05, Growth: 1}
+	if got := steady.PAt(10); got != 0.05 {
+		t.Errorf("steady PAt(10) = %v, want 0.05", got)
+	}
+	neg := Degrading{P0: -0.1, Growth: 2}
+	if got := neg.PAt(3); got != 0 {
+		t.Errorf("negative PAt(3) = %v, want clamp at 0", got)
+	}
+}

@@ -26,31 +26,62 @@ type FaultTarget interface {
 	FailedDevices() []int
 }
 
-// InjectRandomBurstsOn draws latent-sector-error bursts on every live
-// device of the target per the (b1, α) distribution, with per-sector
-// burst-start probability pStart (§7.2.2). It returns the number of
-// sectors lost.
-func InjectRandomBurstsOn(t FaultTarget, rng *rand.Rand, pStart float64, dist *failures.BurstDist) (int, error) {
+// Burst locates one drawn latent-sector-error burst: Len consecutive
+// sectors starting Start sectors into device Dev's data region.
+type Burst struct {
+	Dev   int
+	Start int
+	Len   int
+}
+
+// DrawBursts draws the §7.2.2 burst process against the target's live
+// devices — per-sector burst-start probability pStart, lengths from the
+// (b1, α) distribution — without injecting anything. Splitting the draw
+// from the injection lets a scheduler record, gate (e.g. against the
+// code's coverage) or replay the planned bursts; InjectBursts applies
+// them. Devices are visited in index order, so the same rng state
+// always yields the same plan.
+func DrawBursts(t FaultTarget, rng *rand.Rand, pStart float64, dist *failures.BurstDist) []Burst {
 	n, stripes, r, _ := t.Geometry()
 	down := map[int]bool{}
 	for _, dev := range t.FailedDevices() {
 		down[dev] = true
 	}
 	sectors := stripes * r
-	lost := 0
+	var out []Burst
 	for dev := 0; dev < n; dev++ {
 		if down[dev] {
 			continue
 		}
 		// ChunkFailures already clips bursts at the chunk end.
 		for _, b := range failures.ChunkFailures(rng, sectors, pStart, dist) {
-			if err := t.InjectBurst(dev, b.Start, b.Len); err != nil {
-				return lost, err
-			}
-			lost += b.Len
+			out = append(out, Burst{Dev: dev, Start: b.Start, Len: b.Len})
 		}
 	}
+	return out
+}
+
+// InjectBursts applies drawn bursts to the target, returning the
+// number of sectors injected (bursts may overlap; the count sums raw
+// burst lengths, matching what InjectBurst was asked to do).
+func InjectBursts(t FaultTarget, bursts []Burst) (int, error) {
+	lost := 0
+	for _, b := range bursts {
+		if err := t.InjectBurst(b.Dev, b.Start, b.Len); err != nil {
+			return lost, err
+		}
+		lost += b.Len
+	}
 	return lost, nil
+}
+
+// InjectRandomBurstsOn draws latent-sector-error bursts on every live
+// device of the target per the (b1, α) distribution, with per-sector
+// burst-start probability pStart (§7.2.2). It returns the number of
+// sectors lost. Draw-then-inject, so its rng consumption matches
+// DrawBursts exactly.
+func InjectRandomBurstsOn(t FaultTarget, rng *rand.Rand, pStart float64, dist *failures.BurstDist) (int, error) {
+	return InjectBursts(t, DrawBursts(t, rng, pStart, dist))
 }
 
 // FailRandomDevicesOn draws whole-device failures on the target's live

@@ -1,0 +1,67 @@
+package raid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stair/internal/failures"
+)
+
+// TestDrawBurstsDeterministic checks the draw is a pure function of
+// rng state: same seed, same plan; and it skips failed devices.
+func TestDrawBurstsDeterministic(t *testing.T) {
+	dist, err := failures.NewBurstDist(0.9, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := stairArray(t, 8)
+	p1 := DrawBursts(a, rand.New(rand.NewSource(7)), 0.05, dist)
+	p2 := DrawBursts(a, rand.New(rand.NewSource(7)), 0.05, dist)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed drew different plans")
+	}
+	if len(p1) == 0 {
+		t.Fatal("plan is empty; raise pStart")
+	}
+	if err := a.FailDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range DrawBursts(a, rand.New(rand.NewSource(7)), 0.05, dist) {
+		if b.Dev == 2 {
+			t.Fatalf("burst drawn on failed device: %+v", b)
+		}
+	}
+}
+
+// TestInjectBurstsMatchesLegacy checks the split draw+inject path is
+// byte-for-byte the old InjectRandomBurstsOn: identical rng
+// consumption, identical damage.
+func TestInjectBurstsMatchesLegacy(t *testing.T) {
+	dist, err := failures.NewBurstDist(0.9, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := stairArray(t, 8)
+	legacy, _ := stairArray(t, 8)
+
+	plan := DrawBursts(split, rand.New(rand.NewSource(11)), 0.05, dist)
+	lostSplit, err := InjectBursts(split, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostLegacy, err := InjectRandomBurstsOn(legacy, rand.New(rand.NewSource(11)), 0.05, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lostSplit != lostLegacy {
+		t.Fatalf("split path lost %d sectors, legacy %d", lostSplit, lostLegacy)
+	}
+	total := 0
+	for _, b := range plan {
+		total += b.Len
+	}
+	if lostSplit != total {
+		t.Fatalf("InjectBursts reported %d sectors, plan sums to %d", lostSplit, total)
+	}
+}

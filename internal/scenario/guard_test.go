@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+)
+
+// TestLatencyRegressionGuard is the opt-in latency gate, mirroring the
+// STAIR_ALLOC_GUARD pattern: skipped by default (latency bounds are
+// hostile to loaded laptops and shared runners), enabled in CI with
+// STAIR_LAT_GUARD=1. It drives the three standard mixes against a
+// healthy store on a *deterministic, spike-free* simulated device
+// profile, so the measured tail reflects the store's own queueing and
+// encode work — and fails if any class's p99 blows generous bounds
+// that a tail regression (lost vectorisation, a lock caught in the
+// flush path, accidental serialisation) would break.
+func TestLatencyRegressionGuard(t *testing.T) {
+	if os.Getenv("STAIR_LAT_GUARD") != "1" {
+		t.Skip("set STAIR_LAT_GUARD=1 to enforce latency bounds")
+	}
+	// Fixed 200µs per call, no jitter, no spikes: the only tail is the
+	// system's own. The rate sits well below the store's saturation
+	// point for the heaviest mix — an open-loop guard at saturation
+	// measures queue growth, not the system, and never converges.
+	profile := store.LatencyProfile{Latency: 200 * time.Microsecond}
+	bounds := map[OpClass]float64{
+		// µs. A healthy run sits well under half of these; the bounds
+		// catch order-of-magnitude tail regressions, not noise.
+		OpRead:  50_000,
+		OpWrite: 150_000,
+	}
+	for _, mix := range []Mix{ReadHeavyMix(), MixedMix(), WriteHeavyMix()} {
+		t.Run(mix.Name, func(t *testing.T) {
+			env, err := NewStoreEnv(EnvOptions{Seed: 21, Profile: profile, MaxDirtyStripes: 24})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer env.Close()
+			spec := Spec{
+				Name:    "latency-guard-" + mix.Name,
+				Seed:    21,
+				Trace:   BaseTrace(21, mix, 150, 800*time.Millisecond),
+				Clients: 64,
+			}
+			PrepareSpec(env, &spec)
+			res, err := Run(context.Background(), env, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if res.Load.Errors != 0 {
+				t.Errorf("%d errored ops on a healthy store", res.Load.Errors)
+			}
+			for class, bound := range bounds {
+				p, ok := res.Load.PerClass[class]
+				if !ok {
+					continue // write-heavy read row etc. always exists, but be safe
+				}
+				t.Logf("%s/%s: count=%d p50=%.0fµs p99=%.0fµs p999=%.0fµs",
+					mix.Name, class, p.Count, p.P50us, p.P99us, p.P999us)
+				if p.P99us > bound {
+					t.Errorf("%s p99 = %.0fµs exceeds the %0.fµs bound", class, p.P99us, bound)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketOfMonotone checks the bucket mapping is monotone and every
+// bucket index stays in range across the value spectrum.
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, us := range []uint64{0, 1, 5, 63, 64, 65, 127, 128, 1000, 4096, 65535, 1 << 20, 1 << 32, 1 << 50, math.MaxUint64 / 2} {
+		idx := bucketOf(us)
+		if idx < 0 || idx >= bucketLen {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", us, idx, bucketLen)
+		}
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d: not monotone", us, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestBucketBoundsContainValue checks every value falls strictly below
+// its bucket's upper bound, and within ~3% of it above the linear range
+// (the log-linear error bound).
+func TestBucketBoundsContainValue(t *testing.T) {
+	for us := uint64(0); us < 10000; us++ {
+		idx := bucketOf(us)
+		high := bucketHigh(idx)
+		if float64(us) >= high {
+			t.Fatalf("value %d ≥ its bucket's upper bound %v (bucket %d)", us, high, idx)
+		}
+		if us >= subCount && high > float64(us)*(1+2.0/subCount)+1 {
+			t.Fatalf("value %d quantized to %v: error beyond 2/subCount bound", us, high)
+		}
+	}
+}
+
+// TestLinearBucketsExact checks values below subCount are recorded
+// exactly: one bucket per integer microsecond.
+func TestLinearBucketsExact(t *testing.T) {
+	for us := uint64(0); us < subCount; us++ {
+		if got := bucketOf(us); got != int(us) {
+			t.Fatalf("bucketOf(%d) = %d, want exact linear bucket", us, got)
+		}
+	}
+}
+
+// TestQuantileKnownDistribution records a known population and checks
+// the quantiles land within the quantization bound.
+func TestQuantileKnownDistribution(t *testing.T) {
+	var h Histogram
+	// 1000 samples: 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want float64
+	}{{0.5, 500}, {0.99, 990}, {0.999, 999}, {1.0, 1000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want || got > c.want*(1+2.0/subCount)+1 {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", c.q, got, c.want, c.want*(1+2.0/subCount)+1)
+		}
+	}
+	// The quantile never exceeds the observed max.
+	if got, max := h.Quantile(0.999), float64(1000); got > max {
+		t.Errorf("Quantile(0.999) = %v exceeds max sample %v", got, max)
+	}
+}
+
+// TestQuantileEmpty checks zero samples report zero.
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	p := h.Percentiles()
+	if p.Count != 0 || p.P50us != 0 || p.MeanUS != 0 {
+		t.Fatalf("empty Percentiles = %+v, want zeros", p)
+	}
+}
+
+// TestPercentilesMeanMax checks the mean and max fields.
+func TestPercentilesMeanMax(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond)
+	h.Record(300 * time.Microsecond)
+	p := h.Percentiles()
+	if p.Count != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count)
+	}
+	if p.MeanUS != 200 {
+		t.Errorf("MeanUS = %v, want 200", p.MeanUS)
+	}
+	if p.MaxUS != 300 {
+		t.Errorf("MaxUS = %v, want 300", p.MaxUS)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from many goroutines and
+// checks no samples are lost (the lock-free contract).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Percentiles().MaxUS; got != goroutines*per-1 {
+		t.Fatalf("MaxUS = %v, want %d", got, goroutines*per-1)
+	}
+}
+
+// TestRecordNegativeClamps checks a negative duration lands in bucket 0
+// rather than panicking on unsigned conversion.
+func TestRecordNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(0.5); got > 1 {
+		t.Fatalf("Quantile after negative record = %v, want ≤ 1", got)
+	}
+}

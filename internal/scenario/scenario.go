@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"stair/internal/cluster"
+	"stair/internal/core"
+	"stair/internal/store"
+)
+
+// Target is the block surface a scenario drives. Both *store.Store and
+// *cluster.Volume satisfy it directly.
+type Target interface {
+	Blocks() int
+	BlockSize() int
+	ReadBlock(ctx context.Context, b int) ([]byte, error)
+	WriteBlock(ctx context.Context, b int, data []byte) error
+	Flush(ctx context.Context) error
+	Scrub(ctx context.Context) (store.ScrubReport, error)
+}
+
+// Env is a scenario's system under test: the block target, the
+// underlying store (always present — for a cluster env it is the
+// volume's wrapped store, whose fault plane reaches the dialled
+// devices through the columns), the volume when the env is a cluster,
+// and the flaky device handles the heartbeat-flap events stall.
+type Env struct {
+	Target Target
+	Store  *store.Store
+	Volume *cluster.Volume
+	Code   *core.Code
+
+	flaky   map[string]*FlakyDevice
+	closers []func() error
+}
+
+// Close tears the env down (volume/store first, then anything else the
+// builder registered).
+func (e *Env) Close() error {
+	var first error
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		if err := e.closers[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flakyCol resolves the FlakyDevice currently serving a column (by the
+// column's placed server), or nil when the env has no flaky fleet.
+func (e *Env) flakyCol(col int) *FlakyDevice {
+	if e.Volume == nil || e.flaky == nil {
+		return nil
+	}
+	placed := e.Volume.Placement()
+	if col < 0 || col >= len(placed) {
+		return nil
+	}
+	return e.flaky[placed[col].Name]
+}
+
+// Spec is one composable scenario: a trace, the client concurrency
+// that replays it, and the correlated-failure events scheduled against
+// the load.
+type Spec struct {
+	Name    string
+	Seed    int64
+	Trace   TraceSpec
+	Clients int
+	Events  []Event
+}
+
+// Result is one scenario run's full outcome.
+type Result struct {
+	Name string
+	// Load holds the per-op-class latency rows and error counts.
+	Load LoadResult
+	// EventLog is the deterministic injection record: one line per
+	// event action, including every accepted and every coverage-skipped
+	// burst. It feeds the fingerprint.
+	EventLog []string
+	// InjectedSectors counts latent sector errors the events injected.
+	InjectedSectors int
+	// Fingerprint is a SHA-256 over the generated trace and the event
+	// log — the byte-identical-reproduction check for a given seed.
+	Fingerprint string
+	// StoreStats/ClusterStats snapshot the counters after settle.
+	StoreStats   store.Stats
+	ClusterStats *cluster.Stats
+	// FinalScrub is the last settle scrub pass (clean on success).
+	FinalScrub store.ScrubReport
+	// SettleScrubs counts scrub passes settle needed to reach (or give
+	// up reaching) a clean sweep.
+	SettleScrubs int
+	// Violations lists every end-state invariant the run broke; empty
+	// means the scenario completed clean.
+	Violations []string
+}
+
+// maxSettleScrubs bounds the settle phase's scrub-repair convergence
+// loop. Each pass feeds damage to the repair queue and Quiesce drains
+// it, so two passes normally suffice (find+repair, verify); the slack
+// covers repair retries on transiently unwritable devices.
+const maxSettleScrubs = 6
+
+// Run executes one scenario: generate the trace, replay it under the
+// scheduled failure events, then settle (flush, await rebuilds,
+// drain repairs, scrub until clean) and audit the end state. The
+// returned Result carries any invariant violations rather than an
+// error; the error covers harness-level failures (bad spec, cancelled
+// ctx, an event that could not execute).
+func Run(ctx context.Context, env *Env, spec Spec) (*Result, error) {
+	trace, err := GenTrace(spec.Trace)
+	if err != nil {
+		return nil, err
+	}
+	led := newLedger(env, spec.Seed)
+
+	evErrCh := make(chan error, 1)
+	evCtx, evCancel := context.WithCancel(ctx)
+	defer evCancel()
+	go func() { evErrCh <- runEvents(evCtx, env, led, spec.Events) }()
+
+	res := &Result{Name: spec.Name}
+	res.Load, err = RunLoad(ctx, env.Target, trace, spec.Clients)
+	if err != nil {
+		evCancel()
+		<-evErrCh
+		return nil, err
+	}
+	if evErr := <-evErrCh; evErr != nil {
+		return nil, evErr
+	}
+
+	if err := settle(ctx, env, res); err != nil {
+		return nil, err
+	}
+
+	res.EventLog = led.lines()
+	res.InjectedSectors = led.injectedCount()
+	res.Fingerprint = fingerprint(spec, trace, res.EventLog)
+	res.StoreStats = env.Store.Stats()
+	if env.Volume != nil {
+		cs := env.Volume.Stats()
+		res.ClusterStats = &cs
+	}
+	res.Violations = checkClean(env, res)
+	return res, nil
+}
+
+// runEvents fires the spec's events at their offsets, in order. An
+// event error aborts the schedule (and the run).
+func runEvents(ctx context.Context, env *Env, led *Ledger, events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	begin := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for _, ev := range sorted {
+		if wait := time.Until(begin.Add(ev.At)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		if err := ev.Do(ctx, env, led); err != nil {
+			return fmt.Errorf("scenario: event %q at %v: %w", ev.Name, ev.At, err)
+		}
+	}
+	return nil
+}
+
+// settle drives the run to a quiescent end state: drain buffered
+// writes, wait out background rebuilds, then alternate scrub passes
+// with repair-queue quiesce until a pass finds nothing (or the bounded
+// attempts run out — the residue then shows up in the audit).
+func settle(ctx context.Context, env *Env, res *Result) error {
+	if err := env.Target.Flush(ctx); err != nil {
+		return fmt.Errorf("scenario: settle flush: %w", err)
+	}
+	if env.Volume != nil {
+		env.Volume.WaitRebuilds()
+	}
+	env.Store.StopScrubber()
+	env.Store.Quiesce()
+	for pass := 0; pass < maxSettleScrubs; pass++ {
+		rep, err := env.Target.Scrub(ctx)
+		if err != nil {
+			return fmt.Errorf("scenario: settle scrub: %w", err)
+		}
+		env.Store.Quiesce()
+		res.FinalScrub = rep
+		res.SettleScrubs = pass + 1
+		if rep.StripesDamaged == 0 && rep.StripesInconsistent == 0 && rep.RecordsRefreshed == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// checkClean audits the end state. The scenarios inject only fail-stop
+// damage (device failures, latent sector errors), all of it gated to
+// stay inside the code's coverage — so a correct system ends with
+// nothing unrecoverable, nothing still lost, and not one checksum
+// mismatch (the integrity layer's false-alarm gate: with no silent
+// corruption injected, every mismatch is a checksum-layer lie).
+func checkClean(env *Env, res *Result) []string {
+	var v []string
+	if un := env.Store.UnrecoverableStripes(); len(un) > 0 {
+		v = append(v, fmt.Sprintf("%d unrecoverable stripes at end: %v", len(un), un))
+	}
+	if n := res.StoreStats.ChecksumMismatches; n != 0 {
+		v = append(v, fmt.Sprintf("%d checksum mismatches (integrity false alarms: no silent corruption was injected)", n))
+	}
+	if bad := env.Store.TotalBadSectors(); bad != 0 {
+		v = append(v, fmt.Sprintf("%d bad sectors remain after settle", bad))
+	}
+	if failed := env.Store.FailedDevices(); len(failed) > 0 {
+		v = append(v, fmt.Sprintf("devices still failed at end: %v", failed))
+	}
+	if rep := res.FinalScrub; rep.StripesDamaged != 0 || rep.StripesInconsistent != 0 || rep.StripesUnrecoverable != 0 {
+		v = append(v, fmt.Sprintf("final scrub not clean: %+v", rep))
+	}
+	return v
+}
+
+// fingerprint hashes everything deterministic about a run — the spec
+// identity, the full generated trace, and the injection event log —
+// into the byte-identical-reproduction check. Latency, stats and scrub
+// outcomes are deliberately excluded: they vary with scheduling; the
+// *failure process* must not.
+func fingerprint(spec Spec, trace []TraceOp, eventLog []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%s\n", spec.Name, spec.Seed, spec.Trace.Mix.Name)
+	var buf [8 * 4]byte
+	for _, op := range trace {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(op.At))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(len(op.Op)))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(op.Block))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(op.Blocks))
+		h.Write(buf[:])
+		h.Write([]byte(op.Op))
+	}
+	for _, line := range eventLog {
+		h.Write([]byte(line))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SoakScale reads the STAIR_SOAK environment variable as a duration
+// multiplier for the prebuilt scenarios: unset, empty or invalid means
+// 1 (the quick CI shape); the nightly soak sets a larger figure to
+// stretch the same scenarios over more wall clock and more trace ops.
+func SoakScale() float64 {
+	raw := os.Getenv("STAIR_SOAK")
+	if raw == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil || f < 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"stair/internal/store"
+)
+
+func testTraceSpec(seed int64) TraceSpec {
+	return TraceSpec{
+		Seed:        seed,
+		Duration:    500 * time.Millisecond,
+		Rate:        2000,
+		Mix:         MixedMix(),
+		Blocks:      144,
+		BurstEvery:  100 * time.Millisecond,
+		BurstLen:    30 * time.Millisecond,
+		BurstFactor: 3,
+	}
+}
+
+// TestGenTraceDeterministic checks the same spec always expands to the
+// byte-identical op sequence — the property the scenario fingerprints
+// build on.
+func TestGenTraceDeterministic(t *testing.T) {
+	a, err := GenTrace(testTraceSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenTrace(testTraceSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := GenTrace(testTraceSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenTraceProperties checks structural invariants: sorted arrivals
+// within the duration, ops inside the block space, only mix shapes.
+func TestGenTraceProperties(t *testing.T) {
+	spec := testTraceSpec(7)
+	trace, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	shapes := map[MixEntry]bool{}
+	for _, e := range spec.Mix.Entries {
+		shapes[MixEntry{Op: e.Op, Blocks: e.Blocks}] = true
+	}
+	var prev time.Duration
+	for i, op := range trace {
+		if op.At < prev {
+			t.Fatalf("op %d at %v before previous %v: not sorted", i, op.At, prev)
+		}
+		prev = op.At
+		if op.At >= spec.Duration {
+			t.Fatalf("op %d at %v beyond duration %v", i, op.At, spec.Duration)
+		}
+		if op.Block < 0 || op.Block+op.Blocks > spec.Blocks {
+			t.Fatalf("op %d spans [%d,%d) outside %d blocks", i, op.Block, op.Block+op.Blocks, spec.Blocks)
+		}
+		if !shapes[MixEntry{Op: op.Op, Blocks: op.Blocks}] {
+			t.Fatalf("op %d shape (%s,%d) not in mix", i, op.Op, op.Blocks)
+		}
+	}
+	// Rate sanity: 2000 ops/s over 0.5 s with burst overlay ≥ 1000
+	// expected arrivals; allow a wide band.
+	if len(trace) < 400 || len(trace) > 4000 {
+		t.Fatalf("trace has %d ops, want around 1000–1500", len(trace))
+	}
+}
+
+// TestGenTraceZipfSkew checks the keyed hot-spot: the most popular
+// block should soak up far more than a uniform share.
+func TestGenTraceZipfSkew(t *testing.T) {
+	spec := testTraceSpec(11)
+	spec.Duration = 2 * time.Second
+	trace, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, op := range trace {
+		counts[op.Block]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	uniform := len(trace) / spec.Blocks
+	if top < 4*uniform {
+		t.Fatalf("hottest block has %d ops vs uniform share %d: no Zipf skew", top, uniform)
+	}
+}
+
+// TestGenTraceBurstOverlay checks arrivals inside burst windows come
+// denser than outside.
+func TestGenTraceBurstOverlay(t *testing.T) {
+	spec := testTraceSpec(13)
+	spec.Duration = 2 * time.Second
+	trace, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBurst, outBurst int
+	for _, op := range trace {
+		if op.At%spec.BurstEvery < spec.BurstLen {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// Burst windows are 30% of time at 3× rate: expect the in-window
+	// arrival *density* to be ≳2× the out-window density.
+	inDensity := float64(inBurst) / float64(spec.BurstLen)
+	outDensity := float64(outBurst) / float64(spec.BurstEvery-spec.BurstLen)
+	if inDensity < 2*outDensity {
+		t.Fatalf("burst density %v not elevated over base %v", inDensity, outDensity)
+	}
+}
+
+// TestGenTraceRejectsBadSpecs checks the validation paths.
+func TestGenTraceRejectsBadSpecs(t *testing.T) {
+	bad := []func(*TraceSpec){
+		func(s *TraceSpec) { s.Blocks = 0 },
+		func(s *TraceSpec) { s.Rate = 0 },
+		func(s *TraceSpec) { s.Duration = 0 },
+		func(s *TraceSpec) { s.Mix.Entries = nil },
+		func(s *TraceSpec) { s.Mix.Entries[0].Blocks = 0 },
+		func(s *TraceSpec) { s.Mix.Entries[0].Weight = 0 },
+		func(s *TraceSpec) { s.Mix.Entries[0].Blocks = s.Blocks + 1 },
+	}
+	for i, mutate := range bad {
+		spec := testTraceSpec(1)
+		mutate(&spec)
+		if _, err := GenTrace(spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+// TestRunLoadCompletesTrace checks every generated op executes and is
+// accounted, with latency rows for both classes.
+func TestRunLoadCompletesTrace(t *testing.T) {
+	spec := testTraceSpec(17)
+	spec.Duration = 200 * time.Millisecond
+	trace, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &memTarget{blocks: spec.Blocks, blockSize: 64}
+	res, err := RunLoad(context.Background(), tgt, trace, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != uint64(len(trace)) {
+		t.Fatalf("Ops = %d, want %d", res.Ops, len(trace))
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", res.Errors)
+	}
+	var recorded uint64
+	for class, p := range res.PerClass {
+		if p.Count == 0 {
+			t.Errorf("class %s has an empty latency row", class)
+		}
+		if p.P50us <= 0 || p.P99us < p.P50us || p.P999us < p.P99us {
+			t.Errorf("class %s percentiles not ordered: %+v", class, p)
+		}
+		recorded += p.Count
+	}
+	if recorded != res.Ops {
+		t.Fatalf("recorded %d samples across classes, want %d", recorded, res.Ops)
+	}
+}
+
+// TestRunLoadCancel checks cancellation abandons the remaining trace
+// without deadlocking.
+func TestRunLoadCancel(t *testing.T) {
+	spec := testTraceSpec(19)
+	spec.Duration = 5 * time.Second
+	trace, err := GenTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, err := RunLoad(ctx, &memTarget{blocks: spec.Blocks, blockSize: 64}, trace, 16)
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if res.Ops >= uint64(len(trace)) {
+		t.Fatalf("all %d ops completed despite cancellation", len(trace))
+	}
+}
+
+// memTarget is the minimal healthy Target used by load unit tests.
+type memTarget struct {
+	blocks, blockSize int
+}
+
+func (m *memTarget) Blocks() int    { return m.blocks }
+func (m *memTarget) BlockSize() int { return m.blockSize }
+func (m *memTarget) ReadBlock(ctx context.Context, b int) ([]byte, error) {
+	return make([]byte, m.blockSize), nil
+}
+func (m *memTarget) WriteBlock(ctx context.Context, b int, data []byte) error { return nil }
+func (m *memTarget) Flush(ctx context.Context) error                          { return nil }
+func (m *memTarget) Scrub(ctx context.Context) (store.ScrubReport, error) {
+	return store.ScrubReport{}, nil
+}

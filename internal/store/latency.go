@@ -89,6 +89,13 @@ type LatencyProfile struct {
 	// coalescing adjacent extents into one call is a real win — with
 	// concurrent service, overlapped calls already hide each other.
 	Serial bool
+	// Seed, when non-zero, seeds the device's private jitter/spike RNG,
+	// making the simulated timing sequence reproducible run to run —
+	// what a deterministic scenario harness needs. Zero keeps the old
+	// behaviour (a per-device time-derived seed). Every device draws
+	// from its own rand.Rand under its own lock either way; nothing
+	// touches the shared process RNG.
+	Seed int64
 }
 
 // LatencyDevice wraps a Device and charges a per-call latency profile,
@@ -116,11 +123,29 @@ func NewLatencyDevice(inner Device, latency, jitter time.Duration) *LatencyDevic
 
 // NewLatencyDeviceProfile wraps inner with the full timing profile.
 func NewLatencyDeviceProfile(inner Device, profile LatencyProfile) *LatencyDevice {
+	seed := profile.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &LatencyDevice{
 		innerFaults: innerFaults{inner: inner},
 		profile:     profile,
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:         rand.New(rand.NewSource(seed)),
 	}
+}
+
+// drawLocked draws one operation's wait from the device's private RNG;
+// the caller holds d.mu.
+func (d *LatencyDevice) drawLocked() time.Duration {
+	p := d.profile
+	wait := p.Latency
+	if p.Jitter > 0 {
+		wait += time.Duration(d.rng.Int63n(int64(p.Jitter) + 1))
+	}
+	if p.Spike > 0 && p.SpikeProb > 0 && d.rng.Float64() < p.SpikeProb {
+		wait += p.Spike
+	}
+	return wait
 }
 
 // delay sleeps one operation's latency, aborting early when ctx is
@@ -129,13 +154,7 @@ func NewLatencyDeviceProfile(inner Device, profile LatencyProfile) *LatencyDevic
 func (d *LatencyDevice) delay(ctx context.Context) error {
 	p := d.profile
 	d.mu.Lock()
-	wait := p.Latency
-	if p.Jitter > 0 {
-		wait += time.Duration(d.rng.Int63n(int64(p.Jitter) + 1))
-	}
-	if p.Spike > 0 && p.SpikeProb > 0 && d.rng.Float64() < p.SpikeProb {
-		wait += p.Spike
-	}
+	wait := d.drawLocked()
 	if !p.Serial {
 		d.mu.Unlock()
 	} else {

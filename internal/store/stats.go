@@ -29,6 +29,10 @@ type Stats struct {
 	// RepairDrops counts repair requests dropped because the bounded
 	// repair queue was full (a later scrub pass re-queues them).
 	RepairDrops uint64
+	// RepairRequeues counts repair attempts that ended with the stripe
+	// still partially lost (transient write failure or cancellation
+	// mid-sweep) and went back on the queue for another attempt.
+	RepairRequeues uint64
 	// UnrecoverableStripes counts stripes currently marked as holding
 	// failure patterns outside the code's coverage. It mirrors the
 	// unrecoverable bookkeeping exactly: a device replacement or a
@@ -63,7 +67,8 @@ type counters struct {
 	fullFlushes, subFlushes             atomic.Uint64
 	scrubbedStripes, scrubHits          atomic.Uint64
 	repairedStripes, repairedSectors    atomic.Uint64
-	repairDrops, unrecoverableStripes   atomic.Uint64
+	repairDrops, repairRequeues         atomic.Uint64
+	unrecoverableStripes                atomic.Uint64
 	journaledFlushes, recoveredStripes  atomic.Uint64
 	verifiedSectors, checksumMismatches atomic.Uint64
 }
@@ -80,6 +85,7 @@ func (c *counters) snapshot() Stats {
 		RepairedStripes:      c.repairedStripes.Load(),
 		RepairedSectors:      c.repairedSectors.Load(),
 		RepairDrops:          c.repairDrops.Load(),
+		RepairRequeues:       c.repairRequeues.Load(),
 		UnrecoverableStripes: c.unrecoverableStripes.Load(),
 		JournaledFlushes:     c.journaledFlushes.Load(),
 		RecoveredStripes:     c.recoveredStripes.Load(),
@@ -107,6 +113,7 @@ func (s Stats) Add(o Stats) Stats {
 		RepairedStripes:      s.RepairedStripes + o.RepairedStripes,
 		RepairedSectors:      s.RepairedSectors + o.RepairedSectors,
 		RepairDrops:          s.RepairDrops + o.RepairDrops,
+		RepairRequeues:       s.RepairRequeues + o.RepairRequeues,
 		UnrecoverableStripes: max(s.UnrecoverableStripes, o.UnrecoverableStripes),
 		DegradedCacheHits:    s.DegradedCacheHits + o.DegradedCacheHits,
 		JournaledFlushes:     s.JournaledFlushes + o.JournaledFlushes,

@@ -1003,6 +1003,7 @@ func (s *Store) repairLoop() {
 		if requeue {
 			// Re-enqueue before dropping this request's pending count so
 			// Quiesce never observes a spurious idle window.
+			s.c.repairRequeues.Add(1)
 			s.enqueueAttemptLocked(sh, repairReq{stripe: req.stripe, risk: req.risk, attempt: req.attempt + 1})
 		}
 		sh.mu.Unlock()
